@@ -1,0 +1,32 @@
+"""Ablation: the Section 5.2 router-IP exclusion threshold (50%)."""
+
+from repro.analysis.fig7_routerips import compute_router_stray_analysis
+
+
+def bench_ablation_router_threshold(
+    benchmark, world, approach, datasets, save_artefact
+):
+    ark = datasets["ark"]
+
+    def sweep():
+        return {
+            threshold: compute_router_stray_analysis(
+                world.result, approach, ark, threshold=threshold
+            )
+            for threshold in (0.1, 0.3, 0.5, 0.7, 0.9)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Router-IP exclusion threshold sweep (paper uses 50%):"]
+    previous = None
+    for threshold, analysis in sorted(results.items()):
+        before, after = analysis.member_reduction
+        lines.append(
+            f"  threshold={threshold:.0%}: excluded "
+            f"{len(analysis.excluded_members):3d} members "
+            f"({before} → {after})"
+        )
+        if previous is not None:
+            assert len(analysis.excluded_members) <= previous
+        previous = len(analysis.excluded_members)
+    save_artefact("ablation_router_threshold", "\n".join(lines))

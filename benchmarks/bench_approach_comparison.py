@@ -1,0 +1,22 @@
+"""Cross-approach overlap and weekly stability of Table 1."""
+
+from repro.analysis.comparison import compare_approaches, weekly_stability
+
+
+def bench_approach_overlap(benchmark, world, save_artefact):
+    names = ["naive+orgs", "cc+orgs", "full+orgs"]
+    comparison = benchmark(compare_approaches, world.result, names)
+    save_artefact("approach_comparison", comparison.render())
+    # The conservative Full Cone's flags are largely shared.
+    item = comparison.overlap("full+orgs", "naive+orgs")
+    assert item.containment_of_a_in_b() > 0.4
+
+
+def bench_weekly_stability(benchmark, world, approach, save_artefact):
+    window = world.scenario.config.window_seconds
+    stability = benchmark(
+        weekly_stability, world.result, approach, window
+    )
+    save_artefact("weekly_stability", stability.render())
+    # Leak classes persist every week (filtering posture is stable).
+    assert all(v > 0 for v in stability.shares["bogon"])

@@ -1,0 +1,23 @@
+"""Extension: automated attack-event extraction (Section 7 tooling)."""
+
+from repro.analysis.attack_events import extract_attack_events, match_against_plan
+
+
+def bench_attack_event_extraction(benchmark, world, approach, save_artefact):
+    events = benchmark.pedantic(
+        extract_attack_events, args=(world.result, approach), rounds=2,
+        iterations=1,
+    )
+    report = match_against_plan(events, world.scenario.plan)
+    lines = [report.render(), ""]
+    for event in events[:12]:
+        lines.append(
+            f"  {event.kind:13s} class={event.traffic_class:8s} "
+            f"pkts={event.sampled_packets:6d} srcs={event.distinct_sources:6d} "
+            f"duration={event.duration // 60}min"
+        )
+    save_artefact("attack_events", "\n".join(lines))
+    assert events
+    if report.truth_floods:
+        assert report.flood_recall() > 0.5
+    benchmark.extra_info["events"] = len(events)

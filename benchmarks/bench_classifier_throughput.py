@@ -1,0 +1,44 @@
+"""Pipeline throughput: classification, LPM, bulk set membership.
+
+Not a paper artefact — harness hygiene: the detector must keep up with
+flow export rates, so its hot paths are benchmarked explicitly.
+"""
+
+import numpy as np
+
+from repro.core import SpoofingClassifier
+from repro.datasets.bogons import bogon_prefix_set
+
+
+def bench_classifier_single_approach(benchmark, world):
+    """Classify the full trace with only the primary approach."""
+    classifier = SpoofingClassifier(
+        world.rib, {"full+orgs": world.approaches["full+orgs"]}
+    )
+    flows = world.scenario.flows
+    result = benchmark.pedantic(
+        classifier.classify, args=(flows,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["flows_per_call"] = len(flows)
+    assert result.label_vector("full+orgs").size == len(flows)
+
+
+def bench_lpm_lookup_throughput(benchmark, world):
+    """Vectorised longest-prefix-match over 1M random addresses."""
+    rng = np.random.default_rng(3)
+    addrs = rng.integers(0, 2**32, size=1_000_000, dtype=np.uint64)
+    world.rib.lookup_many(addrs[:10])  # warm the finalized view
+
+    pids, origins = benchmark(world.rib.lookup_many, addrs)
+    benchmark.extra_info["addresses"] = addrs.size
+    assert pids.size == addrs.size
+
+
+def bench_bogon_membership_throughput(benchmark):
+    rng = np.random.default_rng(4)
+    addrs = rng.integers(0, 2**32, size=1_000_000, dtype=np.uint64)
+    bogons = bogon_prefix_set()
+
+    mask = benchmark(bogons.contains_many, addrs)
+    # ~13.8% of uniform random addresses are bogons.
+    assert 0.12 < mask.mean() < 0.16

@@ -1,0 +1,20 @@
+"""Figure 10: traffic distribution across the IPv4 address space."""
+
+from repro.analysis.fig10_addrspace import compute_address_histograms
+
+
+def bench_fig10_address_histograms(benchmark, world, approach, save_artefact):
+    histograms = benchmark(
+        compute_address_histograms, world.result, approach
+    )
+    save_artefact("fig10_address_structure", histograms.render())
+    # Unrouted sources near-uniform over many /8s; bogon concentrated.
+    assert histograms.occupied_blocks("unrouted", "src") > 100
+    assert histograms.concentration("bogon", "src") > 0.6
+    # Invalid sources peaked (selective spoofing of specific victims).
+    assert histograms.concentration("invalid", "src") > histograms.concentration(
+        "unrouted", "src"
+    )
+    benchmark.extra_info["unrouted_src_blocks"] = histograms.occupied_blocks(
+        "unrouted", "src"
+    )

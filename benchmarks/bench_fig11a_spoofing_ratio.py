@@ -1,0 +1,17 @@
+"""Figure 11a: selective vs random spoofing per destination."""
+
+from repro.analysis.fig11_attacks import compute_spoofing_ratios
+
+
+def bench_fig11a_source_ratios(benchmark, world, approach, save_artefact):
+    ratios = benchmark(
+        compute_spoofing_ratios, world.result, approach
+    )
+    save_artefact("fig11a_spoofing_ratio", ratios.render())
+    # Paper: ~90% of Unrouted destinations get a unique source per
+    # packet; Invalid destinations concentrate at the low-ratio end.
+    assert ratios.rightmost_share("unrouted") > 0.6
+    assert ratios.leftmost_share("invalid") > 0.3
+    benchmark.extra_info["unrouted_unique_src_share"] = round(
+        ratios.rightmost_share("unrouted"), 3
+    )

@@ -1,0 +1,16 @@
+"""Figure 11b: ranked amplifiers for the top NTP victims."""
+
+from repro.analysis.fig11_attacks import compute_amplifier_ranking
+
+
+def bench_fig11b_amplifier_ranking(benchmark, world, approach, save_artefact):
+    ranking = benchmark(
+        compute_amplifier_ranking, world.result, approach
+    )
+    save_artefact("fig11b_amplifiers", ranking.render())
+    assert ranking.profiles, "no NTP victims found"
+    strategies = ranking.strategies()
+    # Both the concentrated and distributed strategy should appear.
+    assert strategies["concentrated"] >= 1
+    assert strategies["distributed"] >= 1
+    benchmark.extra_info["strategies"] = strategies

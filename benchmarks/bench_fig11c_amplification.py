@@ -1,0 +1,21 @@
+"""Figure 11c: trigger vs response time series for matched pairs."""
+
+from repro.analysis.fig11_attacks import compute_amplification_timeseries
+
+
+def bench_fig11c_amplification(benchmark, world, approach, save_artefact):
+    window = world.scenario.config.window_seconds
+    series = benchmark.pedantic(
+        compute_amplification_timeseries,
+        args=(world.result, approach, window),
+        rounds=2,
+        iterations=1,
+    )
+    save_artefact("fig11c_amplification", series.render())
+    # Paper: response bytes an order of magnitude above trigger bytes,
+    # packet counts tightly correlated.
+    assert series.byte_amplification() > 3.0
+    assert series.packet_correlation() > 0.5
+    benchmark.extra_info["byte_amplification"] = round(
+        series.byte_amplification(), 2
+    )

@@ -1,0 +1,14 @@
+"""Figure 1a: the IPv4 category partition over the synthetic RIB."""
+
+from repro.analysis.fig1_categories import compute_address_categories
+
+
+def bench_fig1_address_categories(benchmark, world, save_artefact):
+    categories = benchmark(compute_address_categories, world.rib)
+    save_artefact("fig1_categories", categories.render())
+    assert categories.tiles_exactly()
+    # Bogon/routable are exact paper values (the list is the real one);
+    # routed/unrouted depend on the synthetic allocation density.
+    assert abs(categories.bogon - 0.138) < 0.01
+    assert categories.routed > 0
+    benchmark.extra_info["routed_share"] = round(categories.routed, 4)

@@ -1,0 +1,48 @@
+"""Figure 2: valid address space per AS for all five inference curves.
+
+Times the inference + size computation and writes the percentile table
+of the sorted curves; also asserts the paper's containment properties.
+"""
+
+import numpy as np
+
+from repro.analysis.fig2_cone_sizes import compute_cone_size_curves
+from repro.cones.customer_cone import CustomerConeValidSpace
+from repro.cones.full_cone import FullConeValidSpace
+from repro.cones.naive import NaiveValidSpace
+
+_FIG2_NAMES = ("naive", "cc", "cc+orgs", "full", "full+orgs")
+
+
+def bench_fig2_size_curves(benchmark, world, save_artefact):
+    approaches = {name: world.approaches[name] for name in _FIG2_NAMES}
+    rng = np.random.default_rng(1)
+    asns = world.rib.indexer.asns()
+    if len(asns) > 1200:
+        picked = sorted(rng.choice(len(asns), size=1200, replace=False))
+        asns = [asns[i] for i in picked]
+
+    curves = benchmark.pedantic(
+        compute_cone_size_curves, args=(approaches, asns), rounds=2,
+        iterations=1,
+    )
+    save_artefact("fig2_cone_sizes", curves.render())
+    assert not curves.containment_violations("naive", "full")
+    assert not curves.containment_violations("cc", "full")
+    routed = world.rib.routed_space().slash24_equivalents
+    benchmark.extra_info["full_space_ases"] = curves.full_space_asns(
+        "full+orgs", routed
+    )
+
+
+def bench_cone_construction(benchmark, world):
+    """Time building all three inference structures from the RIB."""
+
+    def build():
+        naive = NaiveValidSpace(world.rib)
+        cc = CustomerConeValidSpace(world.rib)
+        full = FullConeValidSpace(world.rib)
+        return naive, cc, full
+
+    naive, cc, full = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert full.cone_asns(world.rib.indexer.asns()[0])

@@ -1,0 +1,13 @@
+"""Figure 4: CCDF of per-member Bogon/Unrouted/Invalid shares."""
+
+from repro.analysis.fig4_ccdf import compute_member_share_ccdf
+
+
+def bench_fig4_member_share_ccdf(benchmark, world, approach, save_artefact):
+    ccdf = benchmark(compute_member_share_ccdf, world.result, approach)
+    save_artefact("fig4_member_shares", ccdf.render())
+    # Paper shapes: bogon/unrouted shares stay small; a few members are
+    # Invalid-dominated.
+    assert ccdf.max_share("bogon") < 0.25
+    assert ccdf.max_share("invalid") > 0.5
+    benchmark.extra_info["max_bogon_share"] = round(ccdf.max_share("bogon"), 4)

@@ -1,0 +1,14 @@
+"""Figure 5: filtering-consistency Venn diagram."""
+
+from repro.analysis.fig5_venn import compute_filtering_venn
+
+
+def bench_fig5_filtering_venn(benchmark, world, approach, save_artefact):
+    venn = benchmark(compute_filtering_venn, world.result, approach)
+    save_artefact("fig5_venn", venn.render())
+    assert 0.05 < venn.clean_share() < 0.4  # paper: 18.02%
+    assert venn.unrouted_also_other() > 0.8  # paper: 96%
+    benchmark.extra_info["clean_share"] = round(venn.clean_share(), 4)
+    benchmark.extra_info["all_three_share"] = round(
+        venn.share("bogon", "unrouted", "invalid"), 4
+    )

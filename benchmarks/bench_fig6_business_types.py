@@ -1,0 +1,39 @@
+"""Figure 6: business types vs traffic volume and class shares."""
+
+from repro.analysis.fig6_scatter import compute_business_scatter
+from repro.core import TrafficClass
+from repro.topology.model import BusinessType
+
+
+def bench_fig6_business_scatter(
+    benchmark, world, approach, datasets, save_artefact
+):
+    peeringdb = datasets["peeringdb"]
+
+    def both_panels():
+        return (
+            compute_business_scatter(
+                world.result, approach, peeringdb, TrafficClass.BOGON
+            ),
+            compute_business_scatter(
+                world.result, approach, peeringdb, TrafficClass.INVALID
+            ),
+        )
+
+    bogon_panel, invalid_panel = benchmark(both_panels)
+    save_artefact(
+        "fig6_business_types",
+        bogon_panel.render() + "\n\n" + invalid_panel.render(),
+    )
+    # Paper: content providers contribute (almost) nothing; hosting and
+    # ISPs dominate the significant-share region.
+    content_median = invalid_panel.median_share(BusinessType.CONTENT)
+    significant = invalid_panel.significant_share_types()
+    hosting_isp = significant.get(BusinessType.HOSTING, 0) + significant.get(
+        BusinessType.ISP, 0
+    )
+    content = significant.get(BusinessType.CONTENT, 0)
+    assert hosting_isp >= content
+    benchmark.extra_info["content_median_invalid_share"] = round(
+        content_median, 6
+    )

@@ -1,0 +1,35 @@
+"""Figure 8: packet-size CDFs (8a) and the diurnal time series (8b)."""
+
+from repro.analysis.fig8_traffic import (
+    compute_packet_size_cdf,
+    compute_timeseries,
+)
+from repro.util.timeconst import WEEK
+
+
+def bench_fig8a_packet_sizes(benchmark, world, approach, save_artefact):
+    cdf = benchmark(compute_packet_size_cdf, world.result, approach)
+    save_artefact("fig8a_packet_sizes", cdf.render())
+    for name in ("bogon", "unrouted"):
+        assert cdf.share_below(name, 60) > 0.8  # paper: >80% under 60B
+    assert cdf.is_bimodal("regular")
+    benchmark.extra_info["invalid_below_60"] = round(
+        cdf.share_below("invalid", 60), 3
+    )
+
+
+def bench_fig8b_timeseries(benchmark, world, approach, save_artefact):
+    window = world.scenario.config.window_seconds
+
+    series = benchmark(
+        compute_timeseries, world.result, approach, window
+    )
+    week3 = compute_timeseries(
+        world.result, approach, window, start=2 * WEEK, end=min(3 * WEEK, window)
+    )
+    save_artefact(
+        "fig8b_timeseries",
+        series.render() + "\n(week 3 only)\n" + week3.render(),
+    )
+    assert series.diurnal_strength("regular") > 1.5
+    assert series.burstiness("unrouted") > series.burstiness("regular")

@@ -1,0 +1,19 @@
+"""Figure 9: port/application mix for all four panels."""
+
+from repro.analysis.fig9_portmix import compute_port_mix
+
+
+def bench_fig9_port_mix(benchmark, world, approach, save_artefact):
+    mix = benchmark(compute_port_mix, world.result, approach)
+    save_artefact("fig9_port_mix", mix.render())
+    # Paper: Invalid UDP DST dominated by NTP (>90% there).
+    assert mix.share("udp_dst", "invalid", 123) > 0.5
+    # Spoofed TCP DST dominated by web ports.
+    for name in ("bogon", "unrouted"):
+        web = mix.share("tcp_dst", name, 80) + mix.share("tcp_dst", name, 443)
+        assert web > 0.5
+    # Regular UDP: mostly ephemeral ports (BitTorrent-style).
+    assert mix.share("udp_dst", "regular", "other") > 0.8
+    benchmark.extra_info["invalid_udp_ntp_share"] = round(
+        mix.share("udp_dst", "invalid", 123), 3
+    )

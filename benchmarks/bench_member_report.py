@@ -1,0 +1,24 @@
+"""Extension: the per-member hygiene report."""
+
+from repro.analysis.member_report import member_hygiene_report
+
+
+def bench_member_hygiene_report(
+    benchmark, world, approach, datasets, save_artefact
+):
+    ark = datasets["ark"]
+    cards = benchmark.pedantic(
+        member_hygiene_report, args=(world.result, approach, ark),
+        rounds=2, iterations=1,
+    )
+    worst = cards[:8]
+    save_artefact(
+        "member_report",
+        "Worst-hygiene members:\n" + "\n".join(
+            "  " + card.render() for card in worst
+        ),
+    )
+    assert cards
+    postures = {card.posture for card in cards}
+    assert "clean" in postures
+    benchmark.extra_info["members"] = len(cards)

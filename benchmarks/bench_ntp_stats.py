@@ -1,0 +1,19 @@
+"""Section 7 NTP statistics: member concentration and census overlap."""
+
+from repro.analysis.fig11_attacks import compute_ntp_stats
+
+
+def bench_sec7_ntp_stats(benchmark, world, approach, save_artefact):
+    stats = benchmark(
+        compute_ntp_stats, world.result, approach, world.scenario.census
+    )
+    save_artefact("sec7_ntp_stats", stats.render())
+    # Paper: top member 91.94%, top-5 97.86% of Invalid NTP.
+    assert stats.top_member_share > 0.5
+    assert stats.top5_member_share > 0.8
+    # Census overlap exists but is partial, growing towards the newest
+    # snapshot (paper: 1.8K/2K/3.9K over three months).
+    labels = sorted(stats.census_overlap)
+    assert stats.census_overlap[labels[-1]] >= stats.census_overlap[labels[0]]
+    assert 0 < stats.census_overlap[labels[-1]] < stats.num_amplifiers
+    benchmark.extra_info["top_member_share"] = round(stats.top_member_share, 4)

@@ -1,0 +1,20 @@
+"""Section 4.5: cross-check against the Spoofer active measurements."""
+
+from repro.analysis.spoofer_crosscheck import cross_check_spoofer
+
+
+def bench_sec45_spoofer_crosscheck(
+    benchmark, world, approach, datasets, save_artefact
+):
+    spoofer = datasets["spoofer"]
+    check = benchmark(
+        cross_check_spoofer, world.result, approach, spoofer
+    )
+    save_artefact("sec45_spoofer_crosscheck", check.render())
+    assert check.n_overlap > 0
+    # Paper shape: passive detects more networks than active probing
+    # (74% vs 30%) because ability ≠ action and probes get filtered.
+    assert check.passive_rate() >= check.spoofer_rate()
+    benchmark.extra_info["overlap"] = check.n_overlap
+    benchmark.extra_info["passive_rate"] = round(check.passive_rate(), 3)
+    benchmark.extra_info["spoofer_rate"] = round(check.spoofer_rate(), 3)

@@ -1,0 +1,15 @@
+"""Extension: heuristic stray-vs-spoofed recognition quality."""
+
+from repro.core import evaluate_stray_detection
+
+
+def bench_stray_recognition(benchmark, world, approach, datasets, save_artefact):
+    ark = datasets["ark"]
+    quality = benchmark(
+        evaluate_stray_detection, world.result, approach, ark
+    )
+    save_artefact("stray_detection", quality.render())
+    assert quality.stray_precision > 0.5
+    assert quality.spoofed_retention > 0.8
+    benchmark.extra_info["stray_recall"] = round(quality.stray_recall, 3)
+    benchmark.extra_info["stray_precision"] = round(quality.stray_precision, 3)

@@ -1,0 +1,18 @@
+"""Section 2.2: the operator survey tabulation."""
+
+import numpy as np
+
+from repro.survey import generate_survey_responses, tabulate
+
+
+def bench_sec22_survey(benchmark, save_artefact):
+    rng = np.random.default_rng(7)
+    responses = generate_survey_responses(rng, n=84)
+
+    results = benchmark(tabulate, responses)
+    save_artefact("sec22_survey", results.render())
+    assert results.n == 84
+    assert 0.5 < results.suffered_attack_share < 0.9
+    benchmark.extra_info["suffered_attacks"] = round(
+        results.suffered_attack_share, 3
+    )

@@ -1,0 +1,36 @@
+"""Table 1: class contributions per inference approach.
+
+Regenerates the paper's Table 1 (members / packets / bytes per class
+for Invalid NAIVE, CC and FULL) and times the end-to-end
+classification of the full four-week flow table.
+"""
+
+from repro.analysis.table1 import compute_table1
+from repro.core import TrafficClass
+
+
+def bench_classify_full_trace(benchmark, world, save_artefact):
+    """Time the Figure 3 pipeline over the whole trace (all six
+    approach variants), then emit Table 1."""
+    flows = world.scenario.flows
+
+    result = benchmark.pedantic(
+        world.classifier.classify, args=(flows,), rounds=3, iterations=1
+    )
+    table = compute_table1(result, world.ixp.sampling_rate)
+    save_artefact("table1", table.render())
+
+    naive = table.columns["invalid naive+orgs"]
+    cc = table.columns["invalid cc+orgs"]
+    full = table.columns["invalid full+orgs"]
+    assert naive.packets > cc.packets > full.packets
+    benchmark.extra_info["flows"] = len(flows)
+    benchmark.extra_info["bogon_member_share"] = round(
+        table.columns["bogon"].member_share, 4
+    )
+
+
+def bench_table1_aggregation(benchmark, world, save_artefact):
+    """Time just the Table 1 aggregation over an existing result."""
+    table = benchmark(compute_table1, world.result, world.ixp.sampling_rate)
+    assert table.columns["bogon"].members > 0

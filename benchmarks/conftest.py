@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+default-preset world and times the analysis. The rendered artefact is
+written to ``benchmarks/output/<name>.txt`` so the reproduced numbers
+survive the run (pytest captures stdout); EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.datasets.ark import run_ark_campaign
+from repro.datasets.peeringdb import build_peeringdb
+from repro.datasets.spoofer import run_spoofer_campaign
+from repro.datasets.whois import build_whois
+from repro.experiments import WorldConfig, build_world
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The default-preset world shared by every benchmark."""
+    return build_world(WorldConfig.default())
+
+
+@pytest.fixture(scope="session")
+def approach(world):
+    return world.primary
+
+
+@pytest.fixture(scope="session")
+def datasets(world):
+    """The external-dataset stand-ins the analyses consume."""
+    rng = np.random.default_rng(99)
+    return {
+        "peeringdb": build_peeringdb(
+            world.topo, rng, list(world.ixp.member_asns)
+        ),
+        "ark": run_ark_campaign(world.topo, rng),
+        "whois": build_whois(world.topo),
+        "spoofer": run_spoofer_campaign(
+            rng, sorted(world.topo.ases), world.scenario.behaviors
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def artefact_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_artefact(artefact_dir):
+    """Write a rendered table/figure to benchmarks/output/."""
+
+    def _save(name: str, text: str) -> None:
+        (artefact_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

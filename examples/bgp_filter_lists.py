@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Generate per-peer ingress filter lists from BGP data.
+
+The operational implication the paper highlights for network
+operators: the same BGP-derived valid-space inference that detects
+spoofing passively can generate ingress ACLs ("for now, our
+methodology provides a very conservative overestimation of the valid
+IP address space per AS ... every network can opt to apply it to
+filter its incoming traffic").
+
+This example plays the role of an operator peering with three
+networks: it derives each peer's Full-Cone valid space, materialises
+a prefix whitelist, and reports how much legitimate/spoofed traffic
+the ACL would have passed/dropped against ground truth.
+
+Run:  python examples/bgp_filter_lists.py
+"""
+
+import numpy as np
+
+from repro.experiments import WorldConfig, build_world
+from repro.ixp.flows import TruthLabel
+from repro.net.addr import int_to_addr
+from repro.net.prefixset import PrefixSet
+
+
+def main() -> None:
+    world = build_world(WorldConfig.small())
+    full_cone = world.approaches["full+orgs"]
+    rib = world.rib
+    flows = world.scenario.flows
+
+    # Pick the three busiest members as the peers to build ACLs for.
+    members, counts = np.unique(flows.member, return_counts=True)
+    peers = [int(members[i]) for i in np.argsort(counts)[::-1][:3]]
+
+    for peer in peers:
+        bits = full_cone.row_bits(peer)
+        origin_asns = [
+            rib.indexer.asn(i) for i in np.flatnonzero(bits)
+        ]
+        # The ACL: every prefix originated inside the peer's cone.
+        acl_prefixes = []
+        for prefix_id, prefix in enumerate(rib.prefixes()):
+            if rib.origin_of(prefix_id) in set(origin_asns):
+                acl_prefixes.append(prefix)
+        acl = PrefixSet(acl_prefixes)
+
+        peer_rows = flows.member == peer
+        src = flows.src[peer_rows]
+        allowed = acl.contains_many(src)
+        truth = flows.truth[peer_rows]
+        spoofed = np.isin(
+            truth,
+            (
+                int(TruthLabel.SPOOF_FLOOD),
+                int(TruthLabel.SPOOF_TRIGGER),
+                int(TruthLabel.SPOOF_GAMING),
+            ),
+        )
+        legit = truth == int(TruthLabel.LEGIT)
+        n = int(peer_rows.sum())
+        dropped_spoofed = float((~allowed & spoofed).sum()) / max(spoofed.sum(), 1)
+        dropped_legit = float((~allowed & legit).sum()) / max(legit.sum(), 1)
+        sample = ", ".join(str(p) for p in acl_prefixes[:3])
+        print(
+            f"AS{peer}: ACL covers {acl.slash24_equivalents:,.0f} /24s "
+            f"({len(acl_prefixes)} prefixes; e.g. {sample})"
+        )
+        print(
+            f"  against {n} observed flows: drops "
+            f"{dropped_spoofed:.0%} of spoofed, "
+            f"{dropped_legit:.1%} of legitimate flows"
+        )
+        first_hop = int_to_addr(int(src[0])) if n else "-"
+        print(f"  first observed source: {first_hop}\n")
+
+    print(
+        "Note the paper's caveat: the Full Cone is deliberately "
+        "conservative — strict per-peer ACLs from less conservative "
+        "inferences would drop legitimate traffic (Section 2.2's "
+        "operators name exactly this risk)."
+    )
+
+
+if __name__ == "__main__":
+    main()

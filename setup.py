@@ -1,0 +1,10 @@
+"""Minimal setup shim.
+
+The project is configured via pyproject.toml; this file exists so the
+package can be installed editable in offline environments that lack
+the `wheel` package (legacy `pip install -e . --no-use-pep517`).
+"""
+
+from setuptools import setup
+
+setup()

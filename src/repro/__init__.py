@@ -1,0 +1,35 @@
+"""repro — passive detection of inter-domain traffic with spoofed sources.
+
+A complete reproduction of Lichtblau et al., *"Detection,
+Classification, and Analysis of Inter-Domain Traffic with Spoofed
+Source IP Addresses"* (ACM IMC 2017), including every substrate the
+method runs on: a synthetic AS-level Internet, BGP observation, the
+three valid-address-space inference approaches, an IXP vantage point
+with sampled traffic, and the paper's full evaluation.
+
+Entry points:
+
+* :func:`repro.experiments.build_world` — build a complete synthetic
+  measurement study (topology → BGP → cones → traffic → labels).
+* :class:`repro.core.SpoofingClassifier` — the Figure 3 pipeline, for
+  classifying any :class:`repro.ixp.FlowTable`.
+* :func:`repro.analysis.report.build_study_report` — every table and
+  figure of the paper over a built world.
+* ``python -m repro`` — the command-line interface.
+"""
+
+from repro.core import SpoofingClassifier, TrafficClass
+from repro.experiments import World, WorldConfig, build_world
+from repro.ixp import FlowTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowTable",
+    "SpoofingClassifier",
+    "TrafficClass",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Analyses reproducing every table and figure of the paper.
+
+One module per artefact:
+
+========================  ==================================================
+``table1``                Table 1 — class contributions per approach
+``fig2_cone_sizes``       Fig. 2 — valid address space per AS, 5 curves
+``fig4_ccdf``             Fig. 4 — CCDF of per-member class shares
+``fig5_venn``             Fig. 5 — filtering-consistency Venn
+``fig6_scatter``          Fig. 6 — business types vs traffic/shares
+``fig7_routerips``        Fig. 7 — router IPs among Invalid packets
+``fig8_traffic``          Fig. 8 — packet-size CDF and diurnal series
+``fig9_portmix``          Fig. 9 — port/application mix per class
+``fig10_addrspace``       Fig. 10 — /8 histograms of src/dst addresses
+``fig11_attacks``         Fig. 11 — attack patterns (ratio, amplifiers,
+                          amplification time series) + Section 7 stats
+``falsepositives``        Section 4.4 — WHOIS-driven FP hunt
+``spoofer_crosscheck``    Section 4.5 — CAIDA Spoofer comparison
+``fig1_categories``       Fig. 1a — IPv4 category partition
+``report``                text rendering of all artefacts
+========================  ==================================================
+
+Beyond the paper (its stated future work, implemented):
+
+========================  ==================================================
+``attack_events``         cluster flagged flows into typed attack events
+``member_report``         per-member filtering-hygiene cards
+``comparison``            cross-approach overlap, weekly stability
+``temporal``              valid-space growth with the BGP window
+========================  ==================================================
+"""

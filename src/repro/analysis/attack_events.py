@@ -1,0 +1,231 @@
+"""Attack-event extraction from classified traffic (Section 7 tooling).
+
+The paper identifies "dominant attack patterns" by inspecting the
+classified classes manually; this module automates the step: flagged
+flows are clustered into discrete attack events, typed by their
+signature, and (uniquely possible on synthetic data) matched against
+the ground-truth attack plan.
+
+An event is a (victim, class) stream of flagged packets with no gap
+longer than ``max_gap`` seconds. Typing rules:
+
+* ``amplification`` — Invalid UDP/123 with one dominant spoofed
+  source (the victim is the *source* side);
+* ``flood`` — many distinct sources, one destination, small packets;
+* ``gaming_flood`` — flood signature on UDP 27015;
+* ``background`` — too small or too diffuse to call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.ixp.flows import PROTO_UDP, FlowTable
+from repro.traffic.apps import PORT_NTP, PORT_STEAM
+
+
+@dataclass(slots=True)
+class AttackEvent:
+    """One extracted attack event."""
+
+    kind: str  # "amplification" | "flood" | "gaming_flood" | "background"
+    victim_addr: int
+    traffic_class: str
+    start: int
+    end: int
+    sampled_packets: int
+    distinct_sources: int
+    member_asns: tuple[int, ...]
+
+    @property
+    def duration(self) -> int:
+        return max(self.end - self.start, 0)
+
+
+def _cluster_stream(
+    times: np.ndarray, max_gap: int
+) -> list[tuple[int, int]]:
+    """Split sorted times into (start_idx, end_idx) runs by gap."""
+    if times.size == 0:
+        return []
+    runs: list[tuple[int, int]] = []
+    start = 0
+    for i in range(1, times.size):
+        if times[i] - times[i - 1] > max_gap:
+            runs.append((start, i))
+            start = i
+    runs.append((start, times.size))
+    return runs
+
+
+def _classify_event(
+    flows: FlowTable, distinct_sources: int, keyed_by: str
+) -> str:
+    packets = int(flows.packets.sum())
+    if packets < 10:
+        return "background"
+    udp = flows.proto == PROTO_UDP
+    ntp = udp & (flows.dst_port == PORT_NTP)
+    if (
+        keyed_by == "src"
+        and flows.packets[ntp].sum() > 0.7 * packets
+        and distinct_sources <= max(3, packets // 20)
+    ):
+        # One spoofed identity spraying NTP servers: the victim is the
+        # stream's (single) source address.
+        return "amplification"
+    if keyed_by == "dst" and distinct_sources > 0.5 * packets:
+        steam = udp & (flows.dst_port == PORT_STEAM)
+        if flows.packets[steam].sum() > 0.5 * packets:
+            return "gaming_flood"
+        return "flood"
+    return "background"
+
+
+def extract_attack_events(
+    result: ClassificationResult,
+    approach: str,
+    max_gap: int = 6 * 3600,
+    min_packets: int = 10,
+) -> list[AttackEvent]:
+    """Cluster flagged flows into attack events.
+
+    Floods are keyed by destination; amplification by the spoofed
+    source (the victim). Both keyings run over the Invalid class; the
+    AS-agnostic classes use destination keying only.
+    """
+    events: list[AttackEvent] = []
+    for class_name, traffic_class in (
+        ("bogon", TrafficClass.BOGON),
+        ("unrouted", TrafficClass.UNROUTED),
+        ("invalid", TrafficClass.INVALID),
+    ):
+        table = result.select_class(approach, traffic_class)
+        if len(table) == 0:
+            continue
+        events.extend(
+            _events_keyed_by(
+                table, "dst", class_name, max_gap, min_packets
+            )
+        )
+        # Amplification victims surface on the *source* side; triggers
+        # land in Invalid normally, or in Unrouted when the spoofed
+        # victim is itself an unrouted address (e.g. a router /30).
+        if traffic_class in (TrafficClass.INVALID, TrafficClass.UNROUTED):
+            events.extend(
+                event
+                for event in _events_keyed_by(
+                    table, "src", class_name, max_gap, min_packets
+                )
+                if event.kind == "amplification"
+            )
+    # Drop destination-keyed shadows of amplification events (the same
+    # packets keyed by amplifier address look like "background").
+    events = [e for e in events if e.kind != "background"]
+    events.sort(key=lambda e: (e.start, e.victim_addr))
+    return events
+
+
+def _events_keyed_by(
+    table: FlowTable,
+    key: str,
+    class_name: str,
+    max_gap: int,
+    min_packets: int,
+) -> list[AttackEvent]:
+    events: list[AttackEvent] = []
+    key_values = getattr(table, key)
+    for value in np.unique(key_values):
+        rows = table.select(key_values == value)
+        if int(rows.packets.sum()) < min_packets:
+            continue
+        order = np.argsort(rows.time, kind="stable")
+        rows = rows.select(order)
+        for start_idx, end_idx in _cluster_stream(rows.time, max_gap):
+            chunk = rows.select(np.arange(start_idx, end_idx))
+            packets = int(chunk.packets.sum())
+            if packets < min_packets:
+                continue
+            distinct_sources = int(np.unique(chunk.src).size)
+            kind = _classify_event(chunk, distinct_sources, key)
+            events.append(
+                AttackEvent(
+                    kind=kind,
+                    victim_addr=int(value),
+                    traffic_class=class_name,
+                    start=int(chunk.time.min()),
+                    end=int(chunk.time.max()),
+                    sampled_packets=packets,
+                    distinct_sources=distinct_sources,
+                    member_asns=tuple(
+                        int(m) for m in np.unique(chunk.member)
+                    ),
+                )
+            )
+    return events
+
+
+@dataclass(slots=True)
+class EventMatchReport:
+    """Extracted events vs the ground-truth attack plan."""
+
+    extracted: int
+    truth_floods: int
+    truth_amplifications: int
+    matched_floods: int
+    matched_amplifications: int
+
+    def flood_recall(self) -> float:
+        if not self.truth_floods:
+            return 0.0
+        return self.matched_floods / self.truth_floods
+
+    def amplification_recall(self) -> float:
+        if not self.truth_amplifications:
+            return 0.0
+        return self.matched_amplifications / self.truth_amplifications
+
+    def render(self) -> str:
+        return (
+            f"Attack-event extraction: {self.extracted} events; matched "
+            f"{self.matched_floods}/{self.truth_floods} floods and "
+            f"{self.matched_amplifications}/{self.truth_amplifications} "
+            "amplification attacks from the ground-truth plan"
+        )
+
+
+def match_against_plan(
+    events: list[AttackEvent], plan, min_truth_packets: int = 30
+) -> EventMatchReport:
+    """Match extracted events to the scenario's ground-truth plan.
+
+    Only plan events big enough to survive sampling
+    (``min_truth_packets``) count towards recall.
+    """
+    flood_victims = {
+        e.victim_addr
+        for e in plan.floods
+        if e.sampled_packets >= min_truth_packets
+    }
+    amp_victims = {
+        e.victim_addr
+        for e in plan.amplifications
+        if e.sampled_packets >= min_truth_packets
+    }
+    extracted_flood_victims = {
+        e.victim_addr for e in events if e.kind in ("flood", "gaming_flood")
+    }
+    extracted_amp_victims = {
+        e.victim_addr for e in events if e.kind == "amplification"
+    }
+    return EventMatchReport(
+        extracted=len(events),
+        truth_floods=len(flood_victims),
+        truth_amplifications=len(amp_victims),
+        matched_floods=len(flood_victims & extracted_flood_victims),
+        matched_amplifications=len(amp_victims & extracted_amp_victims),
+    )

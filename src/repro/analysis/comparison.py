@@ -1,0 +1,154 @@
+"""Cross-approach comparison (Section 4.3's discussion, quantified).
+
+The paper compares its three approaches mostly through Table 1 totals.
+This module quantifies their *overlap*: which flows and members are
+flagged by which approaches, pairwise agreement, and the strict
+subset/superset relations the cone containment implies for the
+AS-agnostic part of the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+
+
+@dataclass(slots=True)
+class ApproachOverlap:
+    """Pairwise overlap of the Invalid class between two approaches."""
+
+    a: str
+    b: str
+    packets_a: int
+    packets_b: int
+    packets_both: int
+
+    def jaccard(self) -> float:
+        union = self.packets_a + self.packets_b - self.packets_both
+        return self.packets_both / union if union else 1.0
+
+    def containment_of_a_in_b(self) -> float:
+        """Share of a's Invalid packets also flagged by b."""
+        return self.packets_both / self.packets_a if self.packets_a else 1.0
+
+
+@dataclass(slots=True)
+class ApproachComparison:
+    """All pairwise overlaps plus per-approach totals."""
+
+    overlaps: dict[tuple[str, str], ApproachOverlap]
+    member_counts: dict[str, int]
+
+    def overlap(self, a: str, b: str) -> ApproachOverlap:
+        key = (a, b) if (a, b) in self.overlaps else (b, a)
+        found = self.overlaps[key]
+        if key == (a, b):
+            return found
+        return ApproachOverlap(
+            a=a,
+            b=b,
+            packets_a=found.packets_b,
+            packets_b=found.packets_a,
+            packets_both=found.packets_both,
+        )
+
+    def render(self) -> str:
+        lines = ["Invalid-class overlap between approaches (packets):"]
+        for (a, b), item in sorted(self.overlaps.items()):
+            lines.append(
+                f"  {a:12s} ∩ {b:12s}: jaccard={item.jaccard():.3f} "
+                f"({item.packets_both} of {item.packets_a}/{item.packets_b})"
+            )
+        lines.append(
+            "members flagged: "
+            + ", ".join(
+                f"{name}={count}" for name, count in self.member_counts.items()
+            )
+        )
+        return "\n".join(lines)
+
+
+def compare_approaches(
+    result: ClassificationResult,
+    approaches: list[str] | None = None,
+) -> ApproachComparison:
+    """Pairwise Invalid-class overlaps across approaches."""
+    approaches = approaches or result.approaches
+    packets = result.flows.packets
+    masks = {
+        name: result.class_mask(name, TrafficClass.INVALID)
+        for name in approaches
+    }
+    overlaps: dict[tuple[str, str], ApproachOverlap] = {}
+    for i, a in enumerate(approaches):
+        for b in approaches[i + 1 :]:
+            overlaps[(a, b)] = ApproachOverlap(
+                a=a,
+                b=b,
+                packets_a=int(packets[masks[a]].sum()),
+                packets_b=int(packets[masks[b]].sum()),
+                packets_both=int(packets[masks[a] & masks[b]].sum()),
+            )
+    member_counts = {
+        name: len(result.members_contributing(name, TrafficClass.INVALID))
+        for name in approaches
+    }
+    return ApproachComparison(overlaps=overlaps, member_counts=member_counts)
+
+
+@dataclass(slots=True)
+class WeeklyStability:
+    """Per-week class shares — how stable is Table 1 over sub-windows?"""
+
+    weeks: list[int]
+    #: class name → list of per-week packet shares.
+    shares: dict[str, list[float]]
+
+    def max_relative_spread(self, class_name: str) -> float:
+        values = [v for v in self.shares[class_name]]
+        positive = [v for v in values if v > 0]
+        if len(positive) < 2:
+            return 0.0
+        return max(positive) / min(positive)
+
+    def render(self) -> str:
+        lines = ["Per-week class shares (packets):"]
+        header = "  class     " + "".join(f"  week{w+1:>2d}" for w in self.weeks)
+        lines.append(header)
+        for name, values in self.shares.items():
+            lines.append(
+                f"  {name:10s}" + "".join(f" {v:7.3%}" for v in values)
+            )
+        return "\n".join(lines)
+
+
+def weekly_stability(
+    result: ClassificationResult,
+    approach: str,
+    window_seconds: int,
+    week_seconds: int = 7 * 24 * 3600,
+) -> WeeklyStability:
+    """Split the window into weeks and compute per-week class shares."""
+    flows = result.flows
+    n_weeks = max(1, window_seconds // week_seconds)
+    weeks = list(range(n_weeks))
+    shares: dict[str, list[float]] = {
+        "bogon": [], "unrouted": [], "invalid": [],
+    }
+    labels = result.label_vector(approach)
+    for week in weeks:
+        start, end = week * week_seconds, (week + 1) * week_seconds
+        in_week = (flows.time >= start) & (flows.time < end)
+        total = float(flows.packets[in_week].sum()) or 1.0
+        for name, traffic_class in (
+            ("bogon", TrafficClass.BOGON),
+            ("unrouted", TrafficClass.UNROUTED),
+            ("invalid", TrafficClass.INVALID),
+        ):
+            mask = in_week & (labels == int(traffic_class))
+            shares[name].append(float(flows.packets[mask].sum()) / total)
+    return WeeklyStability(weeks=weeks, shares=shares)

@@ -1,0 +1,167 @@
+"""Section 4.4: hunting false positives with WHOIS evidence.
+
+For the members contributing the largest Invalid shares, every
+(member, source-origin) pair behind their Invalid traffic is checked
+against the WHOIS database:
+
+* a shared organization handle (multi-AS orgs missed by AS2Org),
+* import/export policy lines naming the counterpart (partial transit,
+  silent backup providers),
+* inetnum registrations naming the member for provider-assigned space,
+* tunnel remarks (the looking-glass/cloud-startup case).
+
+Confirmed pairs yield extra directed AS links; adding them to the
+member's valid space and re-classifying quantifies the reduction —
+the paper reports −59.9% of Invalid bytes and −40% of packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.datasets.whois import WhoisDatabase
+
+
+@dataclass(slots=True)
+class RecoveredRelationship:
+    """One missing AS relationship found in WHOIS."""
+
+    member: int
+    origin: int
+    evidence: str  # "org" | "policy" | "inetnum" | "tunnel"
+    packets: int
+
+
+@dataclass(slots=True)
+class FalsePositiveHunt:
+    """Outcome of the Section 4.4 analysis."""
+
+    inspected_members: list[int]
+    recovered: list[RecoveredRelationship]
+    invalid_packets_before: int
+    invalid_packets_after: int
+    invalid_bytes_before: int
+    invalid_bytes_after: int
+    relabelled: ClassificationResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def packet_reduction(self) -> float:
+        if not self.invalid_packets_before:
+            return 0.0
+        return 1.0 - self.invalid_packets_after / self.invalid_packets_before
+
+    @property
+    def byte_reduction(self) -> float:
+        if not self.invalid_bytes_before:
+            return 0.0
+        return 1.0 - self.invalid_bytes_after / self.invalid_bytes_before
+
+    def evidence_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for rel in self.recovered:
+            counts[rel.evidence] = counts.get(rel.evidence, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        return (
+            "Sec.4.4 WHOIS false-positive hunt: "
+            f"inspected top {len(self.inspected_members)} members, "
+            f"recovered {len(self.recovered)} missing relationships "
+            f"({self.evidence_counts()}); Invalid reduced by "
+            f"{self.byte_reduction:.1%} of bytes / "
+            f"{self.packet_reduction:.1%} of packets"
+        )
+
+
+def hunt_false_positives(
+    result: ClassificationResult,
+    approach: str,
+    whois: WhoisDatabase,
+    top_members: int = 40,
+) -> FalsePositiveHunt:
+    """Run the WHOIS hunt against one approach's Invalid class."""
+    flows = result.flows
+    labels = result.label_vector(approach).copy()
+    invalid_mask = labels == int(TrafficClass.INVALID)
+    invalid_rows = np.flatnonzero(invalid_mask)
+    packets_before = int(flows.packets[invalid_mask].sum())
+    bytes_before = int(flows.bytes[invalid_mask].sum())
+
+    # Rank members by their Invalid share of their own traffic.
+    shares = result.member_class_shares(approach, TrafficClass.INVALID)
+    inspected = [
+        asn
+        for asn, _share in sorted(
+            shares.items(), key=lambda kv: kv[1], reverse=True
+        )[:top_members]
+        if shares[asn] > 0
+    ]
+    inspected_set = set(inspected)
+
+    origin_indices = result.origin_indices
+    indexer = result.rib.indexer
+    accepted_pairs: dict[tuple[int, int], RecoveredRelationship] = {}
+    accept_rows: list[int] = []
+    for row in invalid_rows:
+        member = int(flows.member[row])
+        if member not in inspected_set:
+            continue
+        origin_index = int(origin_indices[row])
+        if origin_index < 0:
+            continue
+        origin = indexer.asn(origin_index)
+        pair = (member, origin)
+        hit = accepted_pairs.get(pair)
+        if hit is None and pair not in accepted_pairs:
+            evidence = _whois_evidence(whois, member, origin, int(flows.src[row]))
+            if evidence is None:
+                accepted_pairs[pair] = None  # type: ignore[assignment]
+            else:
+                hit = RecoveredRelationship(member, origin, evidence, 0)
+                accepted_pairs[pair] = hit
+        if accepted_pairs[pair] is not None:
+            accepted_pairs[pair].packets += int(flows.packets[row])
+            accept_rows.append(row)
+
+    accept_rows_arr = np.array(accept_rows, dtype=np.int64)
+    if accept_rows_arr.size:
+        labels[accept_rows_arr] = int(TrafficClass.VALID)
+    relabelled = result.relabel(approach, labels)
+    after_mask = labels == int(TrafficClass.INVALID)
+    recovered = [rel for rel in accepted_pairs.values() if rel is not None]
+    return FalsePositiveHunt(
+        inspected_members=inspected,
+        recovered=recovered,
+        invalid_packets_before=packets_before,
+        invalid_packets_after=int(flows.packets[after_mask].sum()),
+        invalid_bytes_before=bytes_before,
+        invalid_bytes_after=int(flows.bytes[after_mask].sum()),
+        relabelled=relabelled,
+    )
+
+
+def _whois_evidence(
+    whois: WhoisDatabase, member: int, origin: int, src_addr: int
+) -> str | None:
+    """The paper's evidence checks, cheapest first."""
+    if whois.same_org(member, origin):
+        return "org"
+    if whois.policy_link(member, origin):
+        return "policy"
+    if whois.registered_user(src_addr) == member:
+        return "inetnum"
+    if whois.tunnel_remark(member, origin):
+        return "tunnel"
+    # Two-hop policy chains: a neighbor documented by the *origin*
+    # (its upstream) also documents a session with the member — the
+    # paper's "import/export ACLs for direct peerings" inspection.
+    origin_record = whois.aut_nums.get(origin)
+    if origin_record is not None:
+        for upstream in origin_record.exports:
+            if whois.policy_link(member, upstream):
+                return "policy-chain"
+    return None

@@ -1,0 +1,357 @@
+"""Figure 11 and Section 7: attack patterns.
+
+* 11a — per destination (≥ 50 sampled packets), the ratio of distinct
+  source IPs to packets received, split by class. Random spoofing
+  pushes destinations to ratio ≈ 1 (every packet a fresh source);
+  amplification pushes victims' amplifiers to ratios ≈ 0.
+* 11b — for the top-10 NTP victims, amplifiers ranked by trigger
+  packets: concentrated attacks use a handful of amplifiers, spray
+  attacks distribute uniformly over thousands.
+* 11c — per-hour trigger vs response packets/bytes for amplifier–
+  victim pairs where both directions cross the fabric: packet counts
+  track each other while response bytes run an order of magnitude
+  higher.
+* Section 7 statistics: member concentration of Invalid NTP traffic
+  and the overlap between contacted amplifiers and the ZMap census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.datasets.zmap import NTPServerCensus
+from repro.ixp.flows import PROTO_UDP, FlowTable
+from repro.traffic.apps import PORT_NTP
+from repro.util.timeconst import HOUR
+
+_CLASSES = (
+    ("bogon", TrafficClass.BOGON),
+    ("unrouted", TrafficClass.UNROUTED),
+    ("invalid", TrafficClass.INVALID),
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11a — selective vs random spoofing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class SpoofingRatioHistogram:
+    """Distribution of #srcIPs/#packets per destination, by class."""
+
+    ratios: dict[str, np.ndarray]
+    min_packets: int
+
+    def histogram(self, class_name: str, bins: int = 10) -> np.ndarray:
+        values = self.ratios[class_name]
+        if values.size == 0:
+            return np.zeros(bins)
+        counts, _edges = np.histogram(values, bins=bins, range=(0.0, 1.0))
+        return counts / values.size
+
+    def rightmost_share(self, class_name: str, cut: float = 0.9) -> float:
+        """Fraction of destinations with ratio above ``cut``
+        (unique-source-per-packet — random spoofing)."""
+        values = self.ratios[class_name]
+        return float((values > cut).mean()) if values.size else 0.0
+
+    def leftmost_share(self, class_name: str, cut: float = 0.1) -> float:
+        """Fraction of destinations fed by very few sources
+        (amplification signature)."""
+        values = self.ratios[class_name]
+        return float((values < cut).mean()) if values.size else 0.0
+
+    def num_destinations(self, class_name: str) -> int:
+        return int(self.ratios[class_name].size)
+
+    def render(self) -> str:
+        lines = [f"Fig.11a src/packet ratios (dsts with >{self.min_packets} pkts):"]
+        for name in self.ratios:
+            lines.append(
+                f"  {name:10s} dsts={self.num_destinations(name):6d} "
+                f"ratio>0.9: {self.rightmost_share(name):6.1%}  "
+                f"ratio<0.1: {self.leftmost_share(name):6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def compute_spoofing_ratios(
+    result: ClassificationResult,
+    approach: str,
+    min_packets: int = 50,
+) -> SpoofingRatioHistogram:
+    """Per-destination source-diversity ratios (Figure 11a)."""
+    ratios: dict[str, np.ndarray] = {}
+    for name, traffic_class in _CLASSES:
+        table = result.select_class(approach, traffic_class)
+        if len(table) == 0:
+            ratios[name] = np.zeros(0)
+            continue
+        destinations, inverse = np.unique(table.dst, return_inverse=True)
+        packet_totals = np.zeros(destinations.size, dtype=np.int64)
+        np.add.at(packet_totals, inverse, table.packets)
+        hot = packet_totals > min_packets
+        values = []
+        for dst_index in np.flatnonzero(hot):
+            rows = inverse == dst_index
+            distinct_sources = np.unique(table.src[rows]).size
+            values.append(distinct_sources / packet_totals[dst_index])
+        ratios[name] = np.array(values)
+    return SpoofingRatioHistogram(ratios=ratios, min_packets=min_packets)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11b — amplifier usage per victim
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class VictimAmplifierProfile:
+    victim: int
+    #: per-amplifier trigger packets, sorted descending
+    packets_per_amplifier: np.ndarray
+
+    @property
+    def num_amplifiers(self) -> int:
+        return int(self.packets_per_amplifier.size)
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.packets_per_amplifier.sum())
+
+    def concentration(self) -> float:
+        """Share of trigger packets to the top-10 amplifiers."""
+        if self.total_packets == 0:
+            return 0.0
+        return float(self.packets_per_amplifier[:10].sum() / self.total_packets)
+
+
+@dataclass(slots=True)
+class AmplifierRanking:
+    """Figure 11b: top victims and their amplifier usage profiles."""
+
+    profiles: list[VictimAmplifierProfile]
+
+    def strategies(self, concentrated_cut: float = 0.5) -> dict[str, int]:
+        """Count victims per attack strategy."""
+        out = {"concentrated": 0, "distributed": 0}
+        for profile in self.profiles:
+            if profile.concentration() >= concentrated_cut:
+                out["concentrated"] += 1
+            else:
+                out["distributed"] += 1
+        return out
+
+    def render(self) -> str:
+        lines = ["Fig.11b top NTP victims (trigger traffic):"]
+        for rank, profile in enumerate(self.profiles, 1):
+            lines.append(
+                f"  top{rank:02d} amplifiers={profile.num_amplifiers:6d} "
+                f"packets={profile.total_packets:8d} "
+                f"top10-share={profile.concentration():6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def ntp_trigger_flows(
+    result: ClassificationResult, approach: str
+) -> FlowTable:
+    """Invalid UDP flows towards NTP (the trigger population)."""
+    invalid = result.select_class(approach, TrafficClass.INVALID)
+    mask = (invalid.proto == PROTO_UDP) & (invalid.dst_port == PORT_NTP)
+    return invalid.select(mask)
+
+
+def compute_amplifier_ranking(
+    result: ClassificationResult,
+    approach: str,
+    top_victims: int = 10,
+) -> AmplifierRanking:
+    """Figure 11b from the Invalid NTP trigger traffic.
+
+    Victims are the *source* addresses of trigger flows (the spoofed
+    identity); amplifiers are the destinations.
+    """
+    triggers = ntp_trigger_flows(result, approach)
+    if len(triggers) == 0:
+        return AmplifierRanking(profiles=[])
+    victims, inverse = np.unique(triggers.src, return_inverse=True)
+    victim_packets = np.zeros(victims.size, dtype=np.int64)
+    np.add.at(victim_packets, inverse, triggers.packets)
+    top = np.argsort(victim_packets)[::-1][:top_victims]
+    profiles = []
+    for victim_index in top:
+        rows = inverse == victim_index
+        amplifiers, amp_inverse = np.unique(
+            triggers.dst[rows], return_inverse=True
+        )
+        per_amplifier = np.zeros(amplifiers.size, dtype=np.int64)
+        np.add.at(per_amplifier, amp_inverse, triggers.packets[rows])
+        profiles.append(
+            VictimAmplifierProfile(
+                victim=int(victims[victim_index]),
+                packets_per_amplifier=np.sort(per_amplifier)[::-1],
+            )
+        )
+    return AmplifierRanking(profiles=profiles)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11c — amplification effect
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class AmplificationTimeseries:
+    """Hourly trigger and response volumes for matched pairs."""
+
+    hours: np.ndarray
+    packets_to_amplifiers: np.ndarray
+    packets_from_amplifiers: np.ndarray
+    bytes_to_amplifiers: np.ndarray
+    bytes_from_amplifiers: np.ndarray
+
+    def byte_amplification(self) -> float:
+        """Overall response/trigger byte ratio (paper: ~an order of
+        magnitude)."""
+        trigger = self.bytes_to_amplifiers.sum()
+        return float(self.bytes_from_amplifiers.sum() / trigger) if trigger else 0.0
+
+    def packet_ratio(self) -> float:
+        trigger = self.packets_to_amplifiers.sum()
+        return float(self.packets_from_amplifiers.sum() / trigger) if trigger else 0.0
+
+    def packet_correlation(self) -> float:
+        """Correlation between hourly trigger and response packets."""
+        a = self.packets_to_amplifiers.astype(np.float64)
+        b = self.packets_from_amplifiers.astype(np.float64)
+        active = (a > 0) | (b > 0)
+        if active.sum() < 3 or a[active].std() == 0 or b[active].std() == 0:
+            return 0.0
+        return float(np.corrcoef(a[active], b[active])[0, 1])
+
+    def render(self) -> str:
+        return (
+            "Fig.11c amplification (matched pairs): "
+            f"byte amplification ×{self.byte_amplification():.1f}, "
+            f"packet ratio ×{self.packet_ratio():.2f}, "
+            f"hourly packet correlation {self.packet_correlation():.2f}"
+        )
+
+
+def compute_amplification_timeseries(
+    result: ClassificationResult,
+    approach: str,
+    window_seconds: int,
+    start: int = 0,
+    end: int | None = None,
+) -> AmplificationTimeseries:
+    """Match trigger flows with visible responses (Figure 11c).
+
+    A pair matches when the response (regular UDP from port 123)
+    inverts a trigger's (victim, amplifier) addresses.
+    """
+    end = window_seconds if end is None else end
+    n_hours = max(1, (end - start) // HOUR)
+    triggers = ntp_trigger_flows(result, approach)
+    regular = result.select_class(approach, TrafficClass.VALID)
+    resp_mask = (regular.proto == PROTO_UDP) & (regular.src_port == PORT_NTP)
+    responses = regular.select(resp_mask)
+
+    trigger_pairs = set(
+        zip(triggers.src.tolist(), triggers.dst.tolist())
+    )  # (victim, amplifier)
+    response_pairs = set(
+        zip(responses.dst.tolist(), responses.src.tolist())
+    )
+    matched = trigger_pairs & response_pairs
+
+    def _series(table: FlowTable, pair_of_row) -> tuple[np.ndarray, np.ndarray]:
+        packets = np.zeros(n_hours, dtype=np.int64)
+        nbytes = np.zeros(n_hours, dtype=np.int64)
+        for i in range(len(table)):
+            if pair_of_row(table, i) not in matched:
+                continue
+            t = int(table.time[i])
+            if not start <= t < end:
+                continue
+            slot = (t - start) // HOUR
+            packets[slot] += int(table.packets[i])
+            nbytes[slot] += int(table.bytes[i])
+        return packets, nbytes
+
+    trig_pkts, trig_bytes = _series(
+        triggers, lambda t, i: (int(t.src[i]), int(t.dst[i]))
+    )
+    resp_pkts, resp_bytes = _series(
+        responses, lambda t, i: (int(t.dst[i]), int(t.src[i]))
+    )
+    return AmplificationTimeseries(
+        hours=np.arange(n_hours),
+        packets_to_amplifiers=trig_pkts,
+        packets_from_amplifiers=resp_pkts,
+        bytes_to_amplifiers=trig_bytes,
+        bytes_from_amplifiers=resp_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 7 statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class NTPAttackStats:
+    """Member concentration and census overlap (Section 7 text)."""
+
+    top_member_share: float  # paper: 91.94%
+    top5_member_share: float  # paper: 97.86%
+    num_trigger_members: int  # paper: 44
+    num_victims: int  # paper: 7,925
+    num_amplifiers: int  # paper: 24,328
+    census_overlap: dict[str, int]  # snapshot label → overlapping addrs
+
+    def render(self) -> str:
+        overlaps = ", ".join(
+            f"{label}: {count}" for label, count in self.census_overlap.items()
+        )
+        return (
+            "Sec.7 NTP stats: "
+            f"top member {self.top_member_share:.1%} of Invalid NTP, "
+            f"top-5 {self.top5_member_share:.1%}; "
+            f"{self.num_trigger_members} members, "
+            f"{self.num_victims} victims, {self.num_amplifiers} amplifiers; "
+            f"census overlap {{{overlaps}}}"
+        )
+
+
+def compute_ntp_stats(
+    result: ClassificationResult,
+    approach: str,
+    census: NTPServerCensus,
+) -> NTPAttackStats:
+    triggers = ntp_trigger_flows(result, approach)
+    if len(triggers) == 0:
+        return NTPAttackStats(0.0, 0.0, 0, 0, 0, {})
+    members, inverse = np.unique(triggers.member, return_inverse=True)
+    per_member = np.zeros(members.size, dtype=np.int64)
+    np.add.at(per_member, inverse, triggers.packets)
+    total = per_member.sum()
+    ordered = np.sort(per_member)[::-1]
+    amplifiers = np.unique(triggers.dst)
+    overlap = {
+        label: census.overlap(amplifiers, label) for label in census.labels
+    }
+    return NTPAttackStats(
+        top_member_share=float(ordered[0] / total) if total else 0.0,
+        top5_member_share=float(ordered[:5].sum() / total) if total else 0.0,
+        num_trigger_members=int(members.size),
+        num_victims=int(np.unique(triggers.src).size),
+        num_amplifiers=int(amplifiers.size),
+        census_overlap=overlap,
+    )

@@ -1,0 +1,101 @@
+"""Figure 2: routed ASes sorted by the size of their valid address space.
+
+Five curves: Naive, Customer Cone, Customer Cone with multi-AS orgs,
+Full Cone, Full Cone with multi-AS orgs. Each curve sorts the per-AS
+valid space (in /24 equivalents) in increasing order — per the paper,
+curves are distributions, not comparable per AS index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cones.base import ValidSpaceMap
+
+#: Curve order used by the paper's legend.
+CURVE_ORDER = ("naive", "cc", "cc+orgs", "full", "full+orgs")
+
+
+@dataclass(slots=True)
+class ConeSizeCurves:
+    """Sorted valid-space sizes per approach (x: AS rank, y: /24s)."""
+
+    asns: list[int]
+    curves: dict[str, np.ndarray]  # sorted ascending per approach
+    per_asn: dict[str, dict[int, float]]  # approach → asn → /24s
+
+    def containment_violations(
+        self, inner: str, outer: str, tolerance: float = 1e-6
+    ) -> list[int]:
+        """ASNs where ``inner``'s valid space size exceeds ``outer``'s.
+
+        Note this checks sizes per AS (a necessary condition of the
+        paper's set containment, cheap to verify for every AS).
+        """
+        inner_sizes = self.per_asn[inner]
+        outer_sizes = self.per_asn[outer]
+        return [
+            asn
+            for asn in self.asns
+            if inner_sizes[asn] > outer_sizes[asn] + tolerance
+        ]
+
+    def full_space_asns(self, approach: str, routed_slash24s: float) -> int:
+        """How many ASes are valid sources for ~the entire routed space.
+
+        The paper observes upwards of 5K such ASes under the Full Cone.
+        """
+        sizes = self.per_asn[approach]
+        return sum(1 for value in sizes.values() if value >= 0.99 * routed_slash24s)
+
+    def agreement_on_stubs(self, tolerance: float = 1e-6) -> int:
+        """Number of ASes on which all approaches agree (the smallest
+        stub ASes in the paper, ~12K there)."""
+        count = 0
+        for asn in self.asns:
+            values = [self.per_asn[name][asn] for name in self.curves]
+            if max(values) - min(values) <= tolerance:
+                count += 1
+        return count
+
+    def render(self, points: int = 8) -> str:
+        """Compact text rendering: per-curve percentile values."""
+        lines = ["Fig.2 valid space per AS (/24 equivalents), percentiles:"]
+        quantiles = np.linspace(0, 100, points)
+        header = "approach".ljust(12) + "".join(
+            f"{q:>10.0f}%" for q in quantiles
+        )
+        lines.append(header)
+        for name in CURVE_ORDER:
+            if name not in self.curves:
+                continue
+            values = np.percentile(self.curves[name], quantiles)
+            lines.append(
+                name.ljust(12) + "".join(f"{v:>11.1f}" for v in values)
+            )
+        return "\n".join(lines)
+
+
+def compute_cone_size_curves(
+    approaches: dict[str, ValidSpaceMap],
+    asns: list[int] | None = None,
+) -> ConeSizeCurves:
+    """Compute the Figure 2 curves for the given approaches.
+
+    ``asns`` defaults to every AS observed in BGP (the paper's "routed
+    ASes").
+    """
+    if not approaches:
+        raise ValueError("no approaches given")
+    first = next(iter(approaches.values()))
+    if asns is None:
+        asns = first.rib.indexer.asns()
+    per_asn: dict[str, dict[int, float]] = {}
+    curves: dict[str, np.ndarray] = {}
+    for name, approach in approaches.items():
+        sizes = {asn: approach.valid_slash24s(asn) for asn in asns}
+        per_asn[name] = sizes
+        curves[name] = np.sort(np.array(list(sizes.values())))
+    return ConeSizeCurves(asns=list(asns), curves=curves, per_asn=per_asn)

@@ -1,0 +1,101 @@
+"""Figure 5: filtering-consistency Venn over Bogon/Unrouted/Invalid.
+
+Every member falls into exactly one of eight cells depending on which
+classes it contributes traffic to. "Clean" members (no cell) are the
+ones we presume filter correctly; the paper reports ~18% clean and
+~28% contributing to all three classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+
+_CELLS = (
+    frozenset(),
+    frozenset({"bogon"}),
+    frozenset({"unrouted"}),
+    frozenset({"invalid"}),
+    frozenset({"bogon", "unrouted"}),
+    frozenset({"bogon", "invalid"}),
+    frozenset({"unrouted", "invalid"}),
+    frozenset({"bogon", "unrouted", "invalid"}),
+)
+
+
+def _cell_name(cell: frozenset[str]) -> str:
+    if not cell:
+        return "clean"
+    return "+".join(sorted(cell))
+
+
+@dataclass(slots=True)
+class FilteringVenn:
+    """Member counts per Venn cell."""
+
+    cells: dict[frozenset, int]
+    total_members: int
+
+    def share(self, *classes: str) -> float:
+        """Fraction of members in the exact cell {classes}."""
+        cell = frozenset(classes)
+        return self.cells.get(cell, 0) / self.total_members if self.total_members else 0.0
+
+    def clean_share(self) -> float:
+        return self.share()
+
+    def class_total_share(self, class_name: str) -> float:
+        """Fraction of members contributing to a class at all."""
+        count = sum(
+            n for cell, n in self.cells.items() if class_name in cell
+        )
+        return count / self.total_members if self.total_members else 0.0
+
+    def unrouted_also_other(self) -> float:
+        """Of unrouted contributors, the share also in bogon/invalid.
+
+        The paper reports 96%.
+        """
+        unrouted_members = sum(
+            n for cell, n in self.cells.items() if "unrouted" in cell
+        )
+        if unrouted_members == 0:
+            return 0.0
+        overlapping = sum(
+            n
+            for cell, n in self.cells.items()
+            if "unrouted" in cell and len(cell) > 1
+        )
+        return overlapping / unrouted_members
+
+    def render(self) -> str:
+        lines = ["Fig.5 filtering Venn (share of members):"]
+        for cell in _CELLS:
+            count = self.cells.get(cell, 0)
+            share = count / self.total_members if self.total_members else 0.0
+            lines.append(f"  {_cell_name(cell):28s} {count:5d} ({share:6.2%})")
+        return "\n".join(lines)
+
+
+def compute_filtering_venn(
+    result: ClassificationResult, approach: str
+) -> FilteringVenn:
+    """Assign each member to its Venn cell under one approach."""
+    flows = result.flows
+    all_members = {int(asn) for asn in np.unique(flows.member)}
+    contributing = {
+        "bogon": result.members_contributing(approach, TrafficClass.BOGON),
+        "unrouted": result.members_contributing(approach, TrafficClass.UNROUTED),
+        "invalid": result.members_contributing(approach, TrafficClass.INVALID),
+    }
+    cells: dict[frozenset, int] = {cell: 0 for cell in _CELLS}
+    for member in all_members:
+        cell = frozenset(
+            name for name, members in contributing.items() if member in members
+        )
+        cells[cell] = cells.get(cell, 0) + 1
+    return FilteringVenn(cells=cells, total_members=len(all_members))

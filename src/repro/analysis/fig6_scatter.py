@@ -1,0 +1,100 @@
+"""Figure 6: member business types vs traffic volume and class share.
+
+Two scatter plots in the paper: per member, total traffic (x) against
+the share of Bogon (6a) respectively Invalid (6b) traffic, with the
+business type as the plotting symbol. The headline observations:
+
+* members with large overall traffic have comparably small
+  illegitimate shares,
+* large content providers contribute (almost) nothing,
+* hosting companies, end-user ISPs and some transit providers dominate
+  the >1% region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.datasets.peeringdb import PeeringDBDataset
+from repro.topology.model import BusinessType
+
+
+@dataclass(slots=True)
+class ScatterPoint:
+    asn: int
+    business_type: BusinessType
+    total_packets: int
+    share: float
+
+
+@dataclass(slots=True)
+class BusinessTypeScatter:
+    """One of the Figure 6 panels."""
+
+    traffic_class: TrafficClass
+    points: list[ScatterPoint]
+
+    def by_type(self, business_type: BusinessType) -> list[ScatterPoint]:
+        return [p for p in self.points if p.business_type is business_type]
+
+    def significant_share_types(
+        self, threshold: float = 0.01
+    ) -> dict[BusinessType, int]:
+        """Member count per type with class share above ``threshold``."""
+        counts: dict[BusinessType, int] = {}
+        for point in self.points:
+            if point.share > threshold:
+                counts[point.business_type] = counts.get(point.business_type, 0) + 1
+        return counts
+
+    def median_share(self, business_type: BusinessType) -> float:
+        shares = [p.share for p in self.by_type(business_type)]
+        return float(np.median(shares)) if shares else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"Fig.6 business types vs {self.traffic_class.name} share:",
+            f"  {'type':8s} {'members':>8s} {'median share':>14s} "
+            f"{'>1% share':>10s} {'zero share':>11s}",
+        ]
+        for business_type in BusinessType:
+            points = self.by_type(business_type)
+            if not points:
+                continue
+            shares = np.array([p.share for p in points])
+            lines.append(
+                f"  {business_type.value:8s} {len(points):8d} "
+                f"{np.median(shares):14.5%} {(shares > 0.01).sum():10d} "
+                f"{(shares == 0).sum():11d}"
+            )
+        return "\n".join(lines)
+
+
+def compute_business_scatter(
+    result: ClassificationResult,
+    approach: str,
+    peeringdb: PeeringDBDataset,
+    traffic_class: TrafficClass,
+) -> BusinessTypeScatter:
+    """Build one Figure 6 panel."""
+    flows = result.flows
+    members, inverse = np.unique(flows.member, return_inverse=True)
+    totals = np.zeros(members.size)
+    np.add.at(totals, inverse, flows.packets.astype(np.float64))
+    shares = result.member_class_shares(approach, traffic_class, "packets")
+    points = []
+    for index, asn in enumerate(int(a) for a in members):
+        business_type = peeringdb.business_type(asn) or BusinessType.OTHER
+        points.append(
+            ScatterPoint(
+                asn=asn,
+                business_type=business_type,
+                total_packets=int(totals[index]),
+                share=shares.get(asn, 0.0),
+            )
+        )
+    return BusinessTypeScatter(traffic_class=traffic_class, points=points)

@@ -1,0 +1,94 @@
+"""Figure 9: port-based application mix per class.
+
+Four panels: TCP DST, UDP DST, TCP SRC, UDP SRC — each showing, per
+class (regular/bogon/unrouted/invalid), the packet share of the six
+surfaced ports (80, 443, 123, 27015, 10100, 28960) plus "other".
+Headline shapes: spoofed TCP DST is dominated by 80/443; Invalid UDP
+DST is >90% NTP; regular UDP ports are mostly ephemeral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.ixp.flows import PROTO_TCP, PROTO_UDP
+
+#: Ports surfaced in the figure, in its legend order.
+SURFACED_PORTS = (80, 443, 123, 27015, 10100, 28960)
+
+_PANELS = (
+    ("tcp_dst", PROTO_TCP, "dst_port"),
+    ("udp_dst", PROTO_UDP, "dst_port"),
+    ("tcp_src", PROTO_TCP, "src_port"),
+    ("udp_src", PROTO_UDP, "src_port"),
+)
+
+_CLASSES = (
+    ("regular", TrafficClass.VALID),
+    ("bogon", TrafficClass.BOGON),
+    ("unrouted", TrafficClass.UNROUTED),
+    ("invalid", TrafficClass.INVALID),
+)
+
+
+@dataclass(slots=True)
+class PortMix:
+    """Packet shares per (panel, class, port-or-other)."""
+
+    #: panel → class → {port or "other" → share}
+    shares: dict[str, dict[str, dict[object, float]]]
+
+    def share(self, panel: str, class_name: str, port: int | str) -> float:
+        return self.shares[panel][class_name].get(port, 0.0)
+
+    def dominant_port(self, panel: str, class_name: str) -> tuple[object, float]:
+        mix = self.shares[panel][class_name]
+        if not mix:
+            return ("other", 0.0)
+        port = max(mix, key=mix.get)  # type: ignore[arg-type]
+        return port, mix[port]
+
+    def render(self) -> str:
+        lines = ["Fig.9 port mix (packet shares):"]
+        for panel in self.shares:
+            lines.append(f"  [{panel}]")
+            for class_name, mix in self.shares[panel].items():
+                parts = ", ".join(
+                    f"{port}={share:.1%}"
+                    for port, share in sorted(
+                        mix.items(), key=lambda kv: -kv[1]
+                    )[:4]
+                    if share > 0
+                )
+                lines.append(f"    {class_name:10s} {parts}")
+        return "\n".join(lines)
+
+
+def compute_port_mix(
+    result: ClassificationResult, approach: str
+) -> PortMix:
+    """Build the four Figure 9 panels."""
+    shares: dict[str, dict[str, dict[object, float]]] = {}
+    for panel, proto, field in _PANELS:
+        shares[panel] = {}
+        for class_name, traffic_class in _CLASSES:
+            table = result.select_class(approach, traffic_class)
+            mask = table.proto == proto
+            ports = getattr(table, field)[mask]
+            packets = table.packets[mask].astype(np.float64)
+            total = packets.sum()
+            mix: dict[object, float] = {}
+            if total > 0:
+                rest = 1.0
+                for port in SURFACED_PORTS:
+                    share = float(packets[ports == port].sum() / total)
+                    if share > 0:
+                        mix[port] = share
+                    rest -= share
+                mix["other"] = max(rest, 0.0)
+            shares[panel][class_name] = mix
+    return PortMix(shares=shares)

@@ -1,0 +1,132 @@
+"""Per-member hygiene report — the operator-facing output.
+
+The paper argues its results "can assist network operators when
+deciding with which networks to peer and under which conditions". This
+module renders that decision aid: one card per member with its class
+contributions, inferred filtering posture, rank among members, and the
+suspected cause mix (attack-like vs stray-like vs possibly-missing-
+relationship traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.core.straydetect import STRAY_NONE, classify_strays
+from repro.datasets.ark import ArkDataset
+
+
+@dataclass(slots=True)
+class MemberHygiene:
+    """One member's filtering hygiene summary."""
+
+    asn: int
+    total_packets: int
+    bogon_share: float
+    unrouted_share: float
+    invalid_share: float
+    #: Of this member's flagged packets, the share that looks stray.
+    stray_like_share: float
+    #: 0 = cleanest member .. 1 = worst (rank by flagged share).
+    percentile: float
+
+    @property
+    def posture(self) -> str:
+        """Coarse filtering posture, mirroring the Figure 5 reading."""
+        emits = {
+            "bogon": self.bogon_share > 0,
+            "unrouted": self.unrouted_share > 0,
+            "invalid": self.invalid_share > 0,
+        }
+        if not any(emits.values()):
+            return "clean"
+        if all(emits.values()):
+            return "unfiltered"
+        if emits["bogon"] and not emits["unrouted"] and not emits["invalid"]:
+            return "anti-spoofing only (bogons leak)"
+        if emits["invalid"] and not emits["bogon"] and not emits["unrouted"]:
+            return "static filters only"
+        return "partial filtering"
+
+    def render(self) -> str:
+        flagged = self.bogon_share + self.unrouted_share + self.invalid_share
+        return (
+            f"AS{self.asn}: posture={self.posture!r} "
+            f"flagged={flagged:.3%} of {self.total_packets} pkts "
+            f"(B {self.bogon_share:.3%} / U {self.unrouted_share:.3%} / "
+            f"I {self.invalid_share:.3%}), stray-like "
+            f"{self.stray_like_share:.0%} of flags, "
+            f"worse than {self.percentile:.0%} of members"
+        )
+
+
+def member_hygiene_report(
+    result: ClassificationResult,
+    approach: str,
+    ark: ArkDataset,
+    member_asns: list[int] | None = None,
+) -> list[MemberHygiene]:
+    """Hygiene cards for ``member_asns`` (default: every member),
+    sorted worst-first."""
+    flows = result.flows
+    if member_asns is None:
+        member_asns = [int(m) for m in np.unique(flows.member)]
+    shares = {
+        traffic_class: result.member_class_shares(approach, traffic_class)
+        for traffic_class in (
+            TrafficClass.BOGON,
+            TrafficClass.UNROUTED,
+            TrafficClass.INVALID,
+        )
+    }
+    flagged_mask = result.label_vector(approach) != int(TrafficClass.VALID)
+    flagged = flows.select(flagged_mask)
+    stray_verdicts = classify_strays(flagged, ark)
+
+    totals: dict[int, int] = {}
+    members, inverse = np.unique(flows.member, return_inverse=True)
+    sums = np.zeros(members.size, dtype=np.int64)
+    np.add.at(sums, inverse, flows.packets)
+    for asn, total in zip(members.tolist(), sums.tolist()):
+        totals[int(asn)] = int(total)
+
+    flagged_share = {
+        asn: (
+            shares[TrafficClass.BOGON].get(asn, 0.0)
+            + shares[TrafficClass.UNROUTED].get(asn, 0.0)
+            + shares[TrafficClass.INVALID].get(asn, 0.0)
+        )
+        for asn in member_asns
+    }
+    order = sorted(member_asns, key=lambda asn: flagged_share[asn])
+    rank_of = {asn: i / max(len(order) - 1, 1) for i, asn in enumerate(order)}
+
+    cards = []
+    for asn in member_asns:
+        member_flagged = flagged.member == asn
+        flagged_packets = flagged.packets[member_flagged]
+        stray_packets = flagged.packets[
+            member_flagged & (stray_verdicts != STRAY_NONE)
+        ]
+        total_flagged = int(flagged_packets.sum())
+        cards.append(
+            MemberHygiene(
+                asn=asn,
+                total_packets=totals.get(asn, 0),
+                bogon_share=shares[TrafficClass.BOGON].get(asn, 0.0),
+                unrouted_share=shares[TrafficClass.UNROUTED].get(asn, 0.0),
+                invalid_share=shares[TrafficClass.INVALID].get(asn, 0.0),
+                stray_like_share=(
+                    int(stray_packets.sum()) / total_flagged
+                    if total_flagged
+                    else 0.0
+                ),
+                percentile=rank_of[asn],
+            )
+        )
+    cards.sort(key=lambda card: card.percentile, reverse=True)
+    return cards

@@ -1,0 +1,182 @@
+"""Run every analysis over a built world and render a text report.
+
+This is the reproduction's equivalent of the paper's evaluation
+sections: one call produces the Table 1 numbers, all figure summaries
+and the auxiliary statistics, formatted for terminal reading. The
+benchmarks reuse the individual pieces; the examples reuse this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.falsepositives import FalsePositiveHunt, hunt_false_positives
+from repro.analysis.fig1_categories import (
+    AddressCategories,
+    compute_address_categories,
+)
+from repro.analysis.fig2_cone_sizes import ConeSizeCurves, compute_cone_size_curves
+from repro.analysis.fig4_ccdf import MemberShareCCDF, compute_member_share_ccdf
+from repro.analysis.fig5_venn import FilteringVenn, compute_filtering_venn
+from repro.analysis.fig6_scatter import (
+    BusinessTypeScatter,
+    compute_business_scatter,
+)
+from repro.analysis.fig7_routerips import (
+    RouterStrayAnalysis,
+    compute_router_stray_analysis,
+)
+from repro.analysis.fig8_traffic import (
+    PacketSizeCDF,
+    TrafficTimeseries,
+    compute_packet_size_cdf,
+    compute_timeseries,
+)
+from repro.analysis.fig9_portmix import PortMix, compute_port_mix
+from repro.analysis.fig10_addrspace import (
+    AddressSpaceHistogram,
+    compute_address_histograms,
+)
+from repro.analysis.fig11_attacks import (
+    AmplificationTimeseries,
+    AmplifierRanking,
+    NTPAttackStats,
+    SpoofingRatioHistogram,
+    compute_amplification_timeseries,
+    compute_amplifier_ranking,
+    compute_ntp_stats,
+    compute_spoofing_ratios,
+)
+from repro.analysis.spoofer_crosscheck import SpooferCrossCheck, cross_check_spoofer
+from repro.analysis.table1 import Table1, compute_table1
+from repro.core.classes import TrafficClass
+from repro.datasets.ark import ArkDataset, run_ark_campaign
+from repro.datasets.peeringdb import PeeringDBDataset, build_peeringdb
+from repro.datasets.spoofer import SpooferDataset, run_spoofer_campaign
+from repro.datasets.whois import WhoisDatabase, build_whois
+from repro.experiments.runner import World
+from repro.util.timeconst import WEEK
+
+
+@dataclass(slots=True)
+class StudyReport:
+    """All computed artefacts for one world."""
+
+    table1: Table1
+    categories: AddressCategories
+    cone_sizes: ConeSizeCurves
+    member_ccdf: MemberShareCCDF
+    venn: FilteringVenn
+    scatter_bogon: BusinessTypeScatter
+    scatter_invalid: BusinessTypeScatter
+    router_strays: RouterStrayAnalysis
+    packet_sizes: PacketSizeCDF
+    timeseries: TrafficTimeseries
+    port_mix: PortMix
+    address_histograms: AddressSpaceHistogram
+    spoofing_ratios: SpoofingRatioHistogram
+    amplifier_ranking: AmplifierRanking
+    amplification: AmplificationTimeseries
+    ntp_stats: NTPAttackStats
+    fp_hunt: FalsePositiveHunt
+    spoofer: SpooferCrossCheck
+    datasets: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        sections = [
+            self.table1.render(),
+            self.categories.render(),
+            self.cone_sizes.render(),
+            self.member_ccdf.render(),
+            self.venn.render(),
+            self.scatter_bogon.render(),
+            self.scatter_invalid.render(),
+            self.router_strays.render(),
+            self.packet_sizes.render(),
+            self.timeseries.render(),
+            self.port_mix.render(),
+            self.address_histograms.render(),
+            self.spoofing_ratios.render(),
+            self.amplifier_ranking.render(),
+            self.amplification.render(),
+            self.ntp_stats.render(),
+            self.fp_hunt.render(),
+            self.spoofer.render(),
+        ]
+        return "\n\n".join(sections)
+
+
+def build_study_report(
+    world: World,
+    approach: str | None = None,
+    fig2_sample: int | None = 1500,
+    seed: int = 99,
+) -> StudyReport:
+    """Compute every artefact for a traffic-carrying world.
+
+    ``fig2_sample`` caps the number of ASes for the Figure 2 curves
+    (the full per-AS computation is quadratic in world size).
+    """
+    if world.result is None:
+        raise ValueError("world has no classification result")
+    approach = approach or world.primary
+    rng = np.random.default_rng(seed)
+    result = world.result
+    window = world.scenario.config.window_seconds
+
+    peeringdb: PeeringDBDataset = build_peeringdb(
+        world.topo, rng, list(world.ixp.member_asns)
+    )
+    ark: ArkDataset = run_ark_campaign(world.topo, rng)
+    whois: WhoisDatabase = build_whois(world.topo)
+    spoofer: SpooferDataset = run_spoofer_campaign(
+        rng,
+        sorted(world.topo.ases),
+        world.scenario.behaviors,
+    )
+
+    asns = world.rib.indexer.asns()
+    if fig2_sample is not None and len(asns) > fig2_sample:
+        picked = rng.choice(len(asns), size=fig2_sample, replace=False)
+        asns = [asns[i] for i in sorted(picked)]
+    fig2_approaches = {
+        name: world.approaches[name]
+        for name in ("naive", "cc", "cc+orgs", "full", "full+orgs")
+        if name in world.approaches
+    }
+
+    week3 = (2 * WEEK, 3 * WEEK)
+    return StudyReport(
+        table1=compute_table1(result, world.ixp.sampling_rate),
+        categories=compute_address_categories(world.rib),
+        cone_sizes=compute_cone_size_curves(fig2_approaches, asns),
+        member_ccdf=compute_member_share_ccdf(result, approach),
+        venn=compute_filtering_venn(result, approach),
+        scatter_bogon=compute_business_scatter(
+            result, approach, peeringdb, TrafficClass.BOGON
+        ),
+        scatter_invalid=compute_business_scatter(
+            result, approach, peeringdb, TrafficClass.INVALID
+        ),
+        router_strays=compute_router_stray_analysis(result, approach, ark),
+        packet_sizes=compute_packet_size_cdf(result, approach),
+        timeseries=compute_timeseries(result, approach, window),
+        port_mix=compute_port_mix(result, approach),
+        address_histograms=compute_address_histograms(result, approach),
+        spoofing_ratios=compute_spoofing_ratios(result, approach),
+        amplifier_ranking=compute_amplifier_ranking(result, approach),
+        amplification=compute_amplification_timeseries(
+            result, approach, window, start=week3[0], end=week3[1]
+        ),
+        ntp_stats=compute_ntp_stats(result, approach, world.scenario.census),
+        fp_hunt=hunt_false_positives(result, approach, whois),
+        spoofer=cross_check_spoofer(result, approach, spoofer),
+        datasets={
+            "peeringdb": peeringdb,
+            "ark": ark,
+            "whois": whois,
+            "spoofer": spoofer,
+        },
+    )

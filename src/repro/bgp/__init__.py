@@ -1,0 +1,30 @@
+"""The BGP substrate: route propagation, collectors, RIB construction.
+
+This package replaces the paper's RIPE RIS / RouteViews / IXP
+route-server inputs. Routes are propagated over the ground-truth
+topology with standard Gao–Rexford export policies
+(:mod:`repro.bgp.propagation`), observed by a configurable set of
+route collectors with partial peering (:mod:`repro.bgp.collector`) and
+by the IXP route server (:mod:`repro.bgp.routeserver`), and assembled
+into a global RIB (:mod:`repro.bgp.rib`) exposing exactly what the
+paper's method consumes: the routed address space, prefix→origin
+mappings, per-prefix AS-path sets, and the AS adjacency graph.
+"""
+
+from repro.bgp.messages import RouteObservation
+from repro.bgp.propagation import RoutePropagator, RouteType
+from repro.bgp.collector import CollectorConfig, CollectorSystem
+from repro.bgp.rib import GlobalRIB
+from repro.bgp.routeserver import RouteServer
+from repro.bgp.simulate import simulate_bgp
+
+__all__ = [
+    "CollectorConfig",
+    "CollectorSystem",
+    "GlobalRIB",
+    "RoutePropagator",
+    "RouteObservation",
+    "RouteServer",
+    "RouteType",
+    "simulate_bgp",
+]

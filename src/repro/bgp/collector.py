@@ -1,0 +1,76 @@
+"""Route collectors with partial peering (RIPE RIS / RouteViews model).
+
+Each collector peers with a sample of ASes and records the routes those
+peers announce to it. Because peers are a biased, incomplete sample of
+the Internet, the union of all collectors still misses AS links — the
+key limitation behind the paper's false-positive analysis (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.model import ASTopology
+
+
+@dataclass(slots=True)
+class CollectorConfig:
+    """Shape of the collector infrastructure."""
+
+    #: Number of RIS-style collectors contributing table dumps/updates.
+    n_ris: int = 18
+    #: Number of RouteViews-style collectors.
+    n_routeviews: int = 16
+    #: Mean number of full-feed peers per collector.
+    mean_peers: float = 4.0
+    #: Probability that a sampled peer is drawn from the transit core
+    #: (tiers 1–2) rather than uniformly from all ASes.
+    core_bias: float = 0.55
+
+
+@dataclass(slots=True)
+class Collector:
+    """One route collector and its BGP peers."""
+
+    name: str
+    peer_asns: tuple[int, ...]
+
+
+class CollectorSystem:
+    """The set of collectors observing the synthetic Internet."""
+
+    def __init__(
+        self,
+        topo: ASTopology,
+        config: CollectorConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        core = sorted(
+            asn for asn, node in topo.ases.items() if node.tier in (1, 2)
+        )
+        everyone = sorted(topo.ases)
+        self.collectors: list[Collector] = []
+        names = [f"rrc{i:02d}" for i in range(config.n_ris)] + [
+            f"route-views{i}" for i in range(config.n_routeviews)
+        ]
+        for name in names:
+            n_peers = max(1, int(rng.poisson(config.mean_peers)))
+            peers: set[int] = set()
+            for _ in range(n_peers):
+                pool = core if (core and rng.random() < config.core_bias) else everyone
+                peers.add(int(rng.choice(pool)))
+            self.collectors.append(Collector(name, tuple(sorted(peers))))
+
+    @property
+    def all_peer_asns(self) -> set[int]:
+        """Union of all collector peers (the BGP observation points)."""
+        peers: set[int] = set()
+        for collector in self.collectors:
+            peers.update(collector.peer_asns)
+        return peers
+
+    def collectors_peering_with(self, asn: int) -> list[Collector]:
+        return [c for c in self.collectors if asn in c.peer_asns]

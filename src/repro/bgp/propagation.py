@@ -1,0 +1,220 @@
+"""Gao–Rexford route propagation over the ground-truth topology.
+
+For each origin AS (and each of its announcement groups, which may be
+restricted to a subset of first-hop neighbors) the propagator computes
+the best route of *every* AS using the standard policy model:
+
+* **export**: customer-learned routes are exported to everyone;
+  peer- and provider-learned routes are exported only to customers
+  (and siblings, which behave like an internal backbone);
+* **selection**: customer routes are preferred over peer routes over
+  provider routes; within a class, shorter AS paths win.
+
+The implementation is the classic three-phase BFS (uphill, one peer
+hop, downhill), O(V + E) per origin group. Paths are reconstructed
+lazily at the requested observation ASes only.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Iterable
+
+from repro.topology.model import ASTopology
+from repro.topology.policies import AnnouncementPolicy
+from repro.util.indexing import AsnIndexer
+
+
+class RouteType(enum.IntEnum):
+    """How an AS learned its best route (ordering = preference)."""
+
+    NONE = 0
+    CUSTOMER = 1  # learned from a customer — most preferred
+    PEER = 2
+    PROVIDER = 3
+
+
+class RoutingOutcome:
+    """Best routes of all ASes for one (origin, announcement group).
+
+    Exposes path reconstruction at arbitrary ASes; internal arrays are
+    index-based for speed.
+    """
+
+    __slots__ = ("_indexer", "_parent", "_rtype", "origin")
+
+    def __init__(
+        self,
+        indexer: AsnIndexer,
+        parent: list[int],
+        rtype: list[int],
+        origin: int,
+    ) -> None:
+        self._indexer = indexer
+        self._parent = parent
+        self._rtype = rtype
+        self.origin = origin
+
+    def has_route(self, asn: int) -> bool:
+        index = self._indexer.index_or_none(asn)
+        return index is not None and self._rtype[index] != RouteType.NONE
+
+    def route_type(self, asn: int) -> RouteType:
+        index = self._indexer.index(asn)
+        return RouteType(self._rtype[index])
+
+    def path_from(self, asn: int) -> tuple[int, ...] | None:
+        """AS path as announced by ``asn``: ``(asn, ..., origin)``."""
+        index = self._indexer.index_or_none(asn)
+        if index is None or self._rtype[index] == RouteType.NONE:
+            return None
+        path = [self._indexer.asn(index)]
+        guard = 0
+        while self._parent[index] >= 0:
+            index = self._parent[index]
+            path.append(self._indexer.asn(index))
+            guard += 1
+            if guard > len(self._indexer):  # pragma: no cover - safety net
+                raise RuntimeError("parent cycle in routing outcome")
+        return tuple(path)
+
+    def routed_asns(self) -> list[int]:
+        """All ASes that have a route to the origin."""
+        return [
+            self._indexer.asn(i)
+            for i, rtype in enumerate(self._rtype)
+            if rtype != RouteType.NONE
+        ]
+
+
+class RoutePropagator:
+    """Propagates announcements over an :class:`ASTopology`."""
+
+    def __init__(self, topo: ASTopology) -> None:
+        self._topo = topo
+        self._indexer = AsnIndexer(topo.ases)
+        n = len(self._indexer)
+        # Uphill: edges from an AS to those it announces customer routes
+        # to upstream (providers + siblings). Downhill: customers +
+        # siblings. Peers: plain peer links.
+        self._uphill: list[list[int]] = [[] for _ in range(n)]
+        self._downhill: list[list[int]] = [[] for _ in range(n)]
+        self._peers: list[list[int]] = [[] for _ in range(n)]
+        for asn, node in topo.ases.items():
+            index = self._indexer.index(asn)
+            for provider in node.providers:
+                self._uphill[index].append(self._indexer.index(provider))
+            for customer in node.customers:
+                self._downhill[index].append(self._indexer.index(customer))
+            for sibling in node.siblings:
+                sibling_index = self._indexer.index(sibling)
+                self._uphill[index].append(sibling_index)
+                self._downhill[index].append(sibling_index)
+            for peer in node.peers:
+                self._peers[index].append(self._indexer.index(peer))
+
+    @property
+    def indexer(self) -> AsnIndexer:
+        return self._indexer
+
+    def propagate(
+        self,
+        origin: int,
+        first_hops: Iterable[int] | None = None,
+    ) -> RoutingOutcome:
+        """Compute everyone's best route towards ``origin``.
+
+        ``first_hops`` restricts which neighbors the origin announces
+        to (selective announcement); ``None`` means all neighbors.
+        """
+        n = len(self._indexer)
+        origin_index = self._indexer.index(origin)
+        allowed: set[int] | None = None
+        if first_hops is not None:
+            allowed = {
+                idx
+                for asn in first_hops
+                if (idx := self._indexer.index_or_none(asn)) is not None
+            }
+
+        parent = [-2] * n  # -2 = unreached, -1 = origin
+        rtype = [int(RouteType.NONE)] * n
+        parent[origin_index] = -1
+        rtype[origin_index] = int(RouteType.CUSTOMER)
+
+        customer_order = self._uphill_phase(origin_index, allowed, parent, rtype)
+        self._peer_phase(origin_index, allowed, customer_order, parent, rtype)
+        self._downhill_phase(origin_index, allowed, parent, rtype)
+        return RoutingOutcome(self._indexer, parent, rtype, origin)
+
+    # -- phases ---------------------------------------------------------
+
+    def _first_hop_ok(
+        self, source: int, target: int, origin_index: int, allowed: set[int] | None
+    ) -> bool:
+        return source != origin_index or allowed is None or target in allowed
+
+    def _uphill_phase(
+        self,
+        origin_index: int,
+        allowed: set[int] | None,
+        parent: list[int],
+        rtype: list[int],
+    ) -> list[int]:
+        """BFS along uphill edges; returns nodes in discovery order."""
+        order = [origin_index]
+        queue = deque([origin_index])
+        while queue:
+            current = queue.popleft()
+            for upstream in self._uphill[current]:
+                if parent[upstream] != -2:
+                    continue
+                if not self._first_hop_ok(current, upstream, origin_index, allowed):
+                    continue
+                parent[upstream] = current
+                rtype[upstream] = int(RouteType.CUSTOMER)
+                order.append(upstream)
+                queue.append(upstream)
+        return order
+
+    def _peer_phase(
+        self,
+        origin_index: int,
+        allowed: set[int] | None,
+        customer_order: list[int],
+        parent: list[int],
+        rtype: list[int],
+    ) -> None:
+        # Iterating in BFS discovery order keeps peer routes shortest.
+        for current in customer_order:
+            for peer in self._peers[current]:
+                if parent[peer] != -2:
+                    continue
+                if not self._first_hop_ok(current, peer, origin_index, allowed):
+                    continue
+                parent[peer] = current
+                rtype[peer] = int(RouteType.PEER)
+
+    def _downhill_phase(
+        self,
+        origin_index: int,
+        allowed: set[int] | None,
+        parent: list[int],
+        rtype: list[int],
+    ) -> None:
+        queue = deque(
+            index for index in range(len(parent)) if parent[index] != -2
+        )
+        while queue:
+            current = queue.popleft()
+            for downstream in self._downhill[current]:
+                if parent[downstream] != -2:
+                    continue
+                if not self._first_hop_ok(
+                    current, downstream, origin_index, allowed
+                ):
+                    continue
+                parent[downstream] = current
+                rtype[downstream] = int(RouteType.PROVIDER)
+                queue.append(downstream)

@@ -1,0 +1,281 @@
+"""The global RIB assembled from all BGP observations.
+
+Mirrors Section 3.3 of the paper: all table dumps and updates inside
+the measurement window are unioned; prefixes more specific than /24 or
+less specific than /8 are discarded. The RIB exposes everything the
+detection method needs:
+
+* the routed address space (:class:`~repro.net.prefixset.PrefixSet`),
+* a vectorised longest-prefix-match lookup mapping addresses to
+  (prefix id, origin index),
+* per-prefix AS-path membership (the Naive approach's raw material),
+* the directed AS adjacency set (the Full Cone's raw material),
+* the set of unique AS paths (relationship inference's raw material),
+* exclusive coverage per prefix/origin in /24 equivalents (Figure 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.bgp.messages import RouteObservation
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.net.trie import PrefixTrie
+from repro.util.indexing import AsnIndexer
+
+#: Announcement length bounds (paper: discard more specific than /24,
+#: less specific than /8).
+MIN_PLEN = 8
+MAX_PLEN = 24
+
+
+class GlobalRIB:
+    """Union of every accepted route observation in the window."""
+
+    def __init__(self) -> None:
+        self._prefix_ids: dict[Prefix, int] = {}
+        self._prefixes: list[Prefix] = []
+        self._origins_per_prefix: list[dict[int, int]] = []  # origin → votes
+        self._path_members_per_prefix: list[set[int]] = []
+        self._paths: set[tuple[int, ...]] = set()
+        self._adjacencies: set[tuple[int, int]] = set()
+        self._discarded = 0
+        self._accepted = 0
+        self._withdrawals = 0
+        self._path_member_cache: dict[tuple[int, ...], frozenset[int]] = {}
+        self._seen_routes: set[tuple[int, tuple[int, ...]]] = set()
+        self._finalized: "_FinalizedRIB | None" = None
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, observation: RouteObservation) -> bool:
+        """Ingest one observation; returns False if filtered.
+
+        Withdrawals are counted but never remove state — the window
+        RIB is the *union* of everything observed (Section 3.3).
+        """
+        if observation.withdrawal:
+            self._withdrawals += 1
+            return False
+        prefix = observation.prefix
+        if not MIN_PLEN <= prefix.length <= MAX_PLEN:
+            self._discarded += 1
+            return False
+        self._finalized = None
+        self._accepted += 1
+        prefix_id = self._prefix_ids.get(prefix)
+        if prefix_id is None:
+            prefix_id = len(self._prefixes)
+            self._prefix_ids[prefix] = prefix_id
+            self._prefixes.append(prefix)
+            self._origins_per_prefix.append(defaultdict(int))
+            self._path_members_per_prefix.append(set())
+        path = observation.path
+        route_key = (prefix_id, path)
+        if route_key in self._seen_routes:
+            return True
+        self._seen_routes.add(route_key)
+        self._origins_per_prefix[prefix_id][path[-1]] += 1
+        members = self._path_member_cache.get(path)
+        if members is None:
+            members = frozenset(path)
+            self._path_member_cache[path] = members
+            self._paths.add(path)
+            for pair in observation.adjacencies():
+                self._adjacencies.add(pair)
+        self._path_members_per_prefix[prefix_id].update(members)
+        return True
+
+    def add_all(self, observations: Iterable[RouteObservation]) -> int:
+        """Ingest a stream; returns the number of accepted observations."""
+        accepted = 0
+        for observation in observations:
+            if self.add(observation):
+                accepted += 1
+        return accepted
+
+    @classmethod
+    def from_observations(
+        cls, observations: Iterable[RouteObservation]
+    ) -> GlobalRIB:
+        rib = cls()
+        rib.add_all(observations)
+        return rib
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def num_prefixes(self) -> int:
+        return len(self._prefixes)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self._paths)
+
+    @property
+    def num_discarded(self) -> int:
+        """Observations dropped by the /8../24 length filter."""
+        return self._discarded
+
+    @property
+    def num_withdrawals(self) -> int:
+        """Withdrawal messages seen (recorded, never applied)."""
+        return self._withdrawals
+
+    def prefixes(self) -> list[Prefix]:
+        return list(self._prefixes)
+
+    def prefix_id(self, prefix: Prefix) -> int | None:
+        return self._prefix_ids.get(prefix)
+
+    def prefix_by_id(self, prefix_id: int) -> Prefix:
+        return self._prefixes[prefix_id]
+
+    def origin_of(self, prefix_id: int) -> int:
+        """Primary origin (most observations) of a prefix."""
+        origins = self._origins_per_prefix[prefix_id]
+        return max(origins, key=lambda asn: (origins[asn], -asn))
+
+    def origins_of(self, prefix_id: int) -> set[int]:
+        """All observed origins (MOAS prefixes have several)."""
+        return set(self._origins_per_prefix[prefix_id])
+
+    def path_members(self, prefix_id: int) -> set[int]:
+        """Every AS seen on any path announcing this prefix (Naive)."""
+        return set(self._path_members_per_prefix[prefix_id])
+
+    def paths(self) -> Iterator[tuple[int, ...]]:
+        """All unique AS paths seen anywhere."""
+        return iter(self._paths)
+
+    def adjacencies(self) -> set[tuple[int, int]]:
+        """Directed (upstream, downstream) AS pairs from all paths."""
+        return set(self._adjacencies)
+
+    def observed_asns(self) -> set[int]:
+        """Every AS appearing on any path."""
+        asns: set[int] = set()
+        for path in self._paths:
+            asns.update(path)
+        return asns
+
+    # -- finalized (vectorised) views -------------------------------------
+
+    def _final(self) -> "_FinalizedRIB":
+        if self._finalized is None:
+            self._finalized = _FinalizedRIB(self)
+        return self._finalized
+
+    @property
+    def indexer(self) -> AsnIndexer:
+        """Dense index over every AS observed in BGP."""
+        return self._final().indexer
+
+    def routed_space(self) -> PrefixSet:
+        """Union of all accepted announced prefixes."""
+        return self._final().routed_space
+
+    def lookup(self, addr: int) -> tuple[int, int]:
+        """Scalar LPM: address → (prefix_id, origin_index), -1 if unrouted."""
+        prefix_ids, origin_indices = self.lookup_many(
+            np.array([addr], dtype=np.uint64)
+        )
+        return int(prefix_ids[0]), int(origin_indices[0])
+
+    def lookup_many(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised LPM over painted segments.
+
+        Returns ``(prefix_ids, origin_indices)`` with -1 marking
+        addresses not covered by any announcement.
+        """
+        return self._final().lookup_many(addrs)
+
+    def exclusive_slash24s_per_prefix(self) -> np.ndarray:
+        """Per-prefix LPM-winning coverage in /24 equivalents.
+
+        More-specific announcements claim their space away from
+        coverings, so the vector sums to the routed space size.
+        """
+        return self._final().exclusive_per_prefix
+
+    def exclusive_slash24s_per_origin(self) -> np.ndarray:
+        """Per-origin-index LPM-winning coverage in /24 equivalents."""
+        return self._final().exclusive_per_origin
+
+
+class _FinalizedRIB:
+    """Immutable vectorised derivatives of a :class:`GlobalRIB`."""
+
+    def __init__(self, rib: GlobalRIB) -> None:
+        self.indexer = AsnIndexer(rib.observed_asns())
+        prefixes = rib.prefixes()
+        self.routed_space = PrefixSet(prefixes)
+
+        trie = PrefixTrie()
+        for prefix_id, prefix in enumerate(prefixes):
+            # On duplicates the later id wins; prefixes are unique here.
+            trie.insert(prefix, prefix_id)
+
+        # Build painted LPM segments: at every boundary point, the most
+        # specific covering prefix (if any) owns the following segment.
+        boundaries: set[int] = set()
+        for prefix in prefixes:
+            boundaries.add(prefix.first)
+            boundaries.add(prefix.last + 1)
+        ordered = sorted(boundaries)
+        seg_starts: list[int] = []
+        seg_prefix: list[int] = []
+        for start in ordered:
+            if start >= 2**32:
+                continue
+            match = trie.longest_match(start)
+            owner = -1 if match is None else int(match[1])
+            if seg_starts and seg_prefix[-1] == owner:
+                continue
+            seg_starts.append(start)
+            seg_prefix.append(owner)
+        self._seg_starts = np.array(seg_starts, dtype=np.uint64)
+        self._seg_prefix = np.array(seg_prefix, dtype=np.int64)
+        if seg_starts:
+            seg_ends = np.append(self._seg_starts[1:], np.uint64(2**32))
+            seg_sizes = (seg_ends - self._seg_starts).astype(np.float64) / 256.0
+        else:
+            seg_sizes = np.zeros(0, dtype=np.float64)
+
+        self._origin_index_per_prefix = np.array(
+            [self.indexer.index(rib.origin_of(pid)) for pid in range(len(prefixes))],
+            dtype=np.int64,
+        ) if prefixes else np.zeros(0, dtype=np.int64)
+
+        self.exclusive_per_prefix = np.zeros(len(prefixes), dtype=np.float64)
+        covered = self._seg_prefix >= 0
+        np.add.at(
+            self.exclusive_per_prefix,
+            self._seg_prefix[covered],
+            seg_sizes[covered],
+        )
+        self.exclusive_per_origin = np.zeros(len(self.indexer), dtype=np.float64)
+        if len(prefixes):
+            np.add.at(
+                self.exclusive_per_origin,
+                self._origin_index_per_prefix,
+                self.exclusive_per_prefix,
+            )
+
+    def lookup_many(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        if self._seg_starts.size == 0:
+            empty = np.full(addrs.shape, -1, dtype=np.int64)
+            return empty, empty.copy()
+        slots = np.searchsorted(self._seg_starts, addrs, side="right") - 1
+        prefix_ids = np.where(slots >= 0, self._seg_prefix[np.maximum(slots, 0)], -1)
+        origin_indices = np.where(
+            prefix_ids >= 0,
+            self._origin_index_per_prefix[np.maximum(prefix_ids, 0)],
+            -1,
+        )
+        return prefix_ids, origin_indices

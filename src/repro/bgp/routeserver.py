@@ -1,0 +1,35 @@
+"""The IXP route server's view of member announcements.
+
+At the IXP, members opt into multilateral peering by announcing their
+customer cone to the route server. The paper augments the public BGP
+data with route-server snapshots; we model the route server as one
+more observation point that records, per member, the customer-learned
+routes that member exports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class RouteServer:
+    """The IXP route server: an observation point named ``ixp-rs``."""
+
+    SOURCE_NAME = "ixp-rs"
+
+    def __init__(self, member_asns: Iterable[int], participation: float = 1.0):
+        """``participation`` — fraction of members peering with the RS.
+
+        The members that participate are the first
+        ``participation * len(members)`` in sorted ASN order, keeping
+        the choice deterministic for a given member set.
+        """
+        members = sorted(set(member_asns))
+        cutoff = int(round(participation * len(members)))
+        self.member_asns: tuple[int, ...] = tuple(members[:cutoff])
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in set(self.member_asns)
+
+    def __len__(self) -> int:
+        return len(self.member_asns)

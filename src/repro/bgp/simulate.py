@@ -1,0 +1,180 @@
+"""Drive route propagation and produce the observed BGP dataset.
+
+One propagation run per (origin, announcement group) feeds every
+observation point at once: each collector records paths at its peers,
+and the IXP route server records the customer routes its members
+export. A small churn model stamps a slice of the observations as
+mid-window updates and marks some routes as withdrawn-later, so the
+RIB builder exercises the dump + update union the paper performs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.bgp.collector import CollectorSystem
+from repro.bgp.messages import RouteObservation
+from repro.bgp.propagation import RoutePropagator, RouteType
+from repro.bgp.routeserver import RouteServer
+from repro.topology.model import ASTopology
+from repro.topology.policies import AnnouncementPolicy
+from repro.util.timeconst import MEASUREMENT_SECONDS
+
+
+def simulate_bgp(
+    topo: ASTopology,
+    policies: dict[int, AnnouncementPolicy],
+    collectors: CollectorSystem,
+    route_server: RouteServer | None,
+    rng: np.random.Generator,
+    churn_fraction: float = 0.04,
+    rs_export_fraction: float = 0.55,
+    failover_prob: float = 0.6,
+) -> Iterator[RouteObservation]:
+    """Yield every route observation of the measurement window.
+
+    ``churn_fraction`` of origins are announced only from a random
+    point mid-window (their observations carry ``from_update=True``).
+    ``rs_export_fraction`` — probability that a member exports a given
+    customer route to the route server at all: members commonly apply
+    selective export policies at route servers, which is one of the
+    visibility gaps that make the Naive approach overcount Invalid.
+    ``failover_prob`` — probability that a multihomed edge origin
+    experiences a primary-link failure sometime during the four weeks,
+    briefly rerouting its *openly announced* prefixes over the backup
+    providers. The resulting updates expose backup AS links (helping
+    the origin-granularity cones) without ever exposing paths for the
+    selectively announced prefixes (the Naive gap stays).
+    """
+    propagator = RoutePropagator(topo)
+    rs_members = set(route_server.member_asns) if route_server else set()
+    for origin in sorted(policies):
+        policy = policies[origin]
+        churned = rng.random() < churn_fraction
+        timestamp = int(rng.integers(1, MEASUREMENT_SECONDS)) if churned else 0
+        for group in policy.groups:
+            if not group.prefixes:
+                continue
+            first_hops = group.first_hops
+            outcome = propagator.propagate(origin, first_hops)
+            yield from _collector_observations(
+                collectors, outcome, group.prefixes, timestamp, churned
+            )
+            if route_server is not None:
+                yield from _route_server_observations(
+                    route_server, rs_members, outcome, group.prefixes,
+                    timestamp, churned, rng, rs_export_fraction,
+                )
+        yield from _failover_observations(
+            topo, propagator, collectors, route_server, rs_members,
+            policy, rng, failover_prob, rs_export_fraction,
+        )
+
+
+def _failover_observations(
+    topo: ASTopology,
+    propagator: RoutePropagator,
+    collectors: CollectorSystem,
+    route_server: RouteServer | None,
+    rs_members: set[int],
+    policy: AnnouncementPolicy,
+    rng: np.random.Generator,
+    failover_prob: float,
+    rs_export_fraction: float,
+) -> Iterator[RouteObservation]:
+    """Transient reroute of the open prefixes over backup providers."""
+    origin = policy.origin
+    node = topo.ases[origin]
+    if len(node.providers) < 2 or rng.random() >= failover_prob:
+        return
+    open_groups = [g for g in policy.groups if g.first_hops is None and g.prefixes]
+    if not open_groups:
+        return
+    failed = int(rng.choice(sorted(node.providers)))
+    surviving = set(node.neighbors) - {failed}
+    if not surviving:
+        return
+    timestamp = int(rng.integers(2, MEASUREMENT_SECONDS))
+    # The failing link first withdraws the old best routes...
+    stable = propagator.propagate(origin)
+    for group in open_groups:
+        for collector in collectors.collectors:
+            for peer in collector.peer_asns:
+                old_path = stable.path_from(peer)
+                if old_path is None or failed not in old_path:
+                    continue
+                for prefix in group.prefixes:
+                    yield RouteObservation(
+                        prefix=prefix,
+                        path=old_path,
+                        source=collector.name,
+                        timestamp=timestamp - 1,
+                        from_update=True,
+                        withdrawal=True,
+                    )
+    # ...then the backup paths are announced.
+    outcome = propagator.propagate(origin, surviving)
+    for group in open_groups:
+        yield from _collector_observations(
+            collectors, outcome, group.prefixes, timestamp, True
+        )
+        if route_server is not None:
+            yield from _route_server_observations(
+                route_server, rs_members, outcome, group.prefixes,
+                timestamp, True, rng, rs_export_fraction,
+            )
+
+
+def _collector_observations(
+    collectors: CollectorSystem,
+    outcome,
+    prefixes,
+    timestamp: int,
+    from_update: bool,
+) -> Iterator[RouteObservation]:
+    for collector in collectors.collectors:
+        for peer in collector.peer_asns:
+            path = outcome.path_from(peer)
+            if path is None:
+                continue
+            for prefix in prefixes:
+                yield RouteObservation(
+                    prefix=prefix,
+                    path=path,
+                    source=collector.name,
+                    timestamp=timestamp,
+                    from_update=from_update,
+                )
+
+
+def _route_server_observations(
+    route_server: RouteServer,
+    rs_members: set[int],
+    outcome,
+    prefixes,
+    timestamp: int,
+    from_update: bool,
+    rng: np.random.Generator,
+    rs_export_fraction: float,
+) -> Iterator[RouteObservation]:
+    for member in rs_members:
+        if member == outcome.origin:
+            path: tuple[int, ...] | None = (member,)
+        elif outcome.has_route(member) and outcome.route_type(member) is RouteType.CUSTOMER:
+            if rng.random() >= rs_export_fraction:
+                continue  # member's RS export policy skips this route
+            path = outcome.path_from(member)
+        else:
+            continue
+        if path is None:
+            continue
+        for prefix in prefixes:
+            yield RouteObservation(
+                prefix=prefix,
+                path=path,
+                source=RouteServer.SOURCE_NAME,
+                timestamp=timestamp,
+                from_update=from_update,
+            )

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``study``   — build a world and print the full measurement study
+  (every table/figure as text), like the paper's evaluation sections.
+* ``table1``  — build a world and print just Table 1.
+* ``survey``  — tabulate the Section 2.2 operator survey.
+* ``cones``   — print the Figure 2 valid-space percentiles.
+* ``acl``     — emit a per-peer ingress filter list for one member.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.fig2_cone_sizes import compute_cone_size_curves
+from repro.analysis.report import build_study_report
+from repro.analysis.table1 import compute_table1
+from repro.core import build_ingress_acl, evaluate_acl
+from repro.experiments import WorldConfig, build_world
+from repro.survey import generate_survey_responses, tabulate
+
+_PRESETS = ("tiny", "small", "default", "paper_scale")
+
+
+def _add_preset(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        choices=_PRESETS,
+        default="small",
+        help="world size preset (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="world seed (default: 42)"
+    )
+
+
+def _build(args: argparse.Namespace, with_traffic: bool = True):
+    config = getattr(WorldConfig, args.preset)(seed=args.seed)
+    return build_world(config, with_traffic=with_traffic)
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    world = _build(args)
+    report = build_study_report(world)
+    print(report.render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    world = _build(args)
+    print(compute_table1(world.result, world.ixp.sampling_rate).render())
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    results = tabulate(generate_survey_responses(rng, n=args.responses))
+    print(results.render())
+    return 0
+
+
+def _cmd_cones(args: argparse.Namespace) -> int:
+    world = _build(args, with_traffic=False)
+    names = ("naive", "cc", "cc+orgs", "full", "full+orgs")
+    asns = world.rib.indexer.asns()
+    if len(asns) > args.sample:
+        rng = np.random.default_rng(args.seed)
+        picked = sorted(rng.choice(len(asns), args.sample, replace=False))
+        asns = [asns[i] for i in picked]
+    curves = compute_cone_size_curves(
+        {name: world.approaches[name] for name in names}, asns
+    )
+    print(curves.render())
+    return 0
+
+
+def _cmd_acl(args: argparse.Namespace) -> int:
+    world = _build(args)
+    peer = args.peer
+    if peer is None:
+        peer = int(world.ixp.member_asns[0])
+    if peer not in world.ixp.members:
+        print(f"AS{peer} is not an IXP member in this world", file=sys.stderr)
+        return 2
+    acl = build_ingress_acl(world.approaches[args.approach], peer)
+    report = evaluate_acl(acl, peer, world.scenario.flows)
+    print(f"# ingress whitelist for AS{peer} ({args.approach})")
+    for prefix in acl.prefixes():
+        print(prefix)
+    print(f"# {report.render()}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Passive spoofed-traffic detection (IMC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="print the full measurement study")
+    _add_preset(study)
+    study.set_defaults(func=_cmd_study)
+
+    table1 = sub.add_parser("table1", help="print Table 1")
+    _add_preset(table1)
+    table1.set_defaults(func=_cmd_table1)
+
+    survey = sub.add_parser("survey", help="tabulate the operator survey")
+    survey.add_argument("--responses", type=int, default=84)
+    survey.add_argument("--seed", type=int, default=7)
+    survey.set_defaults(func=_cmd_survey)
+
+    cones = sub.add_parser("cones", help="print Figure 2 percentiles")
+    _add_preset(cones)
+    cones.add_argument("--sample", type=int, default=800)
+    cones.set_defaults(func=_cmd_cones)
+
+    acl = sub.add_parser("acl", help="emit a per-peer ingress whitelist")
+    _add_preset(acl)
+    acl.add_argument("--peer", type=int, default=None, help="member ASN")
+    acl.add_argument(
+        "--approach",
+        default="full+orgs",
+        choices=("naive", "cc", "full", "naive+orgs", "cc+orgs", "full+orgs"),
+    )
+    acl.set_defaults(func=_cmd_acl)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `python -m repro study | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

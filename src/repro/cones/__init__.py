@@ -1,0 +1,41 @@
+"""Per-AS valid address space inference (the paper's Section 3).
+
+Three approaches, from conservative to liberal in the amount of traffic
+they flag as Invalid:
+
+* :class:`NaiveValidSpace` — an AS is a valid source for a prefix iff
+  it appears on an observed AS path announcing that prefix.
+* :class:`CustomerConeValidSpace` — an AS is valid for prefixes
+  originated inside its customer cone, computed over business
+  relationships inferred from AS paths (CAIDA-style).
+* :class:`FullConeValidSpace` — an AS is valid for prefixes originated
+  by any AS in the transitive closure of its children on the directed
+  AS graph built from path adjacency (left AS upstream of right AS).
+
+:func:`apply_org_merge` implements the multi-AS-organization
+adjustment: the joint valid space of an organization is shared by each
+of its member ASes.
+"""
+
+from repro.cones.base import ValidSpaceMap
+from repro.cones.closure import ReachabilityClosure
+from repro.cones.customer_cone import CustomerConeValidSpace
+from repro.cones.full_cone import FullConeValidSpace
+from repro.cones.naive import NaiveValidSpace
+from repro.cones.orgs import apply_org_merge
+from repro.cones.pruned import PrunedFullCone
+from repro.cones.relationships import InferredRelationship, infer_relationships
+from repro.cones.whois_augmented import WhoisAugmentedFullCone
+
+__all__ = [
+    "CustomerConeValidSpace",
+    "FullConeValidSpace",
+    "InferredRelationship",
+    "NaiveValidSpace",
+    "PrunedFullCone",
+    "ReachabilityClosure",
+    "WhoisAugmentedFullCone",
+    "ValidSpaceMap",
+    "apply_org_merge",
+    "infer_relationships",
+]

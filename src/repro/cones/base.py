@@ -1,0 +1,104 @@
+"""The common interface of the three valid-space inference approaches.
+
+All approaches answer the same question the classifier asks (Figure 3,
+last stage): *may member AS M legitimately source a packet whose
+source address falls in routed prefix p originated by AS o?* The two
+cone approaches answer per origin AS; Naive answers per prefix. Both
+are backed by packed bit rows, so the classifier can test millions of
+flows with a handful of numpy operations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.bgp.rib import GlobalRIB
+
+
+class ValidSpaceMap(abc.ABC):
+    """Per-AS valid source address space, queryable in bulk."""
+
+    #: Short approach identifier ("naive", "cc", "full", possibly with
+    #: an "+orgs" suffix after the multi-AS-org merge).
+    name: str
+
+    def __init__(self, rib: GlobalRIB) -> None:
+        self._rib = rib
+        self._row_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def rib(self) -> GlobalRIB:
+        return self._rib
+
+    # -- subclass surface --------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def column_kind(self) -> str:
+        """Either ``"origin"`` (cone approaches) or ``"prefix"`` (naive)."""
+
+    @abc.abstractmethod
+    def packed_row(self, asn: int) -> np.ndarray | None:
+        """Packed uint8 validity row for ``asn`` (None if AS unknown)."""
+
+    @abc.abstractmethod
+    def _n_columns(self) -> int:
+        """Number of bit columns in a row."""
+
+    # -- shared queries ------------------------------------------------------
+
+    def row_bits(self, asn: int) -> np.ndarray:
+        """Boolean validity row for ``asn`` (all-False if unknown)."""
+        cached = self._row_cache.get(asn)
+        if cached is not None:
+            return cached
+        packed = self.packed_row(asn)
+        n = self._n_columns()
+        if packed is None:
+            bits = np.zeros(n, dtype=bool)
+        else:
+            bits = np.unpackbits(packed, bitorder="little")[:n].astype(bool)
+        self._row_cache[asn] = bits
+        return bits
+
+    def is_valid(self, member_asn: int, prefix_id: int, origin_index: int) -> bool:
+        """Scalar validity check for one routed source."""
+        column = prefix_id if self.column_kind == "prefix" else origin_index
+        if column < 0:
+            return False
+        bits = self.row_bits(member_asn)
+        return bool(bits[column]) if column < bits.size else False
+
+    def valid_mask(
+        self,
+        member_asn: int,
+        prefix_ids: np.ndarray,
+        origin_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised validity for many routed sources of one member."""
+        columns = prefix_ids if self.column_kind == "prefix" else origin_indices
+        columns = np.asarray(columns, dtype=np.int64)
+        bits = self.row_bits(member_asn)
+        mask = np.zeros(columns.shape, dtype=bool)
+        in_range = (columns >= 0) & (columns < bits.size)
+        mask[in_range] = bits[columns[in_range]]
+        return mask
+
+    def valid_slash24s(self, asn: int) -> float:
+        """Size of the AS's valid address space in /24 equivalents.
+
+        Coverage is counted on LPM-winning (exclusive) space so that
+        overlapping announcements are not double counted; the number is
+        consistent with what the classifier would accept.
+        """
+        bits = self.row_bits(asn)
+        if self.column_kind == "prefix":
+            weights = self._rib.exclusive_slash24s_per_prefix()
+        else:
+            weights = self._rib.exclusive_slash24s_per_origin()
+        return float(weights[bits[: weights.size]].sum())
+
+    def invalidate_cache(self) -> None:
+        self._row_cache.clear()

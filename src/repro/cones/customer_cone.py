@@ -1,0 +1,83 @@
+"""The Customer Cone approach (Luckie et al., used by the paper as CC).
+
+The customer cone of an AS is the set of ASes reachable over
+provider→customer links. If AS ``A`` originates a prefix, every AS
+whose customer cone contains ``A`` may source traffic from it. Peering
+links are intentionally ignored — that is the approach's defining
+property and the source of the false positives Figure 1c illustrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgp.rib import GlobalRIB
+from repro.cones.base import ValidSpaceMap
+from repro.cones.closure import ReachabilityClosure
+from repro.cones.relationships import (
+    InferredRelationship,
+    infer_relationships,
+    provider_to_customer_edges,
+)
+
+
+class CustomerConeValidSpace(ValidSpaceMap):
+    """Valid space from customer cones over inferred relationships."""
+
+    name = "cc"
+
+    def __init__(
+        self,
+        rib: GlobalRIB,
+        relationships: dict[tuple[int, int], InferredRelationship] | None = None,
+    ) -> None:
+        super().__init__(rib)
+        indexer = rib.indexer
+        if relationships is None:
+            relationships = infer_relationships(rib.paths())
+        self.relationships = relationships
+        # Keep only provider→customer edges that are also observed
+        # path adjacencies. Provider→customer export is what makes an
+        # AS appear left of its customer on paths, so a true p2c link
+        # always satisfies this; dropping the rest guarantees the
+        # paper's observed containment (CC ⊆ Full Cone per AS) even
+        # when relationship inference errs on a peering.
+        observed = rib.adjacencies()
+        edges = []
+        for provider, customer in provider_to_customer_edges(relationships):
+            if (provider, customer) not in observed:
+                continue
+            p_idx = indexer.index_or_none(provider)
+            c_idx = indexer.index_or_none(customer)
+            if p_idx is not None and c_idx is not None:
+                edges.append((p_idx, c_idx))
+        self._closure = ReachabilityClosure(len(indexer), edges)
+
+    @property
+    def column_kind(self) -> str:
+        return "origin"
+
+    @property
+    def closure(self) -> ReachabilityClosure:
+        return self._closure
+
+    def _n_columns(self) -> int:
+        return len(self._rib.indexer)
+
+    def packed_row(self, asn: int) -> np.ndarray | None:
+        index = self._rib.indexer.index_or_none(asn)
+        if index is None:
+            return None
+        return self._closure.row(index)
+
+    def cone_asns(self, asn: int) -> set[int]:
+        """The inferred customer cone of ``asn`` (including itself)."""
+        index = self._rib.indexer.index_or_none(asn)
+        if index is None:
+            return set()
+        indexer = self._rib.indexer
+        return {indexer.asn(i) for i in self._closure.reachable_set(index)}
+
+    def cone_sizes(self) -> np.ndarray:
+        """Cone size (AS count) per dense AS index."""
+        return self._closure.counts()

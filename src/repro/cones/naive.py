@@ -1,0 +1,51 @@
+"""The Naive baseline approach (Section 3.2).
+
+An AS is a valid source for a prefix iff it appears on an observed AS
+path of an announcement for that prefix. The approach ignores
+asymmetric routing and selective announcement, which is exactly why it
+overcounts Invalid traffic — the paper keeps it as the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgp.rib import GlobalRIB
+from repro.cones.base import ValidSpaceMap
+
+
+class NaiveValidSpace(ValidSpaceMap):
+    """Per-AS valid prefixes from literal AS-path membership."""
+
+    name = "naive"
+
+    def __init__(self, rib: GlobalRIB) -> None:
+        super().__init__(rib)
+        indexer = rib.indexer
+        n_prefixes = rib.num_prefixes
+        row_bytes = (n_prefixes + 7) // 8
+        self._matrix = np.zeros((len(indexer), row_bytes), dtype=np.uint8)
+        for prefix_id in range(n_prefixes):
+            byte, bit = prefix_id >> 3, prefix_id & 7
+            mask = np.uint8(1 << bit)
+            for asn in rib.path_members(prefix_id):
+                index = indexer.index_or_none(asn)
+                if index is not None:
+                    self._matrix[index, byte] |= mask
+
+    @property
+    def column_kind(self) -> str:
+        return "prefix"
+
+    def _n_columns(self) -> int:
+        return self._rib.num_prefixes
+
+    def packed_row(self, asn: int) -> np.ndarray | None:
+        index = self._rib.indexer.index_or_none(asn)
+        if index is None:
+            return None
+        return self._matrix[index]
+
+    def valid_prefix_ids(self, asn: int) -> set[int]:
+        """All prefix ids this AS may source, per the naive criterion."""
+        return set(np.flatnonzero(self.row_bits(asn)).tolist())

@@ -1,0 +1,85 @@
+"""Support-pruned Full Cone — tighter valid-space bounds.
+
+The paper's conclusion: "Future work includes ... refining the
+construction of AS-specific prefix lists to achieve tighter bounds
+when estimating the valid IP space per network."
+
+This variant drops directed adjacencies observed on fewer than
+``min_support`` distinct AS paths before taking the transitive
+closure. One-off paths (misconfigurations, leaks, exotic backup
+routes briefly visible during churn) stop inflating cones, at the
+cost of some extra false positives — the precision/recall trade-off
+is quantified in ``benchmarks/bench_ablation_pruning.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bgp.rib import GlobalRIB
+from repro.cones.base import ValidSpaceMap
+from repro.cones.closure import ReachabilityClosure
+
+import numpy as np
+
+
+def adjacency_support(rib: GlobalRIB) -> Counter:
+    """How many distinct observed paths contain each directed pair."""
+    support: Counter = Counter()
+    for path in rib.paths():
+        previous = path[0]
+        seen_on_path: set[tuple[int, int]] = set()
+        for asn in path[1:]:
+            if asn != previous:
+                seen_on_path.add((previous, asn))
+                previous = asn
+        support.update(seen_on_path)
+    return support
+
+
+class PrunedFullCone(ValidSpaceMap):
+    """Full Cone over adjacencies with path support ≥ ``min_support``."""
+
+    def __init__(self, rib: GlobalRIB, min_support: int = 2) -> None:
+        super().__init__(rib)
+        self.name = f"full-pruned{min_support}"
+        self.min_support = min_support
+        indexer = rib.indexer
+        support = adjacency_support(rib)
+        edges = []
+        kept = 0
+        for (left, right), count in support.items():
+            if count < min_support:
+                continue
+            l_idx = indexer.index_or_none(left)
+            r_idx = indexer.index_or_none(right)
+            if l_idx is not None and r_idx is not None:
+                edges.append((l_idx, r_idx))
+                kept += 1
+        self.kept_edges = kept
+        self.dropped_edges = len(support) - kept
+        self._closure = ReachabilityClosure(len(indexer), edges)
+
+    @property
+    def column_kind(self) -> str:
+        return "origin"
+
+    @property
+    def closure(self) -> ReachabilityClosure:
+        return self._closure
+
+    def _n_columns(self) -> int:
+        return len(self._rib.indexer)
+
+    def packed_row(self, asn: int) -> np.ndarray | None:
+        index = self._rib.indexer.index_or_none(asn)
+        if index is None:
+            return None
+        return self._closure.row(index)
+
+    def cone_asns(self, asn: int) -> set[int]:
+        index = self._rib.indexer.index_or_none(asn)
+        if index is None:
+            return set()
+        indexer = self._rib.indexer
+        return {indexer.asn(i) for i in self._closure.reachable_set(index)}

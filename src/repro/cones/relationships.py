@@ -1,0 +1,141 @@
+"""AS business-relationship inference from observed AS paths.
+
+A pragmatic Gao-style algorithm (the spirit of CAIDA's AS-rank
+inference, which the paper's Customer Cone builds on):
+
+1. Rank every AS by *transit degree*: distinct neighbors over its
+   mid-path appearances. Endpoint appearances (collector peers
+   receiving routes, stub origins) contribute nothing, so the ranking
+   orders the transit hierarchy far more robustly than plain degree.
+2. For each path, locate the *peak* (maximum reach). In a valley-free
+   path, links on the observation side of the peak slope downhill
+   (each AS is a customer of the next towards the peak), links on the
+   origin side slope uphill. Each path votes per link accordingly;
+   appearances away from the peak are necessarily transit and vote
+   with extra weight.
+3. Peak-adjacent links whose endpoints have comparable reach are voted
+   *peer* — this keeps the tier-1 clique from collapsing into a fake
+   provider chain.
+4. Per link: peer votes outweighing directional votes → PEER;
+   conflicting directional votes above a noise floor → PEER; otherwise
+   the majority direction, with reach breaking near-ties.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+
+class InferredRelationship(enum.Enum):
+    """Inferred relationship of the *first* AS of a pair to the second."""
+
+    C2P = "c2p"  # first is a customer of second
+    P2C = "p2c"  # first is a provider of second
+    PEER = "p2p"
+
+
+def _collapse(path: tuple[int, ...]) -> tuple[int, ...]:
+    """Remove AS-path prepending (consecutive duplicates)."""
+    collapsed = [path[0]]
+    for asn in path[1:]:
+        if asn != collapsed[-1]:
+            collapsed.append(asn)
+    return tuple(collapsed)
+
+
+def transit_degree(paths: list[tuple[int, ...]]) -> dict[int, int]:
+    """Transit degree per AS: distinct neighbors in mid-path positions.
+
+    An AS observed only at a path end never demonstrably transits
+    traffic, so endpoints contribute nothing. This is the ranking
+    CAIDA's AS-rank pipeline uses to order the hierarchy; unlike plain
+    degree it is not distorted by where the collectors' peers sit.
+    """
+    neighbors: dict[int, set[int]] = defaultdict(set)
+    seen: set[int] = set()
+    for path in paths:
+        seen.update(path)
+        for i in range(1, len(path) - 1):
+            neighbors[path[i]].add(path[i - 1])
+            neighbors[path[i]].add(path[i + 1])
+    return {asn: len(neighbors.get(asn, ())) for asn in seen}
+
+
+def infer_relationships(
+    paths: Iterable[tuple[int, ...]],
+    peer_reach_ratio: float = 0.75,
+    conflict_threshold: float = 0.25,
+    interior_weight: int = 2,
+) -> dict[tuple[int, int], InferredRelationship]:
+    """Infer relationships for every link seen on ``paths``.
+
+    Returns a mapping keyed by ordered pairs ``(a, b)`` with ``a < b``;
+    the value is the relationship of ``a`` towards ``b``.
+    """
+    unique_paths = list({_collapse(p) for p in paths if len(p) >= 1})
+    rank = transit_degree(unique_paths)
+
+    c2p_votes: Counter[tuple[int, int]] = Counter()  # (customer, provider)
+    peer_votes: Counter[tuple[int, int]] = Counter()  # ordered (min, max)
+
+    for path in unique_paths:
+        if len(path) < 2:
+            continue
+        top = max(range(len(path)), key=lambda i: rank[path[i]])
+        top_rank = rank[path[top]] or 1
+        for i in range(len(path) - 1):
+            left, right = path[i], path[i + 1]
+            key = (min(left, right), max(left, right))
+            peak_adjacent = i in (top - 1, top)
+            if peak_adjacent:
+                other = right if i == top else left
+                if rank[other] / top_rank >= peer_reach_ratio:
+                    peer_votes[key] += 1
+                    continue
+                weight = 1
+            else:
+                weight = interior_weight  # away from the peak: transit
+            if i < top:
+                c2p_votes[(left, right)] += weight  # left customer of right
+            else:
+                c2p_votes[(right, left)] += weight  # right customer of left
+
+    relationships: dict[tuple[int, int], InferredRelationship] = {}
+    links = set(peer_votes)
+    for customer, provider in c2p_votes:
+        links.add((min(customer, provider), max(customer, provider)))
+    for a, b in links:
+        a_cust = c2p_votes[(a, b)]
+        b_cust = c2p_votes[(b, a)]
+        peers = peer_votes[(a, b)]
+        directional = a_cust + b_cust
+        if peers > directional:
+            relationships[(a, b)] = InferredRelationship.PEER
+            continue
+        if directional and min(a_cust, b_cust) / directional > conflict_threshold:
+            relationships[(a, b)] = InferredRelationship.PEER
+            continue
+        if a_cust == b_cust:
+            # Tie: the lower-reach side is the customer.
+            a_cust += rank[b] >= rank[a]
+            b_cust += rank[a] > rank[b]
+        if a_cust > b_cust:
+            relationships[(a, b)] = InferredRelationship.C2P
+        else:
+            relationships[(a, b)] = InferredRelationship.P2C
+    return relationships
+
+
+def provider_to_customer_edges(
+    relationships: dict[tuple[int, int], InferredRelationship],
+) -> list[tuple[int, int]]:
+    """Directed (provider, customer) edges from an inference result."""
+    edges: list[tuple[int, int]] = []
+    for (a, b), rel in relationships.items():
+        if rel is InferredRelationship.C2P:
+            edges.append((b, a))
+        elif rel is InferredRelationship.P2C:
+            edges.append((a, b))
+    return edges

@@ -1,0 +1,70 @@
+"""WHOIS-augmented Full Cone (the paper's stated future work).
+
+Section 4.4 closes with: "we currently do not investigate archived BGP
+data and consider this as future work together with incorporating
+automated parsing and evaluation of the import and export ACLs to
+enrich the available BGP data collected."
+
+This module implements that enrichment: IRR ``aut-num`` import/export
+policy lines are parsed into candidate AS links and added to the Full
+Cone's directed graph *before* classification, rather than being used
+for after-the-fact false-positive cleanup. Each policy link (a, b) is
+added in both directions — a documented session says nothing about
+which side may appear upstream — but only when at least one endpoint
+is already BGP-observed, keeping pure-paper-records from inventing
+address space for ASes that never announced anything.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.rib import GlobalRIB
+from repro.cones.full_cone import FullConeValidSpace
+from repro.datasets.whois import WhoisDatabase
+
+
+def whois_policy_edges(
+    whois: WhoisDatabase,
+    rib: GlobalRIB,
+    require_mutual: bool = True,
+) -> list[tuple[int, int]]:
+    """Directed candidate edges from IRR import/export policies.
+
+    Only links **absent from the observed BGP adjacency** (in either
+    direction) are candidates: for path-visible links BGP already
+    provides the correct *direction*, and overriding it with
+    bidirectional policy edges would collapse the cone hierarchy.
+    ``require_mutual`` additionally keeps only links whose *both*
+    aut-num records name each other, filtering stale or aspirational
+    policy entries — the reason the paper wants "evaluation", not just
+    parsing, of the ACLs.
+    """
+    observed = rib.observed_asns()
+    adjacency = rib.adjacencies()
+    edges: set[tuple[int, int]] = set()
+    for asn, record in whois.aut_nums.items():
+        for neighbor in record.imports | record.exports:
+            if asn not in observed and neighbor not in observed:
+                continue
+            if (asn, neighbor) in adjacency or (neighbor, asn) in adjacency:
+                continue  # BGP already knows this link (and its direction)
+            if require_mutual:
+                neighbor_record = whois.aut_nums.get(neighbor)
+                if neighbor_record is None or asn not in (
+                    neighbor_record.imports | neighbor_record.exports
+                ):
+                    continue
+            edges.add((asn, neighbor))
+            edges.add((neighbor, asn))
+    return sorted(edges)
+
+
+class WhoisAugmentedFullCone(FullConeValidSpace):
+    """Full Cone over BGP adjacency ∪ parsed IRR policy links."""
+
+    name = "full+whois"
+
+    def __init__(self, rib: GlobalRIB, whois: WhoisDatabase,
+                 require_mutual: bool = True) -> None:
+        edges = whois_policy_edges(whois, rib, require_mutual)
+        super().__init__(rib, extra_edges=edges)
+        self.n_policy_edges = len(edges)

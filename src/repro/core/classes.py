@@ -1,0 +1,23 @@
+"""Traffic classes of the detection pipeline."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TrafficClass(enum.IntEnum):
+    """Mutually exclusive flow classes (Figure 3), in match order.
+
+    ``BOGON`` and ``UNROUTED`` are AS-agnostic; ``INVALID`` depends on
+    the member AS and the inference approach; ``VALID`` is everything
+    else and is not analysed further by the paper.
+    """
+
+    VALID = 0
+    BOGON = 1
+    UNROUTED = 2
+    INVALID = 3
+
+    @property
+    def is_illegitimate(self) -> bool:
+        return self is not TrafficClass.VALID

@@ -1,0 +1,145 @@
+"""Aggregations over classification output (Table 1 and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bgp.rib import GlobalRIB
+from repro.core.classes import TrafficClass
+from repro.ixp.flows import FlowTable
+
+
+@dataclass(slots=True)
+class ClassContribution:
+    """One cell group of Table 1: who and how much."""
+
+    traffic_class: TrafficClass
+    approach: str
+    members: int
+    member_share: float  # fraction of members contributing
+    packets: int  # sampled packets
+    bytes: int  # sampled bytes
+    packet_share: float  # of total sampled packets
+    byte_share: float
+
+
+class ClassificationResult:
+    """Per-approach labels for one classified flow table."""
+
+    def __init__(
+        self,
+        flows: FlowTable,
+        labels: dict[str, np.ndarray],
+        prefix_ids: np.ndarray,
+        origin_indices: np.ndarray,
+        rib: GlobalRIB,
+    ) -> None:
+        self.flows = flows
+        self.labels = labels
+        self.prefix_ids = prefix_ids
+        self.origin_indices = origin_indices
+        self.rib = rib
+
+    @property
+    def approaches(self) -> list[str]:
+        return list(self.labels)
+
+    def label_vector(self, approach: str) -> np.ndarray:
+        return self.labels[approach]
+
+    def class_mask(self, approach: str, traffic_class: TrafficClass) -> np.ndarray:
+        return self.labels[approach] == int(traffic_class)
+
+    def select_class(
+        self, approach: str, traffic_class: TrafficClass
+    ) -> FlowTable:
+        """Flow subset falling into one class under one approach."""
+        return self.flows.select(self.class_mask(approach, traffic_class))
+
+    # -- Table 1 -----------------------------------------------------------
+
+    def contribution(
+        self, approach: str, traffic_class: TrafficClass
+    ) -> ClassContribution:
+        """Member count and traffic volume of one class (Table 1 cell)."""
+        mask = self.class_mask(approach, traffic_class)
+        total_members = int(np.unique(self.flows.member).size) or 1
+        total_packets = int(self.flows.packets.sum()) or 1
+        total_bytes = int(self.flows.bytes.sum()) or 1
+        members = int(np.unique(self.flows.member[mask]).size)
+        packets = int(self.flows.packets[mask].sum())
+        nbytes = int(self.flows.bytes[mask].sum())
+        return ClassContribution(
+            traffic_class=traffic_class,
+            approach=approach,
+            members=members,
+            member_share=members / total_members,
+            packets=packets,
+            bytes=nbytes,
+            packet_share=packets / total_packets,
+            byte_share=nbytes / total_bytes,
+        )
+
+    def table1(self) -> dict[str, ClassContribution]:
+        """All columns of Table 1.
+
+        Keys: ``"bogon"``, ``"unrouted"``, and ``"invalid <approach>"``
+        per configured approach. Bogon/Unrouted are approach-agnostic;
+        they are computed from the first approach's labels.
+        """
+        first = self.approaches[0]
+        out = {
+            "bogon": self.contribution(first, TrafficClass.BOGON),
+            "unrouted": self.contribution(first, TrafficClass.UNROUTED),
+        }
+        for approach in self.approaches:
+            out[f"invalid {approach}"] = self.contribution(
+                approach, TrafficClass.INVALID
+            )
+        return out
+
+    # -- per-member views ---------------------------------------------------
+
+    def member_class_shares(
+        self, approach: str, traffic_class: TrafficClass, weight: str = "packets"
+    ) -> dict[int, float]:
+        """Per member: fraction of its traffic falling in the class.
+
+        ``weight`` is ``"packets"`` or ``"bytes"`` (Figure 4's y-axis).
+        """
+        weights = getattr(self.flows, weight).astype(np.float64)
+        members = self.flows.member
+        mask = self.class_mask(approach, traffic_class)
+        unique_members, inverse = np.unique(members, return_inverse=True)
+        totals = np.zeros(unique_members.size)
+        in_class = np.zeros(unique_members.size)
+        np.add.at(totals, inverse, weights)
+        np.add.at(in_class, inverse, np.where(mask, weights, 0.0))
+        shares = np.divide(
+            in_class, totals, out=np.zeros_like(in_class), where=totals > 0
+        )
+        return {
+            int(asn): float(share)
+            for asn, share in zip(unique_members, shares)
+        }
+
+    def members_contributing(
+        self, approach: str, traffic_class: TrafficClass
+    ) -> set[int]:
+        """ASNs of members with at least one flow in the class."""
+        mask = self.class_mask(approach, traffic_class)
+        return {int(asn) for asn in np.unique(self.flows.member[mask])}
+
+    def relabel(self, approach: str, labels: np.ndarray) -> "ClassificationResult":
+        """A copy with one approach's labels replaced (FP-hunt reruns)."""
+        new_labels = dict(self.labels)
+        new_labels[approach] = labels
+        return ClassificationResult(
+            flows=self.flows,
+            labels=new_labels,
+            prefix_ids=self.prefix_ids,
+            origin_indices=self.origin_indices,
+            rib=self.rib,
+        )

@@ -1,0 +1,135 @@
+"""Heuristic stray-vs-spoofed separation (the paper's future work).
+
+The paper flags traffic as illegitimate but can only partially tell
+*stray* traffic (misconfiguration, router chatter) from intentional
+spoofing; its conclusion lists "better recognition of stray traffic"
+as future work. This module implements a rule-based recognizer over
+flagged flows:
+
+* **router-stray** — source is a known router interface (traceroute
+  campaign) and the packet looks router-originated (ICMP, or TCP RST
+  patterns we approximate by portless ICMP here);
+* **nat-stray** — private (RFC1918/CGN) source making ordinary
+  client-style TCP connection attempts to well-known service ports —
+  the signature of CPE NAT leakage;
+* everything else flagged counts as **spoofed**.
+
+The recognizer never reads ground-truth labels; they are used only by
+:func:`evaluate_stray_detection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import TrafficClass
+from repro.core.results import ClassificationResult
+from repro.datasets.ark import ArkDataset
+from repro.ixp.flows import PROTO_ICMP, PROTO_TCP, FlowTable, TruthLabel
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+#: Private + CGN space (NAT leakage sources).
+_NAT_RANGES = PrefixSet(
+    [
+        Prefix.parse("10.0.0.0/8"),
+        Prefix.parse("172.16.0.0/12"),
+        Prefix.parse("192.168.0.0/16"),
+        Prefix.parse("100.64.0.0/10"),
+    ]
+)
+
+_CLIENT_PORTS = (80, 443, 8080, 25, 993)
+
+STRAY_NONE = 0
+STRAY_ROUTER = 1
+STRAY_NAT = 2
+
+
+def classify_strays(flows: FlowTable, ark: ArkDataset) -> np.ndarray:
+    """Per-flow stray verdicts (STRAY_NONE / STRAY_ROUTER / STRAY_NAT).
+
+    Operates on any flow table; callers normally pass only the flagged
+    (non-Valid) flows.
+    """
+    verdicts = np.zeros(len(flows), dtype=np.uint8)
+    router_src = ark.contains(flows.src)
+    router_like = router_src & (flows.proto == PROTO_ICMP)
+    verdicts[router_like] = STRAY_ROUTER
+
+    nat_src = _NAT_RANGES.contains_many(flows.src)
+    client_tcp = (flows.proto == PROTO_TCP) & np.isin(
+        flows.dst_port, np.array(_CLIENT_PORTS, dtype=flows.dst_port.dtype)
+    )
+    verdicts[nat_src & client_tcp & (verdicts == STRAY_NONE)] = STRAY_NAT
+    return verdicts
+
+
+@dataclass(slots=True)
+class StrayDetectionQuality:
+    """Against ground truth: how well strays are separated."""
+
+    #: Of truly stray flagged packets, the share recognised as stray.
+    stray_recall: float
+    #: Of packets recognised as stray, the share truly stray.
+    stray_precision: float
+    #: Of truly spoofed flagged packets, the share NOT misfiled as stray.
+    spoofed_retention: float
+    recognised_packets: int
+    flagged_packets: int
+
+    def render(self) -> str:
+        return (
+            "Stray recognition: "
+            f"recall={self.stray_recall:.1%} "
+            f"precision={self.stray_precision:.1%} "
+            f"spoofed retained={self.spoofed_retention:.1%} "
+            f"({self.recognised_packets}/{self.flagged_packets} flagged "
+            "packets recognised as stray)"
+        )
+
+
+def evaluate_stray_detection(
+    result: ClassificationResult,
+    approach: str,
+    ark: ArkDataset,
+) -> StrayDetectionQuality:
+    """Run the recognizer over one approach's flagged flows and score it."""
+    flagged_mask = result.label_vector(approach) != int(TrafficClass.VALID)
+    flagged = result.flows.select(flagged_mask)
+    verdicts = classify_strays(flagged, ark)
+    packets = flagged.packets.astype(np.float64)
+
+    truly_stray = np.isin(
+        flagged.truth,
+        (int(TruthLabel.STRAY_NAT), int(TruthLabel.STRAY_ROUTER)),
+    )
+    truly_spoofed = np.isin(
+        flagged.truth,
+        (
+            int(TruthLabel.SPOOF_FLOOD),
+            int(TruthLabel.SPOOF_TRIGGER),
+            int(TruthLabel.SPOOF_GAMING),
+        ),
+    )
+    recognised = verdicts != STRAY_NONE
+
+    stray_pkts = packets[truly_stray].sum()
+    recognised_pkts = packets[recognised].sum()
+    hit_pkts = packets[recognised & truly_stray].sum()
+    spoofed_pkts = packets[truly_spoofed].sum()
+    spoofed_kept = packets[truly_spoofed & ~recognised].sum()
+
+    return StrayDetectionQuality(
+        stray_recall=float(hit_pkts / stray_pkts) if stray_pkts else 0.0,
+        stray_precision=(
+            float(hit_pkts / recognised_pkts) if recognised_pkts else 0.0
+        ),
+        spoofed_retention=(
+            float(spoofed_kept / spoofed_pkts) if spoofed_pkts else 1.0
+        ),
+        recognised_packets=int(recognised_pkts),
+        flagged_packets=int(packets.sum()),
+    )

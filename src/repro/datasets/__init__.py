@@ -1,0 +1,20 @@
+"""Synthetic stand-ins for the external datasets the paper consumes.
+
+Each module mirrors the interface of one real-world dataset:
+
+* :mod:`repro.datasets.bogons` — Team Cymru-style bogon reference.
+* :mod:`repro.datasets.as2org` — CAIDA AS-to-Organization mapping.
+* :mod:`repro.datasets.peeringdb` — PeeringDB business-type records.
+* :mod:`repro.datasets.ark` — CAIDA Ark traceroutes / router interfaces.
+* :mod:`repro.datasets.spoofer` — CAIDA Spoofer active measurements.
+* :mod:`repro.datasets.zmap` — ZMap/Sonar NTP amplifier census.
+* :mod:`repro.datasets.whois` — IRR/WHOIS records for the
+  false-positive hunt of Section 4.4.
+
+The generators in this package are driven by the synthetic topology, so
+the datasets stay mutually consistent the way the real ones are.
+"""
+
+from repro.datasets.bogons import BOGON_PREFIXES, bogon_prefix_set
+
+__all__ = ["BOGON_PREFIXES", "bogon_prefix_set"]

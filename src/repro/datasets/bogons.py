@@ -1,0 +1,57 @@
+"""The bogon reference list (Team Cymru style).
+
+The paper uses Team Cymru's aggregated IPv4 bogon list: 14
+non-overlapping prefixes covering reserved address space that must
+never be sourced into the inter-domain Internet (RFC 1918 private
+space, RFC 5735 special-use, RFC 6598 shared CGN space, loopback,
+link-local, multicast, and "future use" class E). The real list is
+itself derived from these RFCs, so the reproduction is exact, not
+synthetic: the same 14 ranges, ≈218K /24 equivalents.
+"""
+
+from __future__ import annotations
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+#: The aggregated IPv4 bogon list: (prefix, short RFC-based rationale).
+BOGON_PREFIXES: tuple[tuple[Prefix, str], ...] = (
+    (Prefix.parse("0.0.0.0/8"), "RFC 1122 'this network'"),
+    (Prefix.parse("10.0.0.0/8"), "RFC 1918 private space"),
+    (Prefix.parse("100.64.0.0/10"), "RFC 6598 shared CGN space"),
+    (Prefix.parse("127.0.0.0/8"), "RFC 1122 loopback"),
+    (Prefix.parse("169.254.0.0/16"), "RFC 3927 link local"),
+    (Prefix.parse("172.16.0.0/12"), "RFC 1918 private space"),
+    (Prefix.parse("192.0.0.0/24"), "RFC 6890 IETF protocol assignments"),
+    (Prefix.parse("192.0.2.0/24"), "RFC 5737 TEST-NET-1"),
+    (Prefix.parse("192.168.0.0/16"), "RFC 1918 private space"),
+    (Prefix.parse("198.18.0.0/15"), "RFC 2544 benchmarking"),
+    (Prefix.parse("198.51.100.0/24"), "RFC 5737 TEST-NET-2"),
+    (Prefix.parse("203.0.113.0/24"), "RFC 5737 TEST-NET-3"),
+    (Prefix.parse("224.0.0.0/4"), "RFC 5771 multicast"),
+    (Prefix.parse("240.0.0.0/4"), "RFC 1112 future use (class E)"),
+)
+
+
+_BOGON_SET: PrefixSet | None = None
+
+
+def bogon_prefix_set() -> PrefixSet:
+    """The bogon list as a :class:`~repro.net.prefixset.PrefixSet`.
+
+    The set is immutable, so a module-level instance is shared.
+    """
+    global _BOGON_SET
+    if _BOGON_SET is None:
+        _BOGON_SET = PrefixSet(prefix for prefix, _reason in BOGON_PREFIXES)
+    return _BOGON_SET
+
+
+def bogon_slash24_equivalents() -> float:
+    """Size of the bogon space in /24 equivalents (~218K in the paper)."""
+    return bogon_prefix_set().slash24_equivalents
+
+
+def is_bogon(addr: int) -> bool:
+    """Scalar membership check against the bogon list."""
+    return addr in bogon_prefix_set()

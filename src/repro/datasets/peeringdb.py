@@ -1,0 +1,64 @@
+"""Synthetic PeeringDB: business types of the IXP members (Figure 6).
+
+The paper classifies members via PeeringDB (with manual classification
+for networks lacking entries). We reproduce both populations: most
+members have a record; a slice does not and receives a "manual"
+classification that is correct anyway (the topology's ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.model import ASTopology, BusinessType
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringDBRecord:
+    asn: int
+    business_type: BusinessType
+    #: False when the network has no PeeringDB entry and the type was
+    #: assigned manually (as the paper did).
+    from_peeringdb: bool
+
+
+class PeeringDBDataset:
+    """ASN → business type, PeeringDB-style."""
+
+    def __init__(self, records: list[PeeringDBRecord]) -> None:
+        self.records = list(records)
+        self._by_asn = {record.asn: record for record in records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def business_type(self, asn: int) -> BusinessType | None:
+        record = self._by_asn.get(asn)
+        return record.business_type if record else None
+
+    def coverage(self) -> float:
+        """Fraction of records genuinely present in PeeringDB."""
+        if not self.records:
+            return 0.0
+        return sum(r.from_peeringdb for r in self.records) / len(self.records)
+
+
+def build_peeringdb(
+    topo: ASTopology,
+    rng: np.random.Generator,
+    asns: list[int] | None = None,
+    coverage: float = 0.85,
+) -> PeeringDBDataset:
+    """Generate PeeringDB records for ``asns`` (default: all ASes)."""
+    targets = sorted(topo.ases) if asns is None else sorted(asns)
+    records = [
+        PeeringDBRecord(
+            asn=asn,
+            business_type=topo.node(asn).business_type,
+            from_peeringdb=bool(rng.random() < coverage),
+        )
+        for asn in targets
+    ]
+    return PeeringDBDataset(records)

@@ -1,0 +1,110 @@
+"""Synthetic CAIDA Spoofer campaign (Section 4.5 cross-check).
+
+The Spoofer project crowdsources active probes: a host inside an AS
+sends packets with forged sources to a measurement server; receipt
+means the AS (and the path) let spoofed packets out. The synthetic
+campaign probes a sample of ASes, grounded in the same per-member
+emission behaviours that drive the traffic generator, with two
+real-world distortions the paper discusses:
+
+* on-path filtering can drop probes from spoofable networks (active
+  measurements are a *lower bound* on spoofability), and
+* a spoofable network may simply host no spoofing hosts during the
+  passive window (ability ≠ action).
+
+Probes behind NATs are flagged and excluded from comparisons, like the
+paper does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.behaviors import MemberBehavior
+
+
+class SpoofOutcome(enum.Enum):
+    SPOOFABLE = "spoofable"
+    PARTIAL = "partial"  # only some ranges escape
+    BLOCKED = "blocked"
+
+
+@dataclass(frozen=True, slots=True)
+class SpooferResult:
+    asn: int
+    outcome: SpoofOutcome
+    behind_nat: bool
+
+
+class SpooferDataset:
+    """Results of one year of crowdsourced spoofability probes."""
+
+    def __init__(self, results: list[SpooferResult]) -> None:
+        self.results = list(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def direct_results(self) -> list[SpooferResult]:
+        """Probes not behind a NAT (the only ones the paper compares)."""
+        return [r for r in self.results if not r.behind_nat]
+
+    def tested_asns(self, include_nat: bool = False) -> set[int]:
+        source = self.results if include_nat else self.direct_results()
+        return {r.asn for r in source}
+
+    def spoofable_asns(self, include_partial: bool = True) -> set[int]:
+        outcomes = {SpoofOutcome.SPOOFABLE}
+        if include_partial:
+            outcomes.add(SpoofOutcome.PARTIAL)
+        return {
+            r.asn for r in self.direct_results() if r.outcome in outcomes
+        }
+
+
+def run_spoofer_campaign(
+    rng: np.random.Generator,
+    candidate_asns: list[int],
+    behaviors: dict[int, MemberBehavior],
+    test_fraction: float = 0.08,
+    upstream_drop_prob: float = 0.35,
+    partial_prob: float = 0.25,
+    nat_fraction: float = 0.3,
+    background_spoofable_rate: float = 0.34,
+) -> SpooferDataset:
+    """Probe ``test_fraction`` of ``candidate_asns``.
+
+    ASes with a known emission behaviour ground the outcome in truth;
+    others (no behaviour record) fall back to the global spoofability
+    rate the Spoofer project reports (~34%).
+    """
+    n_tests = max(1, int(test_fraction * len(candidate_asns)))
+    tested = rng.choice(
+        np.array(sorted(candidate_asns)), size=min(n_tests, len(candidate_asns)),
+        replace=False,
+    )
+    results: list[SpooferResult] = []
+    for asn in sorted(int(a) for a in tested):
+        behavior = behaviors.get(asn)
+        if behavior is not None:
+            truly_spoofable = (
+                behavior.emits_unrouted
+                or behavior.emits_invalid
+                or behavior.emits_bogon
+            )
+        else:
+            truly_spoofable = rng.random() < background_spoofable_rate
+        behind_nat = rng.random() < nat_fraction
+        if not truly_spoofable:
+            outcome = SpoofOutcome.BLOCKED
+        elif rng.random() < upstream_drop_prob:
+            outcome = SpoofOutcome.BLOCKED  # filtered on-path: lower bound
+        elif rng.random() < partial_prob:
+            outcome = SpoofOutcome.PARTIAL
+        else:
+            outcome = SpoofOutcome.SPOOFABLE
+        results.append(SpooferResult(asn, outcome, behind_nat))
+    return SpooferDataset(results)

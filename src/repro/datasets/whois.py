@@ -1,0 +1,125 @@
+"""Synthetic IRR/WHOIS database (the Section 4.4 evidence base).
+
+The false-positive hunt inspects WHOIS for relationships BGP does not
+show. The database carries the record types the paper consulted:
+
+* ``aut-num`` objects with the *true* organization handle (hidden
+  multi-AS organizations are linked here even when AS2Org misses them)
+  and import/export policy lines (documenting partial-transit peerings
+  and silent backup-transit providers),
+* ``inetnum`` objects for provider-assigned sub-allocations naming the
+  customer (the paper's "WHOIS entry exists for both customer
+  prefixes"),
+* free-text remarks for tunnel arrangements (the looking-glass /
+  manual-inspection find).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+from repro.topology.model import ASTopology
+
+
+@dataclass(slots=True)
+class AutNumRecord:
+    """One aut-num object."""
+
+    asn: int
+    org_handle: str
+    imports: set[int] = field(default_factory=set)  # "import: from ASx"
+    exports: set[int] = field(default_factory=set)  # "export: to ASx"
+    remarks: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class InetnumRecord:
+    """One inetnum (address-range registration) object."""
+
+    prefix: Prefix
+    org_handle: str
+    registered_asn: int  # the network actually using the range
+
+
+class WhoisDatabase:
+    """Queryable WHOIS snapshot."""
+
+    def __init__(
+        self,
+        aut_nums: dict[int, AutNumRecord],
+        inetnums: list[InetnumRecord],
+    ) -> None:
+        self.aut_nums = aut_nums
+        self.inetnums = list(inetnums)
+
+    def org_handle(self, asn: int) -> str | None:
+        record = self.aut_nums.get(asn)
+        return record.org_handle if record else None
+
+    def same_org(self, a: int, b: int) -> bool:
+        """True iff both ASes list the same organization handle."""
+        handle_a, handle_b = self.org_handle(a), self.org_handle(b)
+        return handle_a is not None and handle_a == handle_b
+
+    def policy_link(self, a: int, b: int) -> bool:
+        """True iff either AS's import/export policy names the other."""
+        rec_a, rec_b = self.aut_nums.get(a), self.aut_nums.get(b)
+        if rec_a and (b in rec_a.imports or b in rec_a.exports):
+            return True
+        return bool(rec_b and (a in rec_b.imports or a in rec_b.exports))
+
+    def tunnel_remark(self, carrier: int, origin: int) -> bool:
+        """True iff the carrier documents a tunnel towards ``origin``."""
+        record = self.aut_nums.get(carrier)
+        if record is None:
+            return False
+        needle = f"tunnel to AS{origin}"
+        return any(needle in remark for remark in record.remarks)
+
+    def inetnums_covering(self, addr: int) -> list[InetnumRecord]:
+        """All inetnum registrations whose range covers ``addr``."""
+        return [rec for rec in self.inetnums if rec.prefix.contains(addr)]
+
+    def registered_user(self, addr: int) -> int | None:
+        """Most specific inetnum registrant for ``addr`` (if any)."""
+        covering = self.inetnums_covering(addr)
+        if not covering:
+            return None
+        most_specific = max(covering, key=lambda rec: rec.prefix.length)
+        return most_specific.registered_asn
+
+
+def build_whois(topo: ASTopology) -> WhoisDatabase:
+    """Derive the WHOIS snapshot from the ground-truth topology."""
+    aut_nums: dict[int, AutNumRecord] = {}
+    for asn, node in topo.ases.items():
+        record = AutNumRecord(asn=asn, org_handle=f"ORG-{node.org_id}")
+        # Policies document every real neighbor (transit, peering,
+        # sibling backbone sessions)...
+        neighbors = node.providers | node.customers | node.peers | node.siblings
+        record.imports.update(neighbors)
+        record.exports.update(neighbors)
+        aut_nums[asn] = record
+    # ...and the BGP-invisible arrangements.
+    for carrier, peer in topo.partial_transit:
+        aut_nums[carrier].imports.add(peer)
+        aut_nums[peer].exports.add(carrier)
+    for provider, customer in topo.backup_transit:
+        aut_nums[provider].imports.add(customer)
+        aut_nums[customer].exports.add(provider)
+        aut_nums[customer].imports.add(provider)
+    for carrier, origin in topo.tunnels:
+        aut_nums[carrier].remarks.append(
+            f"remarks: traffic engineering tunnel to AS{origin}"
+        )
+
+    inetnums: list[InetnumRecord] = []
+    for asn, node in topo.ases.items():
+        handle = f"ORG-{node.org_id}"
+        for prefix in node.prefixes:
+            inetnums.append(InetnumRecord(prefix, handle, asn))
+    for customer, _provider, prefix in topo.pa_assignments:
+        customer_handle = f"ORG-{topo.node(customer).org_id}"
+        inetnums.append(InetnumRecord(prefix, customer_handle, customer))
+    return WhoisDatabase(aut_nums, inetnums)

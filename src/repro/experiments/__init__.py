@@ -1,0 +1,13 @@
+"""End-to-end experiment harness.
+
+:func:`build_world` assembles the full measurement study: synthetic
+topology → BGP observation → RIB → valid-space inference (all five
+variants of Figure 2) → IXP member selection → four weeks of traffic →
+classification. Every benchmark and example builds on a
+:class:`World`, configured by a :class:`WorldConfig`.
+"""
+
+from repro.experiments.config import WorldConfig
+from repro.experiments.runner import World, build_world
+
+__all__ = ["World", "WorldConfig", "build_world"]

@@ -1,0 +1,71 @@
+"""Configuration presets for end-to-end experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.collector import CollectorConfig
+from repro.topology.generator import TopologyConfig
+from repro.traffic.scenario import ScenarioConfig
+
+
+@dataclass(slots=True)
+class WorldConfig:
+    """Everything needed to build one synthetic measurement study."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    collectors: CollectorConfig = field(default_factory=CollectorConfig)
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    #: Number of IXP members (the paper's vantage point had 727).
+    n_members: int = 300
+    #: Fraction of eligible origins announcing selectively.
+    selective_fraction: float = 0.35
+    #: Fraction of eligible origins deaggregating towards the primary.
+    deagg_fraction: float = 0.35
+    #: Route-server participation among members.
+    rs_participation: float = 0.9
+    seed: int = 42
+
+    @classmethod
+    def tiny(cls, seed: int = 42) -> "WorldConfig":
+        """Fast preset for unit/integration tests (seconds)."""
+        return cls(
+            topology=TopologyConfig(n_ases=160, n_tier1=5, seed=seed),
+            collectors=CollectorConfig(n_ris=3, n_routeviews=3, mean_peers=2.0),
+            scenario=ScenarioConfig(total_regular_rows=12_000, seed=seed + 1),
+            n_members=50,
+            seed=seed,
+        )
+
+    @classmethod
+    def small(cls, seed: int = 42) -> "WorldConfig":
+        """Preset for quick experiments (tens of seconds)."""
+        return cls(
+            topology=TopologyConfig(n_ases=600, n_tier1=8, seed=seed),
+            collectors=CollectorConfig(n_ris=8, n_routeviews=8, mean_peers=2.0),
+            scenario=ScenarioConfig(total_regular_rows=60_000, seed=seed + 1),
+            n_members=140,
+            seed=seed,
+        )
+
+    @classmethod
+    def default(cls, seed: int = 42) -> "WorldConfig":
+        """The standard benchmark preset (a few minutes end to end)."""
+        return cls(
+            topology=TopologyConfig(n_ases=2000, n_tier1=10, seed=seed),
+            collectors=CollectorConfig(n_ris=18, n_routeviews=16),
+            scenario=ScenarioConfig(total_regular_rows=200_000, seed=seed + 1),
+            n_members=300,
+            seed=seed,
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 42) -> "WorldConfig":
+        """Closest to the paper's vantage point (727 members)."""
+        return cls(
+            topology=TopologyConfig(n_ases=6000, n_tier1=12, seed=seed),
+            collectors=CollectorConfig(n_ris=18, n_routeviews=16),
+            scenario=ScenarioConfig(total_regular_rows=500_000, seed=seed + 1),
+            n_members=727,
+            seed=seed,
+        )

@@ -1,0 +1,127 @@
+"""World assembly: topology → BGP → cones → IXP → traffic → labels."""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.collector import CollectorSystem
+from repro.bgp.rib import GlobalRIB
+from repro.bgp.simulate import simulate_bgp
+from repro.core.classifier import SpoofingClassifier
+from repro.core.results import ClassificationResult
+from repro.cones.base import ValidSpaceMap
+from repro.cones.customer_cone import CustomerConeValidSpace
+from repro.cones.full_cone import FullConeValidSpace
+from repro.cones.naive import NaiveValidSpace
+from repro.cones.orgs import apply_org_merge
+from repro.datasets.as2org import As2OrgDataset, build_as2org
+from repro.experiments.config import WorldConfig
+from repro.ixp.model import IXP, select_members
+from repro.topology.generator import generate_topology
+from repro.topology.model import ASTopology
+from repro.topology.policies import AnnouncementPolicy, build_policies
+from repro.traffic.scenario import TrafficScenario, generate_traffic
+
+logger = logging.getLogger(__name__)
+
+#: The approaches every world carries, in Table 1 column order.
+APPROACHES = ("naive", "cc", "full", "naive+orgs", "cc+orgs", "full+orgs")
+
+#: The approach all Section 5–7 analyses use (the paper's choice).
+PRIMARY_APPROACH = "full+orgs"
+
+
+@dataclass(slots=True)
+class World:
+    """One fully built synthetic measurement study."""
+
+    config: WorldConfig
+    topo: ASTopology
+    policies: dict[int, AnnouncementPolicy]
+    collectors: CollectorSystem
+    ixp: IXP
+    rib: GlobalRIB
+    as2org: As2OrgDataset
+    approaches: dict[str, ValidSpaceMap]
+    classifier: SpoofingClassifier
+    scenario: TrafficScenario = None  # type: ignore[assignment]
+    result: ClassificationResult = None  # type: ignore[assignment]
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def primary(self) -> str:
+        return PRIMARY_APPROACH
+
+
+def build_valid_space_maps(
+    rib: GlobalRIB, as2org: As2OrgDataset
+) -> dict[str, ValidSpaceMap]:
+    """All five inference variants of Figure 2 (plus naive+orgs)."""
+    naive = NaiveValidSpace(rib)
+    cc = CustomerConeValidSpace(rib)
+    full = FullConeValidSpace(rib)
+    mapping = as2org.asn_to_org()
+    return {
+        "naive": naive,
+        "cc": cc,
+        "full": full,
+        "naive+orgs": apply_org_merge(naive, mapping),
+        "cc+orgs": apply_org_merge(cc, mapping),
+        "full+orgs": apply_org_merge(full, mapping),
+    }
+
+
+def build_world(
+    config: WorldConfig | None = None,
+    with_traffic: bool = True,
+    classify: bool = True,
+) -> World:
+    """Build the full study. Set ``with_traffic=False`` for BGP-only
+    experiments (e.g. Figure 2), which are much faster."""
+    config = config or WorldConfig.default()
+    rng = np.random.default_rng(config.seed)
+
+    logger.info("generating topology (%d ASes)", config.topology.n_ases)
+    topo = generate_topology(config.topology)
+    policies = build_policies(
+        topo, rng, config.selective_fraction, config.deagg_fraction
+    )
+    collectors = CollectorSystem(topo, config.collectors, rng)
+    ixp = select_members(
+        topo, rng, config.n_members, rs_participation=config.rs_participation
+    )
+
+    logger.info("propagating BGP and building the RIB")
+    rib = GlobalRIB.from_observations(
+        simulate_bgp(topo, policies, collectors, ixp.route_server, rng)
+    )
+    as2org = build_as2org(topo)
+    logger.info("computing valid-space maps (%d prefixes)", rib.num_prefixes)
+    approaches = build_valid_space_maps(rib, as2org)
+    classifier = SpoofingClassifier(rib, approaches)
+
+    world = World(
+        config=config,
+        topo=topo,
+        policies=policies,
+        collectors=collectors,
+        ixp=ixp,
+        rib=rib,
+        as2org=as2org,
+        approaches=approaches,
+        classifier=classifier,
+    )
+    if with_traffic:
+        logger.info("generating traffic (%d regular rows)",
+                    config.scenario.total_regular_rows)
+        world.scenario = generate_traffic(
+            topo, ixp, rib, config.scenario, policies=policies,
+            collector_peer_asns=collectors.all_peer_asns,
+        )
+        if classify:
+            logger.info("classifying %d flows", len(world.scenario.flows))
+            world.result = classifier.classify(world.scenario.flows)
+    return world

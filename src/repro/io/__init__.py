@@ -1,0 +1,38 @@
+"""I/O boundaries: flow tables, route observations, operator formats.
+
+The paper's pipeline sits between real file formats (IPFIX exports,
+MRT dumps, Team Cymru bogon lists, plain-text prefix filters). This
+package provides the equivalent boundaries so the library composes
+with external tooling:
+
+* :mod:`repro.io.flows` — FlowTable ⇄ ``.npz`` (compact columnar) and
+  CSV (interoperable) round-trips.
+* :mod:`repro.io.routes` — RouteObservation streams ⇄ an MRT-inspired
+  line format (``TABLE_DUMP2``-style records).
+* :mod:`repro.io.bogonfmt` — the Team Cymru plain-text bogon format.
+* :mod:`repro.io.filters` — prefix filter lists in router-style
+  ``permit``-line syntax.
+"""
+
+from repro.io.bogonfmt import load_bogon_file, write_bogon_file
+from repro.io.filters import load_filter_list, write_filter_list
+from repro.io.flows import (
+    load_flows_csv,
+    load_flows_npz,
+    save_flows_csv,
+    save_flows_npz,
+)
+from repro.io.routes import load_route_dump, write_route_dump
+
+__all__ = [
+    "load_bogon_file",
+    "load_filter_list",
+    "load_flows_csv",
+    "load_flows_npz",
+    "load_route_dump",
+    "save_flows_csv",
+    "save_flows_npz",
+    "write_bogon_file",
+    "write_filter_list",
+    "write_route_dump",
+]

@@ -1,0 +1,52 @@
+"""The Team Cymru plain-text bogon list format.
+
+The operational artefact the paper consumes (Section 3.3): one prefix
+per line, ``#`` comments, blank lines ignored. Operators commonly
+fetch this file verbatim into router configs, so the loader is strict
+about prefix syntax and overlap.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterable
+
+from repro.net.prefix import Prefix
+
+
+def write_bogon_file(
+    prefixes: Iterable[tuple[Prefix, str]], path: str | pathlib.Path
+) -> None:
+    """Write ``(prefix, comment)`` pairs in Team Cymru style."""
+    with open(path, "w") as handle:
+        handle.write("# bogon reference (generated)\n")
+        for prefix, comment in prefixes:
+            handle.write(f"{prefix}  # {comment}\n" if comment else f"{prefix}\n")
+
+
+def load_bogon_file(
+    path: str | pathlib.Path, reject_overlaps: bool = True
+) -> list[Prefix]:
+    """Parse a bogon file; returns prefixes in file order.
+
+    ``reject_overlaps`` raises when two entries overlap — a real
+    aggregated bogon list never overlaps, and overlap usually means a
+    corrupted merge.
+    """
+    prefixes: list[Prefix] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            try:
+                prefix = Prefix.parse(text)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_number}: {exc}") from exc
+            prefixes.append(prefix)
+    if reject_overlaps:
+        ordered = sorted(prefixes)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.last >= b.first:
+                raise ValueError(f"overlapping bogon entries: {a} and {b}")
+    return prefixes

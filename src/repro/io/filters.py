@@ -1,0 +1,64 @@
+"""Prefix filter lists in router-style ``permit`` syntax.
+
+The deployable form of :func:`repro.core.filterlists.build_ingress_acl`::
+
+    ! ingress whitelist for AS64500 (full+orgs)
+    ip prefix-list AS64500-in permit 192.0.2.0/24
+    ip prefix-list AS64500-in permit 198.51.100.0/24
+
+Round-trips through :class:`~repro.net.prefixset.PrefixSet`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+_PERMIT = re.compile(
+    r"^ip prefix-list (?P<name>\S+) permit (?P<prefix>\S+)$"
+)
+
+
+def write_filter_list(
+    acl: PrefixSet,
+    peer_asn: int,
+    path: str | pathlib.Path,
+    approach: str = "full+orgs",
+) -> int:
+    """Write a whitelist; returns the number of permit lines."""
+    name = f"AS{peer_asn}-in"
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(f"! ingress whitelist for AS{peer_asn} ({approach})\n")
+        for prefix in acl.prefixes():
+            handle.write(f"ip prefix-list {name} permit {prefix}\n")
+            count += 1
+    return count
+
+
+def load_filter_list(path: str | pathlib.Path) -> tuple[str, PrefixSet]:
+    """Read a filter list back; returns (list name, prefix set)."""
+    name: str | None = None
+    prefixes: list[Prefix] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            text = line.strip()
+            if not text or text.startswith("!"):
+                continue
+            match = _PERMIT.match(text)
+            if match is None:
+                raise ValueError(f"{path}:{line_number}: unparsable line")
+            if name is None:
+                name = match.group("name")
+            elif match.group("name") != name:
+                raise ValueError(
+                    f"{path}:{line_number}: mixed list names "
+                    f"({name} vs {match.group('name')})"
+                )
+            prefixes.append(Prefix.parse(match.group("prefix")))
+    if name is None:
+        raise ValueError(f"{path}: no permit lines")
+    return name, PrefixSet(prefixes)

@@ -1,0 +1,84 @@
+"""FlowTable persistence.
+
+Two formats:
+
+* ``.npz`` — numpy's compressed container, one array per column.
+  Lossless and compact; the native interchange format of this library.
+* CSV — one row per flow with dotted-quad addresses, for
+  interoperability with spreadsheet/awk-grade tooling. Lossless for
+  every column (ports, counters, member ASNs, times, truth labels).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.ixp.flows import FlowTable
+from repro.net.addr import addr_to_int, int_to_addr
+
+_CSV_HEADER = (
+    "src", "dst", "proto", "src_port", "dst_port", "packets", "bytes",
+    "member", "dst_member", "time", "truth",
+)
+
+
+def save_flows_npz(flows: FlowTable, path: str | pathlib.Path) -> None:
+    """Write a flow table to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        **{name: getattr(flows, name) for name in _CSV_HEADER},
+    )
+
+
+def load_flows_npz(path: str | pathlib.Path) -> FlowTable:
+    """Read a flow table written by :func:`save_flows_npz`."""
+    with np.load(path) as archive:
+        return FlowTable(**{name: archive[name] for name in _CSV_HEADER})
+
+
+def save_flows_csv(flows: FlowTable, path: str | pathlib.Path) -> None:
+    """Write a flow table as CSV with dotted-quad addresses."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for i in range(len(flows)):
+            writer.writerow(
+                (
+                    int_to_addr(int(flows.src[i])),
+                    int_to_addr(int(flows.dst[i])),
+                    int(flows.proto[i]),
+                    int(flows.src_port[i]),
+                    int(flows.dst_port[i]),
+                    int(flows.packets[i]),
+                    int(flows.bytes[i]),
+                    int(flows.member[i]),
+                    int(flows.dst_member[i]),
+                    int(flows.time[i]),
+                    int(flows.truth[i]),
+                )
+            )
+
+
+def load_flows_csv(path: str | pathlib.Path) -> FlowTable:
+    """Read a flow table written by :func:`save_flows_csv`."""
+    columns: dict[str, list[int]] = {name: [] for name in _CSV_HEADER}
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if tuple(header) != _CSV_HEADER:
+            raise ValueError(f"unexpected CSV header: {header}")
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(_CSV_HEADER):
+                raise ValueError(f"malformed CSV row: {row}")
+            columns["src"].append(addr_to_int(row[0]))
+            columns["dst"].append(addr_to_int(row[1]))
+            for name, value in zip(_CSV_HEADER[2:], row[2:]):
+                columns[name].append(int(value))
+    return FlowTable(
+        **{name: np.array(values) for name, values in columns.items()}
+    )

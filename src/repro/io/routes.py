@@ -1,0 +1,80 @@
+"""Route observation dumps in an MRT-inspired line format.
+
+One record per line, pipe-separated like the widely used
+``bgpdump -m`` output of MRT ``TABLE_DUMP2`` files::
+
+    TABLE_DUMP2|<timestamp>|B|<source>|<peer_asn>|<prefix>|<as_path>|...
+
+where ``B`` marks a table-dump entry, ``A`` an update announcement
+(our ``from_update`` flag) and ``W`` a withdrawal. The AS path is
+space-separated, monitor-first, origin-last — exactly the in-memory
+convention of :class:`repro.bgp.messages.RouteObservation`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterable, Iterator
+
+from repro.bgp.messages import RouteObservation
+from repro.net.prefix import Prefix
+
+_RECORD = "TABLE_DUMP2"
+
+
+def write_route_dump(
+    observations: Iterable[RouteObservation], path: str | pathlib.Path
+) -> int:
+    """Write observations; returns the number of records written."""
+    count = 0
+    with open(path, "w") as handle:
+        for observation in observations:
+            if observation.withdrawal:
+                kind = "W"
+            elif observation.from_update:
+                kind = "A"
+            else:
+                kind = "B"
+            path_text = " ".join(str(asn) for asn in observation.path)
+            handle.write(
+                f"{_RECORD}|{observation.timestamp}|{kind}|"
+                f"{observation.source}|{observation.monitor_peer}|"
+                f"{observation.prefix}|{path_text}\n"
+            )
+            count += 1
+    return count
+
+
+def load_route_dump(path: str | pathlib.Path) -> Iterator[RouteObservation]:
+    """Stream observations back from a dump file.
+
+    Malformed lines raise ``ValueError`` with the line number — dumps
+    are machine-written, so silence would hide corruption.
+    """
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("|")
+            if len(fields) != 7 or fields[0] != _RECORD:
+                raise ValueError(f"{path}:{line_number}: malformed record")
+            _record, timestamp, kind, source, peer, prefix_text, path_text = fields
+            as_path = tuple(int(asn) for asn in path_text.split())
+            if not as_path:
+                raise ValueError(f"{path}:{line_number}: empty AS path")
+            if int(peer) != as_path[0]:
+                raise ValueError(
+                    f"{path}:{line_number}: peer {peer} does not match "
+                    f"path head {as_path[0]}"
+                )
+            if kind not in ("A", "B", "W"):
+                raise ValueError(f"{path}:{line_number}: bad kind {kind!r}")
+            yield RouteObservation(
+                prefix=Prefix.parse(prefix_text),
+                path=as_path,
+                source=source,
+                timestamp=int(timestamp),
+                from_update=kind in ("A", "W"),
+                withdrawal=kind == "W",
+            )

@@ -1,0 +1,24 @@
+"""The IXP vantage point: members, flow records, packet sampling.
+
+Models the paper's measurement infrastructure: a layer-2 switching
+fabric interconnecting ~700 member networks, monitored via IPFIX flow
+summaries produced by random 1-out-of-10K packet sampling. Flows are
+stored columnar (:class:`FlowTable`) so that classification and all
+downstream analyses run as vectorised numpy operations.
+"""
+
+from repro.ixp.flows import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowTable, TruthLabel
+from repro.ixp.model import IXP, IXPMember, select_members
+from repro.ixp.sampling import PacketSampler
+
+__all__ = [
+    "IXP",
+    "IXPMember",
+    "FlowTable",
+    "PacketSampler",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TruthLabel",
+    "select_members",
+]

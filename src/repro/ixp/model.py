@@ -1,0 +1,116 @@
+"""The IXP and its members.
+
+The paper's vantage point had 727 members exchanging ~230 PB/week.
+:class:`IXP` binds the member set (with their business types and
+traffic weights) to the route server and the packet sampler; member
+selection from a topology lives here because which ASes join an IXP is
+a property of the vantage point, not of the Internet itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.routeserver import RouteServer
+from repro.topology.model import ASTopology, BusinessType
+
+#: Relative propensity of each business type to join the IXP.
+_JOIN_WEIGHT: dict[BusinessType, float] = {
+    BusinessType.NSP: 2.0,
+    BusinessType.ISP: 1.6,
+    BusinessType.HOSTING: 2.2,
+    BusinessType.CONTENT: 2.5,
+    BusinessType.OTHER: 0.5,
+}
+
+
+@dataclass(slots=True)
+class IXPMember:
+    """One member network connected to the switching fabric."""
+
+    asn: int
+    business_type: BusinessType
+    #: Relative share of the member's total traffic at the fabric
+    #: (heavy-tailed; content/hosting networks dominate, as in Fig. 6).
+    traffic_weight: float = 1.0
+    #: True if the member buys/sells transit across the fabric, i.e. it
+    #: legitimately forwards sources from its peers' cones (Fig. 1c).
+    transits_via_ixp: bool = False
+
+
+@dataclass(slots=True)
+class IXP:
+    """The vantage point: members, route server, sampling rate."""
+
+    members: dict[int, IXPMember]
+    route_server: RouteServer
+    sampling_rate: int = 10_000  # 1 out of N packets
+
+    member_asns: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.member_asns = tuple(sorted(self.members))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.members
+
+    def member(self, asn: int) -> IXPMember:
+        return self.members[asn]
+
+    def traffic_weights(self) -> np.ndarray:
+        """Traffic weights aligned with ``member_asns`` order."""
+        return np.array(
+            [self.members[asn].traffic_weight for asn in self.member_asns]
+        )
+
+
+def select_members(
+    topo: ASTopology,
+    rng: np.random.Generator,
+    n_members: int,
+    transit_member_fraction: float = 0.25,
+    rs_participation: float = 0.9,
+    sampling_rate: int = 10_000,
+) -> IXP:
+    """Choose ``n_members`` ASes from the topology to form the IXP.
+
+    Membership is weighted by business type; traffic weights are drawn
+    from a Pareto distribution so a few members dominate the fabric,
+    matching Figure 6's x-axis spread.
+    """
+    candidates = sorted(topo.ases)
+    weights = np.array(
+        [_JOIN_WEIGHT[topo.node(asn).business_type] for asn in candidates]
+    )
+    n_members = min(n_members, len(candidates))
+    chosen = rng.choice(
+        candidates, size=n_members, replace=False, p=weights / weights.sum()
+    )
+    members: dict[int, IXPMember] = {}
+    for asn in sorted(int(a) for a in chosen):
+        node = topo.node(asn)
+        base = float(rng.pareto(1.15) + 0.05)
+        type_boost = {
+            BusinessType.CONTENT: 4.0,
+            BusinessType.HOSTING: 2.5,
+            BusinessType.NSP: 1.5,
+            BusinessType.ISP: 1.0,
+            BusinessType.OTHER: 0.3,
+        }[node.business_type]
+        has_ixp_customers = len(node.customers) >= 3 and rng.random() < transit_member_fraction
+        # Transit members move traffic proportional to their customer
+        # base — most of a carrier's fabric traffic is not its own.
+        cone_boost = 1.0 + 0.12 * len(node.customers)
+        members[asn] = IXPMember(
+            asn=asn,
+            business_type=node.business_type,
+            traffic_weight=base * type_boost * cone_boost,
+            transits_via_ixp=has_ixp_customers,
+        )
+    route_server = RouteServer(members, participation=rs_participation)
+    return IXP(members=members, route_server=route_server, sampling_rate=sampling_rate)

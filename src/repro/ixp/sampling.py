@@ -1,0 +1,35 @@
+"""Random packet sampling (IPFIX, 1 out of N).
+
+The traffic generators describe *unsampled* traffic intensities
+(packets); the sampler thins them to the sampled counts the monitoring
+infrastructure would record. Thinning a Poisson packet stream at rate
+1/N is itself Poisson, which is how expected sampled volumes are drawn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PacketSampler:
+    """1-out-of-N random packet sampling."""
+
+    def __init__(self, rng: np.random.Generator, rate: int = 10_000) -> None:
+        if rate < 1:
+            raise ValueError("sampling rate must be >= 1")
+        self._rng = rng
+        self.rate = rate
+
+    def sampled_count(self, true_packets: float) -> int:
+        """Sampled packets for a flow of ``true_packets`` real packets."""
+        return int(self._rng.poisson(true_packets / self.rate))
+
+    def sampled_counts(self, true_packets: np.ndarray) -> np.ndarray:
+        """Vectorised version of :meth:`sampled_count`."""
+        return self._rng.poisson(
+            np.asarray(true_packets, dtype=np.float64) / self.rate
+        )
+
+    def extrapolate(self, sampled: np.ndarray | int) -> np.ndarray | int:
+        """Scale sampled counts back to estimated true volumes."""
+        return sampled * self.rate

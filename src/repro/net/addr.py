@@ -1,0 +1,80 @@
+"""Integer-based IPv4 address helpers.
+
+Addresses are plain ``int`` values in ``[0, 2**32)``. The dotted-quad
+conversions exist for I/O and debugging; all hot paths stay on ints.
+"""
+
+from __future__ import annotations
+
+from repro.net.errors import AddressError
+
+MAX_IPV4 = 2**32 - 1
+
+_OCTET_SHIFTS = (24, 16, 8, 0)
+
+
+def addr_to_int(text: str) -> int:
+    """Parse a dotted-quad IPv4 literal into an integer.
+
+    >>> addr_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part, shift in zip(parts, _OCTET_SHIFTS):
+        try:
+            octet = int(part, 10)
+        except ValueError as exc:
+            raise AddressError(f"bad octet {part!r} in {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise AddressError(f"octet {octet} out of range in {text!r}")
+        if len(part) > 1 and part[0] == "0":
+            raise AddressError(f"leading zero in octet {part!r} of {text!r}")
+        value |= octet << shift
+    return value
+
+
+def int_to_addr(value: int) -> str:
+    """Render an integer as a dotted-quad IPv4 literal.
+
+    >>> int_to_addr(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise AddressError(f"address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in _OCTET_SHIFTS)
+
+
+def parse_prefix(text: str) -> tuple[int, int]:
+    """Parse ``"a.b.c.d/len"`` into ``(network_int, length)``.
+
+    The network address must be the true base of the prefix (no host
+    bits set); this mirrors the strictness of BGP announcements.
+    """
+    from repro.net.errors import PrefixError
+
+    base, sep, length_text = text.partition("/")
+    if not sep:
+        raise PrefixError(f"missing '/length' in {text!r}")
+    try:
+        length = int(length_text, 10)
+    except ValueError as exc:
+        raise PrefixError(f"bad prefix length in {text!r}") from exc
+    if not 0 <= length <= 32:
+        raise PrefixError(f"prefix length {length} out of range in {text!r}")
+    network = addr_to_int(base)
+    host_mask = (1 << (32 - length)) - 1
+    if network & host_mask:
+        raise PrefixError(f"host bits set in {text!r}")
+    return network, length
+
+
+def random_addr_in_prefix(rng, network: int, length: int) -> int:
+    """Draw a uniform random address inside ``network/length``.
+
+    ``rng`` is a :class:`numpy.random.Generator`.
+    """
+    span = 1 << (32 - length)
+    return network + int(rng.integers(0, span))

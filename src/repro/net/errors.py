@@ -1,0 +1,9 @@
+"""Exceptions raised by the :mod:`repro.net` package."""
+
+
+class AddressError(ValueError):
+    """An IPv4 address literal or integer is malformed or out of range."""
+
+
+class PrefixError(ValueError):
+    """A prefix is malformed (bad length, host bits set, bad syntax)."""

@@ -1,0 +1,97 @@
+"""The canonical IPv4 prefix type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import MAX_IPV4, int_to_addr, parse_prefix
+from repro.net.errors import PrefixError
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """An IPv4 prefix ``network/length`` with no host bits set.
+
+    Prefixes order lexicographically by ``(network, length)``, so a
+    covering prefix sorts immediately before its subnets — convenient
+    for sweep-based aggregation.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise PrefixError(f"length {self.length} out of range")
+        if not 0 <= self.network <= MAX_IPV4:
+            raise PrefixError(f"network {self.network} out of range")
+        if self.network & self.host_mask:
+            raise PrefixError(
+                f"host bits set in {int_to_addr(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> Prefix:
+        """Parse ``"a.b.c.d/len"`` into a :class:`Prefix`."""
+        network, length = parse_prefix(text)
+        return cls(network, length)
+
+    @property
+    def host_mask(self) -> int:
+        """Mask of the host bits (``0`` for a /32)."""
+        return (1 << (32 - self.length)) - 1
+
+    @property
+    def netmask(self) -> int:
+        """The network mask as an integer."""
+        return MAX_IPV4 ^ self.host_mask
+
+    @property
+    def first(self) -> int:
+        """First address covered (the network address itself)."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Last address covered (the broadcast address)."""
+        return self.network | self.host_mask
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    @property
+    def slash24_equivalents(self) -> float:
+        """Size expressed in /24 equivalents (the paper's unit)."""
+        return self.num_addresses / 256.0
+
+    def contains(self, addr: int) -> bool:
+        """True iff ``addr`` falls inside this prefix."""
+        return self.network <= addr <= self.last
+
+    def covers(self, other: Prefix) -> bool:
+        """True iff ``other`` is equal to or more specific than this prefix."""
+        return self.length <= other.length and other.network & self.netmask == self.network
+
+    def subnets(self) -> tuple[Prefix, Prefix]:
+        """Split into the two immediate subnets (undefined for a /32)."""
+        if self.length == 32:
+            raise PrefixError("cannot split a /32")
+        child_len = self.length + 1
+        half = 1 << (32 - child_len)
+        return Prefix(self.network, child_len), Prefix(self.network + half, child_len)
+
+    def supernet(self) -> Prefix:
+        """The immediate covering prefix (undefined for a /0)."""
+        if self.length == 0:
+            raise PrefixError("a /0 has no supernet")
+        parent_len = self.length - 1
+        mask = MAX_IPV4 ^ ((1 << (32 - parent_len)) - 1)
+        return Prefix(self.network & mask, parent_len)
+
+    def __str__(self) -> str:
+        return f"{int_to_addr(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({self!s})"

@@ -1,0 +1,142 @@
+"""A binary prefix trie with longest-prefix match.
+
+The trie maps :class:`~repro.net.prefix.Prefix` keys to arbitrary
+values. Lookups walk at most 32 levels; inserts create path nodes
+lazily. This is the data structure behind the global RIB's
+routed-space and origin-AS lookups.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.net.prefix import Prefix
+
+
+class _Node:
+    __slots__ = ("zero", "one", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.zero: _Node | None = None
+        self.one: _Node | None = None
+        self.value: Any = None
+        self.has_value = False
+
+
+class PrefixTrie:
+    """Maps prefixes to values with exact and longest-prefix lookups."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix, _MISSING) is not _MISSING
+
+    def insert(self, prefix: Prefix, value: Any) -> None:
+        """Insert or overwrite the value stored at ``prefix``."""
+        node = self._root
+        for bit_index in range(prefix.length):
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            if bit:
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: Prefix, default: Any = None) -> Any:
+        """Exact-match lookup; returns ``default`` when absent."""
+        node = self._walk(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return default
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove an exact entry; returns True if one was present.
+
+        Nodes are not physically pruned — removal is rare in our
+        workloads and lookups skip valueless nodes anyway.
+        """
+        node = self._walk(prefix)
+        if node is None or not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def longest_match(self, addr: int) -> tuple[Prefix, Any] | None:
+        """Return the most specific ``(prefix, value)`` covering ``addr``."""
+        node = self._root
+        best: tuple[int, Any] | None = None
+        depth = 0
+        if node.has_value:
+            best = (0, node.value)
+        while depth < 32:
+            bit = (addr >> (31 - depth)) & 1
+            node = node.one if bit else node.zero  # type: ignore[assignment]
+            if node is None:
+                break
+            depth += 1
+            if node.has_value:
+                best = (depth, node.value)
+        if best is None:
+            return None
+        length, value = best
+        mask = 0 if length == 0 else ((1 << length) - 1) << (32 - length)
+        return Prefix(addr & mask, length), value
+
+    def lookup(self, addr: int, default: Any = None) -> Any:
+        """Longest-prefix-match value for ``addr`` (or ``default``)."""
+        match = self.longest_match(addr)
+        return default if match is None else match[1]
+
+    def covers(self, addr: int) -> bool:
+        """True iff any stored prefix contains ``addr``."""
+        return self.longest_match(addr) is not None
+
+    def items(self) -> Iterator[tuple[Prefix, Any]]:
+        """Iterate ``(prefix, value)`` pairs in network/length order."""
+        stack: list[tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield Prefix(network, length), node.value
+            # Push 'one' first so 'zero' (lower addresses) pops first.
+            if node.one is not None:
+                stack.append((node.one, network | (1 << (31 - length)), length + 1))
+            if node.zero is not None:
+                stack.append((node.zero, network, length + 1))
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Iterate stored prefixes in network/length order."""
+        for prefix, _value in self.items():
+            yield prefix
+
+    def _walk(self, prefix: Prefix) -> _Node | None:
+        node: _Node | None = self._root
+        for bit_index in range(prefix.length):
+            if node is None:
+                return None
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            node = node.one if bit else node.zero
+        return node
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

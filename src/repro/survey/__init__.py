@@ -1,0 +1,25 @@
+"""The network-operator survey of Section 2.2.
+
+The paper circulated a questionnaire across 12 operator mailing lists
+and received 84 responses. This package models the questionnaire, a
+synthetic respondent population whose marginals match the reported
+percentages, and the tabulation that reproduces the section's numbers.
+"""
+
+from repro.survey.model import (
+    EgressPolicy,
+    IngressPolicy,
+    SurveyResponse,
+    SurveyResults,
+    generate_survey_responses,
+    tabulate,
+)
+
+__all__ = [
+    "EgressPolicy",
+    "IngressPolicy",
+    "SurveyResponse",
+    "SurveyResults",
+    "generate_survey_responses",
+    "tabulate",
+]

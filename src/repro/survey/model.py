@@ -1,0 +1,169 @@
+"""Survey data model and tabulation (Section 2.2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.model import BusinessType
+
+
+class IngressPolicy(enum.Enum):
+    """What a network filters where traffic enters it."""
+
+    NONE = "none"
+    WELL_KNOWN_RANGES = "well-known ranges"  # RFC1918 & friends
+    CUSTOMER_SPECIFIC = "customer-specific filters"
+
+
+class EgressPolicy(enum.Enum):
+    """What a network filters where traffic leaves it."""
+
+    NONE = "none"
+    NON_ROUTABLE_ONLY = "non-routable space only"
+    CUSTOMER_AS_SPECIFIC = "customer AS-specific filters"
+
+
+@dataclass(slots=True, frozen=True)
+class SurveyResponse:
+    """One operator's answers."""
+
+    respondent_id: int
+    business_type: BusinessType
+    region: str
+    suffered_spoofing_attack: bool
+    complained_to_peers: bool
+    validates_source_addresses: bool
+    ingress: IngressPolicy
+    egress: EgressPolicy
+    filters_own_traffic: bool
+    mentions_rpf_issues: bool
+
+
+#: Target marginals from Section 2.2.
+MARGINALS = {
+    "suffered_spoofing_attack": 0.70,
+    "complained_to_peers": 0.50,
+    "no_source_validation": 0.24,
+    "ingress_well_known": 0.70,
+    "ingress_customer_specific": 0.20,
+    "ingress_none": 0.07,
+    "egress_customer_specific": 0.50,
+    "egress_none": 0.24,
+    "egress_non_routable": 0.26,
+    "filters_own_traffic": 0.65,
+}
+
+_REGIONS = ("EU", "NA", "SA", "AS", "AF", "OC")
+
+
+def generate_survey_responses(
+    rng: np.random.Generator, n: int = 84
+) -> list[SurveyResponse]:
+    """Draw a respondent population matching the Section 2.2 marginals."""
+    ingress_options = (
+        (IngressPolicy.WELL_KNOWN_RANGES, MARGINALS["ingress_well_known"]),
+        (IngressPolicy.CUSTOMER_SPECIFIC, MARGINALS["ingress_customer_specific"]),
+        (IngressPolicy.NONE, MARGINALS["ingress_none"]),
+    )
+    # Residual probability mass: respondents that gave other answers;
+    # fold into well-known ranges like the paper's "up to 70%".
+    ingress_probs = np.array([p for _o, p in ingress_options])
+    ingress_probs = ingress_probs / ingress_probs.sum()
+    egress_options = (
+        (EgressPolicy.CUSTOMER_AS_SPECIFIC, MARGINALS["egress_customer_specific"]),
+        (EgressPolicy.NONE, MARGINALS["egress_none"]),
+        (EgressPolicy.NON_ROUTABLE_ONLY, MARGINALS["egress_non_routable"]),
+    )
+    egress_probs = np.array([p for _o, p in egress_options])
+    egress_probs = egress_probs / egress_probs.sum()
+    types = list(BusinessType)
+    responses = []
+    for respondent_id in range(1, n + 1):
+        ingress = ingress_options[
+            int(rng.choice(len(ingress_options), p=ingress_probs))
+        ][0]
+        egress = egress_options[
+            int(rng.choice(len(egress_options), p=egress_probs))
+        ][0]
+        responses.append(
+            SurveyResponse(
+                respondent_id=respondent_id,
+                business_type=types[int(rng.integers(0, len(types)))],
+                region=_REGIONS[int(rng.integers(0, len(_REGIONS)))],
+                suffered_spoofing_attack=bool(
+                    rng.random() < MARGINALS["suffered_spoofing_attack"]
+                ),
+                complained_to_peers=bool(
+                    rng.random() < MARGINALS["complained_to_peers"]
+                ),
+                validates_source_addresses=bool(
+                    rng.random() >= MARGINALS["no_source_validation"]
+                ),
+                ingress=ingress,
+                egress=egress,
+                filters_own_traffic=bool(
+                    rng.random() < MARGINALS["filters_own_traffic"]
+                ),
+                mentions_rpf_issues=bool(rng.random() < 0.4),
+            )
+        )
+    return responses
+
+
+@dataclass(slots=True)
+class SurveyResults:
+    """Tabulated survey shares (the Section 2.2 numbers)."""
+
+    n: int
+    suffered_attack_share: float
+    complained_share: float
+    no_validation_share: float
+    ingress_shares: dict[IngressPolicy, float]
+    egress_shares: dict[EgressPolicy, float]
+    filters_own_share: float
+    regions_covered: int
+
+    def render(self) -> str:
+        lines = [
+            f"Sec.2.2 operator survey ({self.n} responses, "
+            f"{self.regions_covered} regions):",
+            f"  suffered spoofing-related attacks: {self.suffered_attack_share:.0%}",
+            f"  complained to peers:               {self.complained_share:.0%}",
+            f"  do not validate sources:           {self.no_validation_share:.0%}",
+            f"  filter their own traffic:          {self.filters_own_share:.0%}",
+        ]
+        for policy, share in self.ingress_shares.items():
+            lines.append(f"  ingress {policy.value:28s} {share:.0%}")
+        for policy, share in self.egress_shares.items():
+            lines.append(f"  egress  {policy.value:28s} {share:.0%}")
+        return "\n".join(lines)
+
+
+def tabulate(responses: list[SurveyResponse]) -> SurveyResults:
+    """Tabulate a respondent population."""
+    n = len(responses)
+    if n == 0:
+        raise ValueError("no survey responses")
+    ingress_shares = {
+        policy: sum(1 for r in responses if r.ingress is policy) / n
+        for policy in IngressPolicy
+    }
+    egress_shares = {
+        policy: sum(1 for r in responses if r.egress is policy) / n
+        for policy in EgressPolicy
+    }
+    return SurveyResults(
+        n=n,
+        suffered_attack_share=sum(r.suffered_spoofing_attack for r in responses) / n,
+        complained_share=sum(r.complained_to_peers for r in responses) / n,
+        no_validation_share=sum(
+            not r.validates_source_addresses for r in responses
+        ) / n,
+        ingress_shares=ingress_shares,
+        egress_shares=egress_shares,
+        filters_own_share=sum(r.filters_own_traffic for r in responses) / n,
+        regions_covered=len({r.region for r in responses}),
+    )

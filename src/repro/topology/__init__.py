@@ -1,0 +1,34 @@
+"""Synthetic AS-level Internet topology.
+
+The paper's measurements implicitly depend on the structure of the real
+Internet: a tiered AS hierarchy with customer-provider and peering
+relationships, heavy-tailed customer cones, multi-AS organizations,
+selective prefix announcement and asymmetric routing. This package
+generates a synthetic topology exhibiting those properties so that the
+BGP substrate (:mod:`repro.bgp`), the cone inference
+(:mod:`repro.cones`) and the traffic generator (:mod:`repro.traffic`)
+exercise the same phenomena the paper documents — including the ones
+that cause false positives (hidden org links, unannounced backup
+transit, provider-assigned space used across providers, tunnels).
+"""
+
+from repro.topology.model import (
+    ASNode,
+    ASTopology,
+    BusinessType,
+    Organization,
+    Relationship,
+)
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.prefixalloc import PrefixAllocator
+
+__all__ = [
+    "ASNode",
+    "ASTopology",
+    "BusinessType",
+    "Organization",
+    "PrefixAllocator",
+    "Relationship",
+    "TopologyConfig",
+    "generate_topology",
+]

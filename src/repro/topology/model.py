@@ -1,0 +1,199 @@
+"""Data model for the synthetic AS-level topology."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.prefix import Prefix
+
+
+class BusinessType(enum.Enum):
+    """PeeringDB-style network business types used in Figure 6."""
+
+    NSP = "NSP"  # transit / network service provider
+    ISP = "ISP"  # end-user access provider
+    HOSTING = "Hosting"
+    CONTENT = "Content"
+    OTHER = "Other"  # enterprises, research, ...
+
+
+class Relationship(enum.Enum):
+    """Business relationship on an inter-AS link, seen from the first AS."""
+
+    CUSTOMER_OF = "c2p"  # first AS pays the second (provider)
+    PROVIDER_OF = "p2c"  # first AS is paid by the second (customer)
+    PEER = "p2p"  # settlement-free peering
+    SIBLING = "s2s"  # same organization
+
+    def inverse(self) -> Relationship:
+        if self is Relationship.CUSTOMER_OF:
+            return Relationship.PROVIDER_OF
+        if self is Relationship.PROVIDER_OF:
+            return Relationship.CUSTOMER_OF
+        return self
+
+
+@dataclass(slots=True)
+class ASNode:
+    """One autonomous system in the synthetic topology."""
+
+    asn: int
+    business_type: BusinessType
+    tier: int  # 1 = tier-1 transit core, 2 = regional transit, 3 = edge
+    org_id: int
+    #: Prefixes allocated to this AS (whether announced or not).
+    prefixes: list[Prefix] = field(default_factory=list)
+    #: Allocated-but-never-announced prefixes (become "unrouted" space).
+    dark_prefixes: list[Prefix] = field(default_factory=list)
+    providers: set[int] = field(default_factory=set)
+    customers: set[int] = field(default_factory=set)
+    peers: set[int] = field(default_factory=set)
+    siblings: set[int] = field(default_factory=set)
+
+    @property
+    def neighbors(self) -> set[int]:
+        """All ASes this AS shares a (ground-truth) link with."""
+        return self.providers | self.customers | self.peers | self.siblings
+
+    @property
+    def is_stub(self) -> bool:
+        """True iff the AS provides transit to nobody."""
+        return not self.customers
+
+
+@dataclass(slots=True)
+class Organization:
+    """A (possibly multi-AS) organization, as in CAIDA AS2Org."""
+
+    org_id: int
+    name: str
+    asns: set[int] = field(default_factory=set)
+    #: Whether the org is discoverable in the AS2Org dataset. Hidden
+    #: orgs only surface through WHOIS (Section 4.4 false positives).
+    in_as2org: bool = True
+
+
+class ASTopology:
+    """The ground-truth AS graph, organizations and address plan.
+
+    The topology is *ground truth*: it records the real relationships
+    and allocations. BGP observations (:mod:`repro.bgp`) expose only a
+    partial, path-mediated view of it, which is the root cause of the
+    false positives the paper analyses.
+    """
+
+    def __init__(self) -> None:
+        self.ases: dict[int, ASNode] = {}
+        self.orgs: dict[int, Organization] = {}
+        #: Provider-assigned space: (customer_asn, provider_asn, prefix).
+        #: The prefix is part of the provider's announced space but is
+        #: used by the customer — Section 4.4's "uncommon setups".
+        self.pa_assignments: list[tuple[int, int, Prefix]] = []
+        #: Interface addresses of inter-AS transit links:
+        #: (a, b) → (addr used by a's router, addr used by b's router).
+        #: Keys are ordered (provider, customer).
+        self.link_addresses: dict[tuple[int, int], tuple[int, int]] = {}
+        #: Peer links that secretly carry one-way transit: (carrier, peer)
+        #: means `carrier` legitimately forwards traffic sourced from
+        #: `peer`'s customer cone (hybrid/partial-transit relationships
+        #: that relationship inference sees as plain peering).
+        self.partial_transit: set[tuple[int, int]] = set()
+        #: Tunnel arrangements: (carrier_asn, origin_asn) — the carrier
+        #: hauls the origin's traffic over infrastructure invisible to
+        #: BGP (Section 4.4's cloud-startup case).
+        self.tunnels: set[tuple[int, int]] = set()
+        #: Backup transit links (provider, customer) that carry *no*
+        #: announcements during the window (invisible to BGP) but are
+        #: documented in WHOIS import/export policies — Section 4.4's
+        #: "WHOIS shows an upstream provider we do not see in BGP".
+        self.backup_transit: set[tuple[int, int]] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add_as(self, node: ASNode) -> None:
+        if node.asn in self.ases:
+            raise ValueError(f"duplicate ASN {node.asn}")
+        self.ases[node.asn] = node
+        org = self.orgs.setdefault(
+            node.org_id, Organization(node.org_id, f"ORG-{node.org_id}")
+        )
+        org.asns.add(node.asn)
+
+    def add_link(self, a: int, b: int, rel: Relationship) -> None:
+        """Add a link; ``rel`` is the relationship of ``a`` towards ``b``."""
+        node_a, node_b = self.ases[a], self.ases[b]
+        if rel is Relationship.CUSTOMER_OF:
+            node_a.providers.add(b)
+            node_b.customers.add(a)
+        elif rel is Relationship.PROVIDER_OF:
+            node_a.customers.add(b)
+            node_b.providers.add(a)
+        elif rel is Relationship.PEER:
+            node_a.peers.add(b)
+            node_b.peers.add(a)
+        else:
+            node_a.siblings.add(b)
+            node_b.siblings.add(a)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ases)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.ases
+
+    def node(self, asn: int) -> ASNode:
+        return self.ases[asn]
+
+    def relationship(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``a`` towards ``b`` or None if not adjacent."""
+        node_a = self.ases[a]
+        if b in node_a.providers:
+            return Relationship.CUSTOMER_OF
+        if b in node_a.customers:
+            return Relationship.PROVIDER_OF
+        if b in node_a.peers:
+            return Relationship.PEER
+        if b in node_a.siblings:
+            return Relationship.SIBLING
+        return None
+
+    def customer_cone(self, asn: int) -> set[int]:
+        """Ground-truth customer cone: ``asn`` plus transitive customers."""
+        cone: set[int] = set()
+        stack = [asn]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            stack.extend(self.ases[current].customers - cone)
+        return cone
+
+    def org_siblings(self, asn: int) -> set[int]:
+        """All ASes in the same organization, including ``asn`` itself."""
+        return set(self.orgs[self.ases[asn].org_id].asns)
+
+    def all_links(self) -> list[tuple[int, int, Relationship]]:
+        """Every link once, as ``(a, b, relationship-of-a-to-b)``."""
+        seen: set[tuple[int, int]] = set()
+        links: list[tuple[int, int, Relationship]] = []
+        for asn, node in self.ases.items():
+            for other in node.neighbors:
+                key = (min(asn, other), max(asn, other))
+                if key in seen:
+                    continue
+                seen.add(key)
+                rel = self.relationship(asn, other)
+                assert rel is not None
+                links.append((asn, other, rel))
+        return links
+
+    def announced_prefixes(self) -> dict[int, list[Prefix]]:
+        """Map origin ASN → allocated (announceable) prefixes."""
+        return {asn: list(node.prefixes) for asn, node in self.ases.items()}
+
+    def tier1_asns(self) -> set[int]:
+        return {asn for asn, node in self.ases.items() if node.tier == 1}

@@ -1,0 +1,141 @@
+"""Announcement/export policies for the synthetic topology.
+
+The BGP propagation engine consumes one :class:`AnnouncementPolicy` per
+origin AS. Most ASes announce all of their prefixes to all neighbors;
+a configurable slice of multihomed edge ASes announce part of their
+space *selectively* — only towards a subset of their providers — while
+still emitting traffic from that space through every provider. This is
+the asymmetric-routing / selective-announcement behaviour that inflates
+the Naive approach's false positives (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.prefix import Prefix
+from repro.topology.model import ASTopology
+
+
+@dataclass(slots=True)
+class AnnouncementGroup:
+    """A set of prefixes announced to a (possibly restricted) neighbor set.
+
+    ``first_hops`` is ``None`` when the group is announced to every
+    neighbor; otherwise it is the exact set of neighbor ASNs receiving
+    the announcement.
+    """
+
+    prefixes: list[Prefix]
+    first_hops: set[int] | None = None
+
+    def announced_to(self, neighbor: int) -> bool:
+        return self.first_hops is None or neighbor in self.first_hops
+
+
+@dataclass(slots=True)
+class AnnouncementPolicy:
+    """All announcement groups of one origin AS."""
+
+    origin: int
+    groups: list[AnnouncementGroup]
+    #: "open" (everything everywhere), "selective" (primary/backup
+    #: asymmetric routing) or "deagg" (aggregation varies by neighbor).
+    kind: str = "open"
+
+    @property
+    def is_selective(self) -> bool:
+        return any(group.first_hops is not None for group in self.groups)
+
+    def all_prefixes(self) -> list[Prefix]:
+        return [prefix for group in self.groups for prefix in group.prefixes]
+
+
+def primary_provider_map(
+    policies: dict[int, AnnouncementPolicy],
+) -> dict[int, int]:
+    """Primary provider per selective origin (restricted first hop)."""
+    primaries: dict[int, int] = {}
+    for asn, policy in policies.items():
+        for group in policy.groups:
+            if group.first_hops and len(group.first_hops) == 1:
+                primaries[asn] = next(iter(group.first_hops))
+    return primaries
+
+
+def asymmetric_origins(policies: dict[int, AnnouncementPolicy]) -> set[int]:
+    """Origins whose egress deliberately diverges from announcements."""
+    return {
+        asn for asn, policy in policies.items() if policy.kind == "selective"
+    }
+
+
+def build_policies(
+    topo: ASTopology,
+    rng: np.random.Generator,
+    selective_fraction: float = 0.35,
+    deagg_fraction: float = 0.35,
+) -> dict[int, AnnouncementPolicy]:
+    """Build per-origin announcement policies.
+
+    Two populations deviate from announce-everything-everywhere, both
+    drawn from multihomed edge ASes:
+
+    * ``selective_fraction`` run a primary/backup setup: one prefix
+      stays openly announced (keeping every provider link visible in
+      BGP), the rest are announced to the primary provider only —
+      while egress traffic keeps using all providers (asymmetric
+      routing).
+    * ``deagg_fraction`` of the remainder announce *varying aggregation
+      levels to different neighbors* (Section 3.3): the covering
+      aggregate goes everywhere, more-specific halves only to the
+      primary. Traffic LPM-matches the more-specifics, so members
+      carrying the traffic via other providers are not on those
+      prefixes' paths.
+
+    Both populations inflate only the Naive approach's Invalid class;
+    origin-based cones are unaffected.
+    """
+    policies: dict[int, AnnouncementPolicy] = {}
+    for asn in sorted(topo.ases):
+        node = topo.node(asn)
+        multihomed_edge = node.tier == 3 and len(node.providers) >= 2
+        roll = rng.random()
+        if multihomed_edge and len(node.prefixes) >= 2 and roll < selective_fraction:
+            open_prefixes = node.prefixes[:1]
+            restricted = node.prefixes[1:]
+            primary_provider = int(rng.choice(sorted(node.providers)))
+            policies[asn] = AnnouncementPolicy(
+                origin=asn,
+                groups=[
+                    AnnouncementGroup(open_prefixes, None),
+                    AnnouncementGroup(restricted, {primary_provider}),
+                ],
+                kind="selective",
+            )
+            continue
+        deagg_candidates = [p for p in node.prefixes if p.length <= 23]
+        if (
+            multihomed_edge
+            and deagg_candidates
+            and roll < selective_fraction + deagg_fraction
+        ):
+            target = deagg_candidates[0]
+            low, high = target.subnets()
+            primary_provider = int(rng.choice(sorted(node.providers)))
+            policies[asn] = AnnouncementPolicy(
+                origin=asn,
+                groups=[
+                    AnnouncementGroup(list(node.prefixes), None),
+                    AnnouncementGroup([low, high], {primary_provider}),
+                ],
+                kind="deagg",
+            )
+            continue
+        policies[asn] = AnnouncementPolicy(
+            origin=asn,
+            groups=[AnnouncementGroup(list(node.prefixes), None)],
+        )
+    return policies

@@ -1,0 +1,89 @@
+"""Address allocation for the synthetic topology.
+
+Allocates disjoint prefixes to ASes out of the public (non-bogon) IPv4
+space, with an uneven density across /8s so that the routed/unrouted
+split has the structure Figure 10 depends on: some /8 regions are
+densely routed, others are mostly unrouted. The allocator also carves
+
+* *dark* prefixes — allocated but never announced (they stay part of
+  the routable-but-unrouted space, the source pool for "Unrouted"),
+* *infrastructure* /30s for inter-AS transit links (router interface
+  addresses, the Section 5.2 stray-traffic source), carved either from
+  the provider's announced space or from dark space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+
+class AllocationError(RuntimeError):
+    """The allocator ran out of space in every region."""
+
+
+class PrefixAllocator:
+    """Sequential, disjoint prefix allocator over public IPv4 space.
+
+    Regions (/8 blocks outside the bogon list) are assigned sampling
+    weights so some stay sparse. Within a region, allocation is a bump
+    pointer; all allocations are naturally aligned CIDR blocks.
+    """
+
+    def __init__(self, rng: np.random.Generator, region_bias: float = 2.5) -> None:
+        self._rng = rng
+        bogons = bogon_prefix_set()
+        self._regions: list[list[int]] = []  # [cursor, end] per region
+        self._starts: list[int] = []  # immutable region starts
+        weights: list[float] = []
+        for first_octet in range(1, 224):
+            region = Prefix(first_octet << 24, 8)
+            remaining = PrefixSet([region]) - bogons
+            for start, end in remaining.intervals():
+                self._regions.append([start, end])
+                self._starts.append(start)
+                # Heavy-tailed weights: a few hot regions, a long sparse tail.
+                weights.append(float(rng.pareto(region_bias) + 0.05))
+        total = sum(weights)
+        self._weights = np.array([w / total for w in weights])
+
+    def allocate(self, length: int) -> Prefix:
+        """Allocate one naturally aligned ``/length`` prefix.
+
+        Regions are drawn by weight; a full region falls back to the
+        next candidate, so allocation only fails when all public space
+        is exhausted.
+        """
+        if not 8 <= length <= 32:
+            raise ValueError(f"unsupported allocation length /{length}")
+        size = 1 << (32 - length)
+        order = self._rng.choice(
+            len(self._regions), size=len(self._regions), replace=False, p=self._weights
+        )
+        for region_index in order:
+            region = self._regions[region_index]
+            cursor, end = region
+            aligned = (cursor + size - 1) & ~(size - 1)
+            if aligned + size <= end:
+                region[0] = aligned + size
+                return Prefix(aligned, length)
+        raise AllocationError(f"no /{length} left in any region")
+
+    def allocate_many(self, lengths: list[int]) -> list[Prefix]:
+        """Allocate a batch of prefixes, one per requested length."""
+        return [self.allocate(length) for length in lengths]
+
+    def allocated_space(self) -> PrefixSet:
+        """Everything handed out so far (union of consumed region heads).
+
+        Useful for invariant tests: allocations must be disjoint and lie
+        inside this set.
+        """
+        consumed = []
+        for (cursor, _end), start in zip(self._regions, self._starts):
+            if cursor > start:
+                consumed.append((start, cursor))
+        return PrefixSet.from_intervals(consumed)

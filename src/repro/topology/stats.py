@@ -1,0 +1,100 @@
+"""Structural statistics of a topology — the realism dashboard.
+
+The synthetic Internet only reproduces the paper's phenomena if its
+structure carries the right signatures: a heavy-tailed customer-cone
+distribution, a small dense core, mostly-stub edge, bounded path
+inflation. This module computes those statistics so tests (and users
+replacing the generator with their own topology) can check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.model import ASTopology, Relationship
+
+
+@dataclass(slots=True)
+class TopologyStats:
+    """Summary statistics of one topology."""
+
+    n_ases: int
+    n_links: int
+    n_transit_links: int
+    n_peering_links: int
+    n_sibling_links: int
+    stub_share: float
+    multihomed_share: float
+    max_cone: int
+    median_cone: float
+    #: Pareto-ish tail index of the customer-cone distribution
+    #: (slope of the log-log CCDF over the top decade); the Internet's
+    #: is roughly ~1.
+    cone_tail_exponent: float
+    mean_degree: float
+    max_degree: int
+
+    def render(self) -> str:
+        return (
+            f"topology: {self.n_ases} ASes, {self.n_links} links "
+            f"(transit {self.n_transit_links}, peering "
+            f"{self.n_peering_links}, sibling {self.n_sibling_links})\n"
+            f"  stubs {self.stub_share:.0%}, multihomed "
+            f"{self.multihomed_share:.0%}, degrees mean "
+            f"{self.mean_degree:.1f} / max {self.max_degree}\n"
+            f"  cones: median {self.median_cone:.0f}, max {self.max_cone}, "
+            f"tail exponent ≈ {self.cone_tail_exponent:.2f}"
+        )
+
+
+def compute_topology_stats(topo: ASTopology) -> TopologyStats:
+    links = topo.all_links()
+    transit = sum(
+        1
+        for _a, _b, rel in links
+        if rel in (Relationship.CUSTOMER_OF, Relationship.PROVIDER_OF)
+    )
+    peering = sum(1 for _a, _b, rel in links if rel is Relationship.PEER)
+    sibling = sum(1 for _a, _b, rel in links if rel is Relationship.SIBLING)
+
+    cones = np.array(
+        [len(topo.customer_cone(asn)) for asn in topo.ases], dtype=np.float64
+    )
+    degrees = np.array(
+        [len(node.neighbors) for node in topo.ases.values()], dtype=np.float64
+    )
+    stubs = sum(1 for node in topo.ases.values() if node.is_stub)
+    multihomed = sum(
+        1 for node in topo.ases.values() if len(node.providers) >= 2
+    )
+    return TopologyStats(
+        n_ases=len(topo),
+        n_links=len(links),
+        n_transit_links=transit,
+        n_peering_links=peering,
+        n_sibling_links=sibling,
+        stub_share=stubs / len(topo) if len(topo) else 0.0,
+        multihomed_share=multihomed / len(topo) if len(topo) else 0.0,
+        max_cone=int(cones.max()) if cones.size else 0,
+        median_cone=float(np.median(cones)) if cones.size else 0.0,
+        cone_tail_exponent=_tail_exponent(cones),
+        mean_degree=float(degrees.mean()) if degrees.size else 0.0,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+    )
+
+
+def _tail_exponent(values: np.ndarray) -> float:
+    """Log-log CCDF slope over the top decade of the distribution.
+
+    Returns 0 when the distribution has no tail to speak of.
+    """
+    tail = np.sort(values[values > 1])[::-1]
+    if tail.size < 10:
+        return 0.0
+    top = tail[: max(10, tail.size // 10)]
+    ranks = np.arange(1, top.size + 1, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        slope, _intercept = np.polyfit(np.log(top), np.log(ranks), 1)
+    return float(-slope)

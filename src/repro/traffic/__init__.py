@@ -1,0 +1,23 @@
+"""Synthetic inter-domain traffic generation.
+
+Replaces the paper's four weeks of real IXP traffic. The generator
+produces sampled flow records for every traffic population the paper
+encounters:
+
+* regular traffic (bimodal packet sizes, diurnal pattern, realistic
+  application/port mix),
+* legitimate traffic over BGP-invisible arrangements (hidden org
+  links, provider-assigned space, tunnels, partial-transit peerings) —
+  the false-positive populations of Section 4.4,
+* stray traffic: NAT leakage with private sources and
+  router-originated ICMP from transit-link interfaces (Section 5.2),
+* attacks: randomly spoofed SYN/gaming floods and selectively spoofed
+  NTP amplification with visible amplifier responses (Section 7).
+
+Every flow carries a ground-truth label so detector quality can be
+evaluated — something the paper's real traces could not offer.
+"""
+
+from repro.traffic.scenario import ScenarioConfig, TrafficScenario, generate_traffic
+
+__all__ = ["ScenarioConfig", "TrafficScenario", "generate_traffic"]

@@ -1,0 +1,109 @@
+"""Application and packet-size models for regular traffic.
+
+Port and size distributions follow the paper's observations (Figures
+8a and 9): regular traffic has a bimodal packet-size distribution
+(small ACKs, large data packets) and is dominated by HTTP(S) on TCP,
+with BitTorrent-style random ports dominating UDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ixp.flows import PROTO_TCP, PROTO_UDP
+
+#: Well-known ports surfaced in Figure 9.
+PORT_HTTP = 80
+PORT_HTTPS = 443
+PORT_NTP = 123
+PORT_STEAM = 27015
+PORT_DNS = 53
+
+
+@dataclass(slots=True)
+class AppFlowSpec:
+    """Template for one regular flow drawn from the application mix."""
+
+    proto: int
+    src_port: int
+    dst_port: int
+    mean_packet_size: float
+    #: Mean number of *sampled* packets per flow row.
+    mean_sampled_packets: float
+
+
+def ephemeral_port(rng: np.random.Generator) -> int:
+    """A random ephemeral port (49152–65535)."""
+    return int(rng.integers(49152, 65536))
+
+
+def draw_regular_app(rng: np.random.Generator) -> AppFlowSpec:
+    """Draw one regular-traffic flow template.
+
+    The mixture covers both directions of client/server protocols:
+    server→client rows carry the service port in SRC, client→server
+    rows in DST, reproducing the direction split of Figure 9.
+    """
+    roll = rng.random()
+    if roll < 0.30:  # HTTP(S) server → client: large data packets
+        service = PORT_HTTPS if rng.random() < 0.62 else PORT_HTTP
+        return AppFlowSpec(
+            proto=PROTO_TCP,
+            src_port=service,
+            dst_port=ephemeral_port(rng),
+            mean_packet_size=float(rng.normal(1380, 80)),
+            mean_sampled_packets=4.0,
+        )
+    if roll < 0.55:  # HTTP(S) client → server: small ACK/request packets
+        service = PORT_HTTPS if rng.random() < 0.62 else PORT_HTTP
+        return AppFlowSpec(
+            proto=PROTO_TCP,
+            src_port=ephemeral_port(rng),
+            dst_port=service,
+            mean_packet_size=float(rng.normal(80, 25)),
+            mean_sampled_packets=2.5,
+        )
+    if roll < 0.70:  # other TCP (mail, ssh, CDN internals): mixed sizes
+        big = rng.random() < 0.5
+        return AppFlowSpec(
+            proto=PROTO_TCP,
+            src_port=ephemeral_port(rng),
+            dst_port=int(rng.choice((25, 22, 8080, 993, 3306))),
+            mean_packet_size=float(rng.normal(1300, 150)) if big else float(
+                rng.normal(90, 30)
+            ),
+            mean_sampled_packets=2.0,
+        )
+    if roll < 0.92:  # BitTorrent-style UDP: random ports, mid sizes
+        return AppFlowSpec(
+            proto=PROTO_UDP,
+            src_port=ephemeral_port(rng),
+            dst_port=int(rng.integers(1024, 65536)),
+            mean_packet_size=float(rng.normal(900, 300)),
+            mean_sampled_packets=1.8,
+        )
+    if roll < 0.97:  # DNS
+        query = rng.random() < 0.5
+        return AppFlowSpec(
+            proto=PROTO_UDP,
+            src_port=ephemeral_port(rng) if query else PORT_DNS,
+            dst_port=PORT_DNS if query else ephemeral_port(rng),
+            mean_packet_size=float(rng.normal(120, 40)),
+            mean_sampled_packets=1.2,
+        )
+    # Legitimate NTP chatter (keeps port 123 from being attack-only).
+    query = rng.random() < 0.5
+    return AppFlowSpec(
+        proto=PROTO_UDP,
+        src_port=ephemeral_port(rng) if query else PORT_NTP,
+        dst_port=PORT_NTP if query else ephemeral_port(rng),
+        mean_packet_size=90.0,
+        mean_sampled_packets=1.1,
+    )
+
+
+def clamp_packet_size(size: float) -> int:
+    """Clamp a drawn packet size to valid Ethernet/IPv4 bounds."""
+    return int(min(max(size, 40.0), 1500.0))

@@ -1,0 +1,265 @@
+"""Attack traffic: spoofed floods and NTP amplification (Section 7).
+
+Two families, matching the paper's attack-pattern analysis:
+
+* **Random spoofing** — SYN floods on web ports and UDP floods on game
+  servers, every packet carrying a fresh forged source drawn from
+  unrouted, bogon, or random routed space. These produce the
+  unique-source-per-packet signature of Figure 11a's rightmost bin.
+* **Selective spoofing** — NTP amplification: trigger packets carry
+  the victim's address as source and are sprayed at amplifiers on UDP
+  port 123, either concentrated on a handful of amplifiers or spread
+  uniformly over thousands (the two strategies of Figure 11b). Where
+  the amplifier's network is itself reachable through the fabric, the
+  amplified responses appear as regular traffic an order of magnitude
+  larger in bytes (Figure 11c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ixp.flows import PROTO_TCP, PROTO_UDP, FlowTable, TruthLabel
+from repro.traffic.addressing import BogonSampler, IntervalSampler
+from repro.traffic.apps import PORT_HTTP, PORT_HTTPS, PORT_NTP, PORT_STEAM
+from repro.util.timeconst import HOUR
+
+#: Mean size (bytes) of an NTP trigger packet and of a response packet.
+NTP_TRIGGER_SIZE = 60.0
+NTP_RESPONSE_SIZE = 550.0
+
+
+@dataclass(slots=True)
+class FloodEvent:
+    """One randomly spoofed flooding attack."""
+
+    member: int  # ingress member whose network hosts the attacker
+    victim_addr: int
+    start: int
+    duration: int
+    sampled_packets: int
+    src_mode: str  # "unrouted" | "bogon" | "routed_random"
+    kind: str = "syn_flood"  # or "gaming_flood"
+
+
+@dataclass(slots=True)
+class AmplificationEvent:
+    """One selectively spoofed NTP amplification attack."""
+
+    member: int  # ingress member emitting the trigger traffic
+    victim_addr: int
+    start: int
+    duration: int
+    sampled_packets: int
+    amplifiers: np.ndarray  # uint64 addresses (dst of triggers)
+    strategy: str  # "concentrated" | "distributed"
+    victim_is_router: bool = False
+
+
+@dataclass(slots=True)
+class AttackPlan:
+    """Everything the emitters need, plus ground truth for analyses."""
+
+    floods: list[FloodEvent] = field(default_factory=list)
+    amplifications: list[AmplificationEvent] = field(default_factory=list)
+
+    def ntp_victims(self) -> list[int]:
+        return [event.victim_addr for event in self.amplifications]
+
+
+def _zipf_split(
+    rng: np.random.Generator, total: int, n_bins: int, exponent: float
+) -> np.ndarray:
+    """Split ``total`` packets over ``n_bins`` with a Zipf profile."""
+    ranks = np.arange(1, n_bins + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return rng.multinomial(total, weights)
+
+
+def _event_windows(
+    rng: np.random.Generator, n: int, window_seconds: int
+) -> list[tuple[int, int]]:
+    """Random (start, duration) pairs; durations from minutes to a day."""
+    windows = []
+    for _ in range(n):
+        duration = int(rng.lognormal(np.log(2 * HOUR), 1.2))
+        duration = int(np.clip(duration, 5 * 60, 36 * HOUR))
+        start = int(rng.integers(0, max(1, window_seconds - duration)))
+        windows.append((start, duration))
+    return windows
+
+
+def emit_flood(
+    rng: np.random.Generator,
+    event: FloodEvent,
+    unrouted_sampler: IntervalSampler,
+    routed_sampler: IntervalSampler,
+    bogon_sampler: BogonSampler,
+    dst_member: int,
+) -> FlowTable:
+    """Materialise a flood: one row per sampled packet, fresh source each."""
+    n = event.sampled_packets
+    if n <= 0:
+        return FlowTable.empty()
+    if event.src_mode == "unrouted":
+        src = unrouted_sampler.sample(rng, n)
+    elif event.src_mode == "bogon":
+        src = bogon_sampler.sample(rng, n)
+    else:
+        src = routed_sampler.sample(rng, n)
+    if event.kind == "gaming_flood":
+        proto = np.full(n, PROTO_UDP, dtype=np.uint8)
+        dst_port = np.full(n, PORT_STEAM, dtype=np.uint32)
+        sizes = rng.normal(90, 30, size=n).clip(40, 400)
+    else:
+        proto = np.full(n, PROTO_TCP, dtype=np.uint8)
+        dst_port = rng.choice(
+            np.array([PORT_HTTP, PORT_HTTPS, PORT_HTTPS, 53, 22], dtype=np.uint32),
+            size=n,
+        )
+        sizes = rng.normal(46, 4, size=n).clip(40, 60)
+    packets = np.ones(n, dtype=np.int64)
+    return FlowTable(
+        src=src,
+        dst=np.full(n, event.victim_addr, dtype=np.uint64),
+        proto=proto,
+        src_port=rng.integers(1024, 65536, size=n, dtype=np.uint32),
+        dst_port=dst_port,
+        packets=packets,
+        bytes=(packets * sizes).astype(np.int64),
+        member=np.full(n, event.member, dtype=np.int64),
+        dst_member=np.full(n, dst_member, dtype=np.int64),
+        time=(event.start + rng.integers(0, max(1, event.duration), size=n)).astype(
+            np.int64
+        ),
+        truth=np.full(
+            n,
+            int(
+                TruthLabel.SPOOF_GAMING
+                if event.kind == "gaming_flood"
+                else TruthLabel.SPOOF_FLOOD
+            ),
+            dtype=np.uint8,
+        ),
+    )
+
+
+def emit_amplification(
+    rng: np.random.Generator,
+    event: AmplificationEvent,
+    dst_member: int,
+    response_member_of: dict[int, int],
+    response_visibility: float = 0.5,
+    response_packet_ratio: float = 0.95,
+) -> tuple[FlowTable, FlowTable]:
+    """Materialise trigger and (partially visible) response traffic.
+
+    ``response_member_of`` maps an amplifier address to the member that
+    would carry its responses across the fabric; amplifiers missing
+    from the map never produce visible responses.
+    """
+    n_amplifiers = event.amplifiers.size
+    if n_amplifiers == 0 or event.sampled_packets <= 0:
+        return FlowTable.empty(), FlowTable.empty()
+    exponent = 1.6 if event.strategy == "concentrated" else 0.05
+    per_amplifier = _zipf_split(rng, event.sampled_packets, n_amplifiers, exponent)
+    active = per_amplifier > 0
+    amplifiers = event.amplifiers[active]
+    counts = per_amplifier[active]
+
+    trigger_rows = _split_rows_by_hour(rng, amplifiers, counts, event)
+    trig_src_port = rng.integers(1024, 65536, size=len(trigger_rows[0]), dtype=np.uint32)
+    n_rows = trigger_rows[0].size
+    trigger = FlowTable(
+        src=np.full(n_rows, event.victim_addr, dtype=np.uint64),
+        dst=trigger_rows[0],
+        proto=np.full(n_rows, PROTO_UDP, dtype=np.uint8),
+        src_port=trig_src_port,
+        dst_port=np.full(n_rows, PORT_NTP, dtype=np.uint32),
+        packets=trigger_rows[1],
+        bytes=(trigger_rows[1] * NTP_TRIGGER_SIZE).astype(np.int64),
+        member=np.full(n_rows, event.member, dtype=np.int64),
+        dst_member=np.full(n_rows, dst_member, dtype=np.int64),
+        time=trigger_rows[2],
+        truth=np.full(n_rows, int(TruthLabel.SPOOF_TRIGGER), dtype=np.uint8),
+    )
+
+    visible = np.array(
+        [
+            int(a) in response_member_of and rng.random() < response_visibility
+            for a in amplifiers
+        ]
+    )
+    if not visible.any():
+        return trigger, FlowTable.empty()
+    resp_amplifiers = amplifiers[visible]
+    resp_counts = np.maximum(
+        1, (counts[visible] * response_packet_ratio).astype(np.int64)
+    )
+    rows = _split_rows_by_hour(rng, resp_amplifiers, resp_counts, event)
+    n_resp = rows[0].size
+    members = np.array(
+        [response_member_of[int(a)] for a in rows[0]], dtype=np.int64
+    )
+    response = FlowTable(
+        src=rows[0],
+        dst=np.full(n_resp, event.victim_addr, dtype=np.uint64),
+        proto=np.full(n_resp, PROTO_UDP, dtype=np.uint8),
+        src_port=np.full(n_resp, PORT_NTP, dtype=np.uint32),
+        dst_port=rng.integers(1024, 65536, size=n_resp, dtype=np.uint32),
+        packets=rows[1],
+        bytes=(rows[1] * NTP_RESPONSE_SIZE).astype(np.int64),
+        member=members,
+        dst_member=np.full(n_resp, dst_member, dtype=np.int64),
+        time=rows[2],
+        truth=np.full(n_resp, int(TruthLabel.AMP_RESPONSE), dtype=np.uint8),
+    )
+    return trigger, response
+
+
+def _split_rows_by_hour(
+    rng: np.random.Generator,
+    amplifiers: np.ndarray,
+    counts: np.ndarray,
+    event: AmplificationEvent,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Spread per-amplifier packet counts over the event duration.
+
+    Heavy amplifiers are split into one row per active hour so the
+    Figure 11c time series has per-hour resolution; light ones emit a
+    single row at a random time inside the event window.
+    """
+    duration_hours = max(1, event.duration // HOUR)
+    dst_list: list[np.ndarray] = []
+    pkts_list: list[np.ndarray] = []
+    time_list: list[np.ndarray] = []
+    heavy = counts > 20
+    # Light amplifiers: one row each.
+    if (~heavy).any():
+        light_dst = amplifiers[~heavy]
+        light_counts = counts[~heavy]
+        dst_list.append(light_dst)
+        pkts_list.append(light_counts)
+        time_list.append(
+            event.start
+            + rng.integers(0, max(1, event.duration), size=light_dst.size)
+        )
+    # Heavy amplifiers: one row per hour of the event.
+    for amplifier, count in zip(amplifiers[heavy], counts[heavy]):
+        split = rng.multinomial(
+            int(count), np.full(duration_hours, 1.0 / duration_hours)
+        )
+        hours = np.flatnonzero(split)
+        dst_list.append(np.full(hours.size, amplifier, dtype=np.uint64))
+        pkts_list.append(split[hours].astype(np.int64))
+        time_list.append(
+            event.start + hours * HOUR + rng.integers(0, HOUR, size=hours.size)
+        )
+    return (
+        np.concatenate(dst_list).astype(np.uint64),
+        np.concatenate(pkts_list).astype(np.int64),
+        np.concatenate(time_list).astype(np.int64),
+    )

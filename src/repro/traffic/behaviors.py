@@ -1,0 +1,90 @@
+"""Per-member emission behaviours (filtering consistency).
+
+The paper infers filtering strategies from what members *emit*
+(Figure 5's Venn diagram). The generator works the other way around:
+each member draws a ground-truth emission behaviour — which classes of
+illegitimate traffic its (lack of) egress filtering lets out — from a
+distribution shaped like the paper's Venn, and per-class leak
+intensities from heavy-tailed distributions capped the way Figure 4
+shows (bogon ≲ 10% of a member's traffic, unrouted ≲ 9%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ixp.model import IXP
+
+#: Venn cells over the ground-truth emission sets (B = bogon leaks,
+#: U = unrouted-source spoofing, I = routed-source spoofing), shaped
+#: after Figure 5. Cells: frozenset of emitted kinds → probability.
+VENN_DISTRIBUTION: tuple[tuple[frozenset[str], float], ...] = (
+    (frozenset(), 0.1802),
+    (frozenset({"bogon"}), 0.0963),
+    (frozenset({"unrouted"}), 0.022),
+    (frozenset({"invalid"}), 0.0757),
+    (frozenset({"bogon", "unrouted"}), 0.1554),
+    (frozenset({"bogon", "invalid"}), 0.1898),
+    (frozenset({"bogon", "unrouted", "invalid"}), 0.2806),
+)
+
+
+@dataclass(slots=True)
+class MemberBehavior:
+    """Ground-truth emission behaviour of one member."""
+
+    asn: int
+    emits_bogon: bool
+    emits_unrouted: bool
+    emits_invalid: bool
+    #: Whether the member's routers leak stray packets (ICMP etc.).
+    router_stray: bool
+    #: Leak intensity per class, as a fraction of the member's regular
+    #: traffic volume.
+    bogon_rate: float = 0.0
+    unrouted_rate: float = 0.0
+    invalid_rate: float = 0.0
+
+    @property
+    def fully_filtered(self) -> bool:
+        return not (self.emits_bogon or self.emits_unrouted or self.emits_invalid)
+
+
+def _leak_rate(rng: np.random.Generator, cap: float) -> float:
+    """Heavy-tailed leak fraction in (0, cap]."""
+    raw = float(rng.pareto(1.3)) * 0.002 + 0.0004
+    return min(raw, cap)
+
+
+def assign_behaviors(
+    rng: np.random.Generator,
+    ixp: IXP,
+    router_stray_fraction: float = 0.35,
+    bogon_cap: float = 0.10,
+    unrouted_cap: float = 0.09,
+    invalid_cap: float = 0.30,
+) -> dict[int, MemberBehavior]:
+    """Draw an emission behaviour for every IXP member."""
+    cells = [kinds for kinds, _prob in VENN_DISTRIBUTION]
+    probs = np.array([prob for _kinds, prob in VENN_DISTRIBUTION])
+    probs = probs / probs.sum()
+    behaviors: dict[int, MemberBehavior] = {}
+    for asn in ixp.member_asns:
+        cell = cells[int(rng.choice(len(cells), p=probs))]
+        behavior = MemberBehavior(
+            asn=asn,
+            emits_bogon="bogon" in cell,
+            emits_unrouted="unrouted" in cell,
+            emits_invalid="invalid" in cell,
+            router_stray=rng.random() < router_stray_fraction,
+        )
+        if behavior.emits_bogon:
+            behavior.bogon_rate = _leak_rate(rng, bogon_cap)
+        if behavior.emits_unrouted:
+            behavior.unrouted_rate = _leak_rate(rng, unrouted_cap)
+        if behavior.emits_invalid:
+            behavior.invalid_rate = _leak_rate(rng, invalid_cap)
+        behaviors[asn] = behavior
+    return behaviors

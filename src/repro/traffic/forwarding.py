@@ -1,0 +1,270 @@
+"""Ground-truth source pools: what each member may legitimately forward.
+
+A member injects traffic into the IXP fabric on behalf of a set of
+origin networks. That set is a property of the *real* topology, not of
+what BGP exposes — the difference between the two is precisely what
+creates the paper's false-positive populations. Pool entry kinds:
+
+==================  ========================================================
+OWN                 the member's own prefixes
+CUSTOMER            transitive customers (ground truth, incl. via siblings)
+SIBLING             same-organization ASes (link may be invisible in BGP)
+PEER_TRANSIT        peers whose cone the member carries (hybrid peerings)
+PA_SPACE            provider-assigned space used across providers
+TUNNEL              traffic hauled over BGP-invisible tunnels
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.topology.model import ASTopology
+
+
+class SourceKind(enum.Enum):
+    OWN = "own"
+    CUSTOMER = "customer"
+    SIBLING = "sibling"
+    PEER_TRANSIT = "peer_transit"
+    PA_SPACE = "pa_space"
+    TUNNEL = "tunnel"
+    BACKUP_TRANSIT = "backup_transit"
+
+    @property
+    def bgp_invisible(self) -> bool:
+        """True for arrangements no BGP-derived cone can learn about.
+
+        ``SIBLING`` is only partially invisible (some sibling links are
+        announced); the pool builder tags the truly hidden ones with
+        ``hidden=True`` on the entry instead.
+        """
+        return self in (
+            SourceKind.PA_SPACE,
+            SourceKind.TUNNEL,
+            SourceKind.BACKUP_TRANSIT,
+        )
+
+
+@dataclass(slots=True, frozen=True)
+class SourceEntry:
+    """One legitimate source population for a member."""
+
+    origin: int  # AS that genuinely operates the source hosts
+    prefixes: tuple[Prefix, ...]
+    kind: SourceKind
+    weight: float
+    #: True when the arrangement leaves no trace in BGP at all —
+    #: these flows are the Section 4.4 false-positive population.
+    hidden: bool = False
+
+
+@dataclass(slots=True)
+class SourcePool:
+    """All legitimate source populations of one member."""
+
+    member: int
+    entries: list[SourceEntry]
+
+    def total_weight(self) -> float:
+        return sum(entry.weight for entry in self.entries)
+
+    def visible_entries(self) -> list[SourceEntry]:
+        return [e for e in self.entries if not e.hidden]
+
+    def hidden_entries(self) -> list[SourceEntry]:
+        return [e for e in self.entries if e.hidden]
+
+
+def customer_egress_shares(
+    topo: ASTopology,
+    asn: int,
+    primary_provider: int | None,
+    asymmetric: bool,
+    primary_share: float = 0.85,
+    asymmetric_primary_share: float = 0.25,
+) -> dict[int, float]:
+    """How an AS splits its egress traffic across its providers.
+
+    Ordinarily, egress follows the announcements: the primary provider
+    carries most traffic (``primary_share``). ASes running asymmetric
+    setups (selective announcement towards the primary) send *most*
+    egress via the other providers — the traffic/announcement mismatch
+    at the heart of the Naive approach's false positives.
+    """
+    providers = sorted(topo.node(asn).providers)
+    if not providers:
+        return {}
+    if primary_provider is None or primary_provider not in providers:
+        primary_provider = providers[0]
+    if len(providers) == 1:
+        return {providers[0]: 1.0}
+    top = asymmetric_primary_share if asymmetric else primary_share
+    rest = (1.0 - top) / (len(providers) - 1)
+    return {
+        provider: (top if provider == primary_provider else rest)
+        for provider in providers
+    }
+
+
+def build_source_pools(
+    topo: ASTopology,
+    members: list[int],
+    transit_members: set[int],
+    customer_weight: float = 0.8,
+    peer_weight: float = 0.03,
+    sibling_visible_weight: float = 0.4,
+    sibling_hidden_weight: float = 0.06,
+    pa_weight: float = 0.12,
+    tunnel_weight: float = 3.0,
+    backup_weight: float = 0.12,
+    primary_providers: dict[int, int] | None = None,
+    asymmetric_asns: set[int] | None = None,
+) -> dict[int, SourcePool]:
+    """Construct the ground-truth source pool of every member.
+
+    ``transit_members`` — members that carry transit across the fabric:
+    they legitimately forward traffic sourced in their peers' customer
+    cones towards their own IXP-side customers (Figure 1c's scenario —
+    valid for the Full Cone where the peering is path-visible, Invalid
+    for the Customer Cone by design). The tunnel weight defaults high
+    so that the occasional carrier member is *dominated* by tunnel
+    traffic, reproducing the near-100% Invalid outliers of Figure 4.
+
+    ``primary_providers`` and ``asymmetric_asns`` (from the
+    announcement policies) drive per-customer egress shares: a member
+    sees a customer's traffic in proportion to how much of that
+    customer's egress actually flows through it.
+    """
+    primary_providers = primary_providers or {}
+    asymmetric_asns = asymmetric_asns or set()
+    pools: dict[int, SourcePool] = {}
+    pa_by_customer: dict[int, list[tuple[int, Prefix]]] = {}
+    for customer, provider, prefix in topo.pa_assignments:
+        pa_by_customer.setdefault(customer, []).append((provider, prefix))
+    egress_cache: dict[int, dict[int, float]] = {}
+
+    def egress_of(asn: int) -> dict[int, float]:
+        shares = egress_cache.get(asn)
+        if shares is None:
+            shares = customer_egress_shares(
+                topo, asn, primary_providers.get(asn), asn in asymmetric_asns
+            )
+            egress_cache[asn] = shares
+        return shares
+
+    for member in members:
+        entries: list[SourceEntry] = []
+        node = topo.node(member)
+        if node.prefixes:
+            entries.append(
+                SourceEntry(member, tuple(node.prefixes), SourceKind.OWN, 1.0)
+            )
+        # Transitive customers (ground truth), weighted by how much of
+        # the customer's egress actually reaches this member.
+        member_cone = topo.customer_cone(member)
+        for asn in sorted(member_cone - {member}):
+            prefixes = topo.node(asn).prefixes
+            if not prefixes:
+                continue
+            shares = egress_of(asn)
+            reach_share = sum(
+                share
+                for provider, share in shares.items()
+                if provider == member or provider in member_cone
+            )
+            if reach_share <= 0:
+                continue
+            entries.append(
+                SourceEntry(
+                    asn,
+                    tuple(prefixes),
+                    SourceKind.CUSTOMER,
+                    customer_weight * reach_share,
+                )
+            )
+        # Organization siblings and their cones.
+        for sibling in sorted(topo.org_siblings(member) - {member}):
+            link_visible = topo.relationship(member, sibling) is not None
+            for asn in sorted(topo.customer_cone(sibling)):
+                prefixes = topo.node(asn).prefixes
+                if prefixes:
+                    entries.append(
+                        SourceEntry(
+                            asn,
+                            tuple(prefixes),
+                            SourceKind.SIBLING,
+                            sibling_visible_weight
+                            if link_visible
+                            else sibling_hidden_weight,
+                            hidden=not link_visible,
+                        )
+                    )
+        # Peer cones: transit members haul peer-sourced traffic towards
+        # their IXP-side customers; a few hybrid "partial transit"
+        # peerings do the same for members not otherwise transiting.
+        peer_sources: set[int] = set()
+        if member in transit_members:
+            peer_sources.update(node.peers)
+        for carrier, peer in topo.partial_transit:
+            if carrier == member:
+                peer_sources.add(peer)
+        for peer in sorted(peer_sources):
+            for asn in sorted(topo.customer_cone(peer)):
+                prefixes = topo.node(asn).prefixes
+                if prefixes:
+                    entries.append(
+                        SourceEntry(
+                            asn,
+                            tuple(prefixes),
+                            SourceKind.PEER_TRANSIT,
+                            peer_weight,
+                        )
+                    )
+        # Provider-assigned space used across the member's other links.
+        for provider, prefix in pa_by_customer.get(member, ()):
+            entries.append(
+                SourceEntry(
+                    provider,
+                    (prefix,),
+                    SourceKind.PA_SPACE,
+                    pa_weight,
+                    hidden=True,
+                )
+            )
+        # Backup transit: the member is a silent backup provider and
+        # occasionally carries the backup customer's cone.
+        for provider, customer in sorted(topo.backup_transit):
+            if provider != member:
+                continue
+            for asn in sorted(topo.customer_cone(customer)):
+                prefixes = topo.node(asn).prefixes
+                if prefixes:
+                    entries.append(
+                        SourceEntry(
+                            asn,
+                            tuple(prefixes),
+                            SourceKind.BACKUP_TRANSIT,
+                            backup_weight,
+                            hidden=True,
+                        )
+                    )
+        # Tunnel arrangements where the member is the carrier.
+        for carrier, origin in sorted(topo.tunnels):
+            if carrier != member:
+                continue
+            prefixes = topo.node(origin).prefixes
+            if prefixes:
+                entries.append(
+                    SourceEntry(
+                        origin,
+                        tuple(prefixes),
+                        SourceKind.TUNNEL,
+                        tunnel_weight,
+                        hidden=True,
+                    )
+                )
+        pools[member] = SourcePool(member, entries)
+    return pools

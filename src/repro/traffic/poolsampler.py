@@ -1,0 +1,77 @@
+"""Vectorised sampling of addresses from member source pools."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.prefixset import PrefixSet
+from repro.traffic.addressing import IntervalSampler
+from repro.traffic.forwarding import SourceEntry, SourcePool
+
+
+class PoolAddressSampler:
+    """Draws (address, origin, hidden) tuples from member pools.
+
+    Entry choice is weighted by ``entry.weight * address_space_size``
+    so that bigger customers emit proportionally more traffic, then an
+    address is drawn uniformly inside the chosen entry's prefixes.
+    """
+
+    def __init__(self) -> None:
+        self._entry_samplers: dict[int, IntervalSampler] = {}
+        self._pool_cache: dict[int, tuple[list[SourceEntry], np.ndarray]] = {}
+
+    def _pool_distribution(
+        self, pool: SourcePool
+    ) -> tuple[list[SourceEntry], np.ndarray]:
+        cached = self._pool_cache.get(pool.member)
+        if cached is not None:
+            return cached
+        entries = pool.entries
+        if not entries:
+            raise ValueError(f"member AS{pool.member} has an empty source pool")
+        weights = np.array(
+            [
+                entry.weight
+                * sum(p.num_addresses for p in entry.prefixes) ** 0.5
+                for entry in entries
+            ]
+        )
+        weights /= weights.sum()
+        self._pool_cache[pool.member] = (entries, weights)
+        return entries, weights
+
+    def _sampler_for(self, entry: SourceEntry) -> IntervalSampler:
+        sampler = self._entry_samplers.get(id(entry))
+        if sampler is None:
+            sampler = IntervalSampler(PrefixSet(entry.prefixes))
+            self._entry_samplers[id(entry)] = sampler
+        return sampler
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        pool: SourcePool,
+        n: int,
+        visible_only: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` sources: returns (addrs, origin_asns, hidden_mask)."""
+        entries, weights = self._pool_distribution(pool)
+        if visible_only:
+            visible = np.array([not e.hidden for e in entries])
+            if not visible.any():
+                raise ValueError(f"AS{pool.member}: no visible pool entries")
+            weights = np.where(visible, weights, 0.0)
+            weights = weights / weights.sum()
+        picks = rng.choice(len(entries), size=n, p=weights)
+        addrs = np.empty(n, dtype=np.uint64)
+        origins = np.empty(n, dtype=np.int64)
+        hidden = np.zeros(n, dtype=bool)
+        for entry_index in np.unique(picks):
+            entry = entries[entry_index]
+            mask = picks == entry_index
+            count = int(mask.sum())
+            addrs[mask] = self._sampler_for(entry).sample(rng, count)
+            origins[mask] = entry.origin
+            hidden[mask] = entry.hidden
+        return addrs, origins, hidden

@@ -1,0 +1,176 @@
+"""Scenario self-checks: invariants the generated trace must satisfy.
+
+The traffic generator has many moving parts; this module makes its
+contract explicit and machine-checkable. :func:`validate_scenario`
+returns a list of violations (empty = healthy) so tests, notebooks,
+and CI can assert generator health without duplicating the rules:
+
+* every flow's ingress member is an IXP member;
+* timestamps lie inside the measurement window;
+* packet and byte counters are positive and size-consistent;
+* ground-truth label populations match their defining properties
+  (NAT strays have bogon sources, triggers carry planned victim
+  addresses, router strays come from the member's own interfaces...);
+* every planned attack with enough volume left a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.ixp.flows import TruthLabel
+from repro.ixp.model import IXP
+from repro.topology.model import ASTopology
+from repro.traffic.scenario import TrafficScenario
+from repro.traffic.stray import member_router_addresses
+
+
+@dataclass(slots=True, frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.detail}"
+
+
+def validate_scenario(
+    scenario: TrafficScenario,
+    ixp: IXP,
+    topo: ASTopology,
+) -> list[Violation]:
+    """Check every generator invariant; returns violations found."""
+    violations: list[Violation] = []
+    flows = scenario.flows
+    window = scenario.config.window_seconds
+
+    members = set(ixp.member_asns)
+    flow_members = {int(m) for m in np.unique(flows.member)}
+    strangers = flow_members - members
+    if strangers:
+        violations.append(
+            Violation("ingress-membership",
+                      f"non-member ingress ASNs: {sorted(strangers)[:5]}")
+        )
+
+    if len(flows) and (int(flows.time.min()) < 0 or int(flows.time.max()) >= window):
+        violations.append(
+            Violation(
+                "time-window",
+                f"times outside [0, {window}): "
+                f"[{int(flows.time.min())}, {int(flows.time.max())}]",
+            )
+        )
+
+    if len(flows) and not (flows.packets > 0).all():
+        violations.append(Violation("counters", "non-positive packet counts"))
+    if len(flows):
+        sizes = flows.bytes / np.maximum(flows.packets, 1)
+        bad = int(((sizes < 28) | (sizes > 1500)).sum())
+        if bad:
+            violations.append(
+                Violation("packet-sizes", f"{bad} flows outside 28..1500 B")
+            )
+
+    violations.extend(_check_truth_populations(scenario, topo))
+    violations.extend(_check_plan_coverage(scenario))
+    return violations
+
+
+def _check_truth_populations(
+    scenario: TrafficScenario, topo: ASTopology
+) -> list[Violation]:
+    violations: list[Violation] = []
+    flows = scenario.flows
+    bogons = bogon_prefix_set()
+
+    nat = flows.select(flows.truth == int(TruthLabel.STRAY_NAT))
+    if len(nat) and not bogons.contains_many(nat.src).all():
+        violations.append(
+            Violation("nat-sources", "NAT stray with non-bogon source")
+        )
+
+    legit = flows.select(flows.truth == int(TruthLabel.LEGIT))
+    if len(legit) and bogons.contains_many(legit.src).any():
+        violations.append(
+            Violation("legit-sources", "legit flow with bogon source")
+        )
+
+    routers = flows.select(flows.truth == int(TruthLabel.STRAY_ROUTER))
+    if len(routers):
+        for member in np.unique(routers.member):
+            allowed = set(member_router_addresses(topo, int(member)))
+            seen = {
+                int(s)
+                for s in np.unique(routers.src[routers.member == member])
+            }
+            if not seen <= allowed:
+                violations.append(
+                    Violation(
+                        "router-sources",
+                        f"AS{int(member)} stray from non-interface address",
+                    )
+                )
+                break
+
+    triggers = flows.select(flows.truth == int(TruthLabel.SPOOF_TRIGGER))
+    if len(triggers):
+        planned_victims = {
+            event.victim_addr for event in scenario.plan.amplifications
+        }
+        seen_victims = {int(s) for s in np.unique(triggers.src)}
+        if not seen_victims <= planned_victims:
+            violations.append(
+                Violation("trigger-victims", "trigger with unplanned victim")
+            )
+        if not (triggers.dst_port == 123).all():
+            violations.append(
+                Violation("trigger-ports", "NTP trigger not on port 123")
+            )
+    return violations
+
+
+def _check_plan_coverage(scenario: TrafficScenario) -> list[Violation]:
+    violations: list[Violation] = []
+    flows = scenario.flows
+    flood_dsts = {
+        int(d)
+        for d in np.unique(
+            flows.dst[
+                np.isin(
+                    flows.truth,
+                    (int(TruthLabel.SPOOF_FLOOD), int(TruthLabel.SPOOF_GAMING)),
+                )
+            ]
+        )
+    }
+    for event in scenario.plan.floods:
+        if event.sampled_packets >= 5 and event.victim_addr not in flood_dsts:
+            violations.append(
+                Violation(
+                    "plan-coverage",
+                    f"flood on {event.victim_addr} left no flows",
+                )
+            )
+            break
+    trigger_srcs = {
+        int(s)
+        for s in np.unique(
+            flows.src[flows.truth == int(TruthLabel.SPOOF_TRIGGER)]
+        )
+    }
+    for event in scenario.plan.amplifications:
+        if event.sampled_packets >= 5 and event.victim_addr not in trigger_srcs:
+            violations.append(
+                Violation(
+                    "plan-coverage",
+                    f"amplification on {event.victim_addr} left no flows",
+                )
+            )
+            break
+    return violations

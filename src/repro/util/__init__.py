@@ -1,0 +1,6 @@
+"""Small shared utilities (index mappings, time constants)."""
+
+from repro.util.indexing import AsnIndexer
+from repro.util.timeconst import DAY, HOUR, MEASUREMENT_WEEKS, WEEK
+
+__all__ = ["AsnIndexer", "DAY", "HOUR", "MEASUREMENT_WEEKS", "WEEK"]

@@ -1,0 +1,45 @@
+"""Dense integer indexing for ASNs.
+
+Cone computation and bulk classification work on packed numpy bit
+matrices, which need dense 0-based indices rather than sparse ASNs.
+:class:`AsnIndexer` is the bidirectional mapping used everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+class AsnIndexer:
+    """Bidirectional dense-index mapping for a fixed set of ASNs."""
+
+    def __init__(self, asns: Iterable[int]) -> None:
+        self._asns = sorted(set(asns))
+        self._index = {asn: i for i, asn in enumerate(self._asns)}
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._index
+
+    def index(self, asn: int) -> int:
+        """Dense index of ``asn`` (KeyError if unknown)."""
+        return self._index[asn]
+
+    def index_or_none(self, asn: int) -> int | None:
+        return self._index.get(asn)
+
+    def asn(self, index: int) -> int:
+        """ASN at dense ``index``."""
+        return self._asns[index]
+
+    def asns(self) -> list[int]:
+        """All ASNs in index order."""
+        return list(self._asns)
+
+    def indices_of(self, asns: Iterable[int]) -> np.ndarray:
+        """Vector of dense indices for ``asns`` (unknown ASNs → -1)."""
+        return np.array([self._index.get(a, -1) for a in asns], dtype=np.int64)

@@ -1,0 +1,15 @@
+"""Time constants for the measurement window.
+
+The paper's window spans four weeks (2017-02-05 to 2017-03-06). Our
+synthetic clock is seconds since the start of that window.
+"""
+
+HOUR = 3600
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+#: Length of the measurement period in weeks (paper: 4).
+MEASUREMENT_WEEKS = 4
+
+#: Length of the measurement period in seconds.
+MEASUREMENT_SECONDS = MEASUREMENT_WEEKS * WEEK

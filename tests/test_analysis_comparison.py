@@ -1,0 +1,69 @@
+"""Tests for cross-approach comparison and weekly stability."""
+
+import pytest
+
+from repro.analysis.comparison import compare_approaches, weekly_stability
+from repro.util.timeconst import MEASUREMENT_SECONDS
+
+
+class TestCompareApproaches:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_world):
+        return compare_approaches(
+            tiny_world.result, ["naive+orgs", "cc+orgs", "full+orgs"]
+        )
+
+    def test_all_pairs_present(self, comparison):
+        assert len(comparison.overlaps) == 3
+
+    def test_jaccard_bounded(self, comparison):
+        for item in comparison.overlaps.values():
+            assert 0.0 <= item.jaccard() <= 1.0
+
+    def test_intersection_bounded_by_parts(self, comparison):
+        for item in comparison.overlaps.values():
+            assert item.packets_both <= min(item.packets_a, item.packets_b)
+
+    def test_symmetric_access(self, comparison):
+        ab = comparison.overlap("naive+orgs", "cc+orgs")
+        ba = comparison.overlap("cc+orgs", "naive+orgs")
+        assert ab.packets_both == ba.packets_both
+        assert ab.packets_a == ba.packets_b
+
+    def test_shared_core_is_large(self, comparison):
+        """The truly spoofed routed traffic is flagged by everyone, so
+        pairwise containment of full in the others is high."""
+        item = comparison.overlap("full+orgs", "cc+orgs")
+        assert item.containment_of_a_in_b() > 0.5
+
+    def test_member_counts(self, comparison, tiny_world):
+        for name, count in comparison.member_counts.items():
+            assert 0 <= count <= len(tiny_world.ixp)
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "jaccard" in text and "members flagged" in text
+
+
+class TestWeeklyStability:
+    @pytest.fixture(scope="class")
+    def stability(self, tiny_world):
+        return weekly_stability(
+            tiny_world.result, "full+orgs", MEASUREMENT_SECONDS
+        )
+
+    def test_four_weeks(self, stability):
+        assert len(stability.weeks) == 4
+        for values in stability.shares.values():
+            assert len(values) == 4
+
+    def test_shares_bounded(self, stability):
+        for values in stability.shares.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_render(self, stability):
+        text = stability.render()
+        assert "week" in text and "bogon" in text
+
+    def test_spread_metric(self, stability):
+        assert stability.max_relative_spread("bogon") >= 0.0

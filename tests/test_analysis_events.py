@@ -1,0 +1,92 @@
+"""Tests for attack-event extraction and the member hygiene report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attack_events import (
+    AttackEvent,
+    extract_attack_events,
+    match_against_plan,
+)
+from repro.analysis.member_report import member_hygiene_report
+from repro.datasets.ark import run_ark_campaign
+
+
+@pytest.fixture(scope="module")
+def events(small_world):
+    return extract_attack_events(small_world.result, "full+orgs")
+
+
+class TestEventExtraction:
+    def test_events_found(self, events):
+        assert events
+
+    def test_event_fields_consistent(self, events):
+        for event in events:
+            assert event.start <= event.end
+            assert event.sampled_packets > 0
+            assert event.distinct_sources > 0
+            assert event.member_asns
+            assert event.kind in (
+                "amplification", "flood", "gaming_flood",
+            )
+
+    def test_flood_signature(self, events):
+        floods = [e for e in events if e.kind == "flood"]
+        assert floods
+        for event in floods:
+            # Random spoofing: many sources relative to packets.
+            assert event.distinct_sources > 0.5 * event.sampled_packets
+
+    def test_amplification_signature(self, events):
+        amps = [e for e in events if e.kind == "amplification"]
+        assert amps
+        for event in amps:
+            assert event.traffic_class == "invalid"
+
+    def test_matches_ground_truth_plan(self, small_world, events):
+        report = match_against_plan(events, small_world.scenario.plan)
+        assert report.extracted == len(events)
+        if report.truth_floods:
+            assert report.flood_recall() > 0.5
+        if report.truth_amplifications:
+            assert report.amplification_recall() > 0.5
+        assert "Attack-event extraction" in report.render()
+
+    def test_sorted_by_start(self, events):
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+
+
+class TestMemberHygiene:
+    @pytest.fixture(scope="class")
+    def cards(self, small_world, request):
+        rng = np.random.default_rng(1)
+        ark = run_ark_campaign(small_world.topo, rng)
+        return member_hygiene_report(small_world.result, "full+orgs", ark)
+
+    def test_card_per_member(self, small_world, cards):
+        flow_members = {
+            int(m) for m in np.unique(small_world.scenario.flows.member)
+        }
+        assert {card.asn for card in cards} == flow_members
+
+    def test_sorted_worst_first(self, cards):
+        percentiles = [card.percentile for card in cards]
+        assert percentiles == sorted(percentiles, reverse=True)
+
+    def test_postures_cover_spectrum(self, cards):
+        postures = {card.posture for card in cards}
+        assert "clean" in postures
+        assert "unfiltered" in postures
+
+    def test_clean_members_have_zero_shares(self, cards):
+        for card in cards:
+            if card.posture == "clean":
+                assert card.bogon_share == 0
+                assert card.unrouted_share == 0
+                assert card.invalid_share == 0
+
+    def test_render(self, cards):
+        text = cards[0].render()
+        assert "posture=" in text and f"AS{cards[0].asn}" in text

@@ -1,0 +1,148 @@
+"""Tests for the WHOIS FP hunt, router strays, Spoofer cross-check,
+amplification analyses, and NTP stats on the tiny world."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.falsepositives import hunt_false_positives
+from repro.analysis.fig7_routerips import compute_router_stray_analysis
+from repro.analysis.fig11_attacks import (
+    compute_amplification_timeseries,
+    compute_amplifier_ranking,
+    compute_ntp_stats,
+    ntp_trigger_flows,
+)
+from repro.analysis.spoofer_crosscheck import cross_check_spoofer
+from repro.core import TrafficClass
+from repro.datasets.ark import run_ark_campaign
+from repro.datasets.spoofer import run_spoofer_campaign
+from repro.datasets.whois import build_whois
+from repro.ixp.flows import PROTO_UDP
+from repro.util.timeconst import MEASUREMENT_SECONDS
+
+
+@pytest.fixture(scope="module")
+def approach():
+    return "full+orgs"
+
+
+class TestFalsePositiveHunt:
+    def test_hunt_reduces_invalid(self, tiny_world, approach):
+        whois = build_whois(tiny_world.topo)
+        hunt = hunt_false_positives(tiny_world.result, approach, whois)
+        assert hunt.invalid_packets_after <= hunt.invalid_packets_before
+        assert 0.0 <= hunt.packet_reduction <= 1.0
+        assert 0.0 <= hunt.byte_reduction <= 1.0
+
+    def test_recovered_relationships_have_evidence(self, tiny_world, approach):
+        whois = build_whois(tiny_world.topo)
+        hunt = hunt_false_positives(tiny_world.result, approach, whois)
+        for rel in hunt.recovered:
+            assert rel.evidence in (
+                "org", "policy", "inetnum", "tunnel", "policy-chain",
+            )
+            assert rel.packets > 0
+
+    def test_relabelled_result_consistent(self, tiny_world, approach):
+        whois = build_whois(tiny_world.topo)
+        hunt = hunt_false_positives(tiny_world.result, approach, whois)
+        after = hunt.relabelled.flows.packets[
+            hunt.relabelled.class_mask(approach, TrafficClass.INVALID)
+        ].sum()
+        assert int(after) == hunt.invalid_packets_after
+
+    def test_other_approaches_untouched(self, tiny_world, approach):
+        whois = build_whois(tiny_world.topo)
+        hunt = hunt_false_positives(tiny_world.result, approach, whois)
+        assert (
+            hunt.relabelled.label_vector("naive")
+            == tiny_world.result.label_vector("naive")
+        ).all()
+
+    def test_top_members_parameter(self, tiny_world, approach):
+        whois = build_whois(tiny_world.topo)
+        narrow = hunt_false_positives(
+            tiny_world.result, approach, whois, top_members=3
+        )
+        assert len(narrow.inspected_members) <= 3
+
+
+class TestRouterStrays:
+    def test_threshold_monotonicity(self, tiny_world, approach, rng):
+        ark = run_ark_campaign(tiny_world.topo, rng)
+        strict = compute_router_stray_analysis(
+            tiny_world.result, approach, ark, threshold=0.2
+        )
+        loose = compute_router_stray_analysis(
+            tiny_world.result, approach, ark, threshold=0.9
+        )
+        assert len(strict.excluded_members) >= len(loose.excluded_members)
+
+    def test_per_member_counts_bounded(self, tiny_world, approach, rng):
+        ark = run_ark_campaign(tiny_world.topo, rng)
+        analysis = compute_router_stray_analysis(
+            tiny_world.result, approach, ark
+        )
+        for total, router in analysis.per_member.values():
+            assert 0 <= router <= total
+
+    def test_protocol_mix_sums_to_one(self, tiny_world, approach, rng):
+        ark = run_ark_campaign(tiny_world.topo, rng)
+        analysis = compute_router_stray_analysis(
+            tiny_world.result, approach, ark
+        )
+        if analysis.router_packet_share() > 0:
+            assert sum(analysis.protocol_mix.values()) == pytest.approx(1.0)
+
+
+class TestSpooferCrossCheck:
+    def test_rates_bounded(self, tiny_world, approach, rng):
+        spoofer = run_spoofer_campaign(
+            rng, sorted(tiny_world.topo.ases), tiny_world.scenario.behaviors,
+            test_fraction=0.5,
+        )
+        check = cross_check_spoofer(tiny_world.result, approach, spoofer)
+        for value in (
+            check.passive_rate(),
+            check.spoofer_rate(),
+            check.agreement_of_passive(),
+            check.passive_coverage_of_spoofer(),
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_positives_within_overlap(self, tiny_world, approach, rng):
+        spoofer = run_spoofer_campaign(
+            rng, sorted(tiny_world.topo.ases), tiny_world.scenario.behaviors,
+            test_fraction=0.5,
+        )
+        check = cross_check_spoofer(tiny_world.result, approach, spoofer)
+        assert check.passive_positive <= check.overlapping_asns
+        assert check.spoofer_positive <= check.overlapping_asns
+
+
+class TestNTPAnalyses:
+    def test_trigger_flows_are_udp_123(self, tiny_world, approach):
+        triggers = ntp_trigger_flows(tiny_world.result, approach)
+        if len(triggers):
+            assert (triggers.proto == PROTO_UDP).all()
+            assert (triggers.dst_port == 123).all()
+
+    def test_amplifier_ranking_sorted(self, tiny_world, approach):
+        ranking = compute_amplifier_ranking(tiny_world.result, approach)
+        for profile in ranking.profiles:
+            counts = profile.packets_per_amplifier
+            assert (np.diff(counts) <= 0).all()
+
+    def test_ntp_stats_shares_bounded(self, tiny_world, approach):
+        stats = compute_ntp_stats(
+            tiny_world.result, approach, tiny_world.scenario.census
+        )
+        assert 0.0 <= stats.top_member_share <= 1.0
+        assert stats.top_member_share <= stats.top5_member_share <= 1.0
+
+    def test_amplification_series_shapes(self, tiny_world, approach):
+        series = compute_amplification_timeseries(
+            tiny_world.result, approach, MEASUREMENT_SECONDS
+        )
+        assert series.packets_to_amplifiers.shape == series.hours.shape
+        assert (series.packets_to_amplifiers >= 0).all()

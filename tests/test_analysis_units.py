@@ -1,0 +1,209 @@
+"""Unit tests for analysis helpers on the tiny world."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fig2_cone_sizes import compute_cone_size_curves
+from repro.analysis.fig4_ccdf import compute_member_share_ccdf
+from repro.analysis.fig5_venn import compute_filtering_venn
+from repro.analysis.fig6_scatter import compute_business_scatter
+from repro.analysis.fig8_traffic import (
+    compute_packet_size_cdf,
+    compute_timeseries,
+)
+from repro.analysis.fig9_portmix import compute_port_mix
+from repro.analysis.fig10_addrspace import compute_address_histograms
+from repro.analysis.fig11_attacks import compute_spoofing_ratios
+from repro.analysis.table1 import compute_table1, org_merge_impact
+from repro.core import TrafficClass
+from repro.datasets.peeringdb import build_peeringdb
+from repro.util.timeconst import MEASUREMENT_SECONDS
+
+
+@pytest.fixture(scope="module")
+def approach():
+    return "full+orgs"
+
+
+class TestTable1:
+    def test_columns_present(self, tiny_world):
+        table = compute_table1(tiny_world.result)
+        assert "bogon" in table.columns
+        assert "unrouted" in table.columns
+        for name in tiny_world.approaches:
+            assert f"invalid {name}" in table.columns
+
+    def test_scaling(self, tiny_world):
+        table = compute_table1(tiny_world.result, sampling_rate=10_000)
+        assert table.scaled_packets("bogon") == (
+            table.columns["bogon"].packets * 10_000
+        )
+
+    def test_render_contains_shares(self, tiny_world):
+        text = compute_table1(tiny_world.result).render()
+        assert "%" in text and "bogon" in text
+
+    def test_org_merge_reduces_invalid(self, tiny_world):
+        for base, merged in (("cc", "cc+orgs"), ("full", "full+orgs")):
+            impact = org_merge_impact(tiny_world.result, base, merged)
+            assert 0.0 <= impact <= 1.0
+
+
+class TestFig2:
+    def test_containment_size_invariants(self, tiny_world):
+        curves = compute_cone_size_curves(
+            {
+                name: tiny_world.approaches[name]
+                for name in ("naive", "cc", "full", "cc+orgs", "full+orgs")
+            }
+        )
+        assert not curves.containment_violations("naive", "full")
+        assert not curves.containment_violations("cc", "full")
+        assert not curves.containment_violations("cc", "cc+orgs")
+        assert not curves.containment_violations("full", "full+orgs")
+
+    def test_curves_sorted(self, tiny_world):
+        curves = compute_cone_size_curves(
+            {"full": tiny_world.approaches["full"]}
+        )
+        values = curves.curves["full"]
+        assert (np.diff(values) >= 0).all()
+
+    def test_stub_agreement(self, tiny_world):
+        curves = compute_cone_size_curves(
+            {
+                name: tiny_world.approaches[name]
+                for name in ("naive", "cc", "full")
+            }
+        )
+        # All approaches agree on a meaningful share of (stub) ASes.
+        assert curves.agreement_on_stubs() > 0.3 * len(curves.asns)
+
+    def test_subset_of_asns(self, tiny_world):
+        asns = tiny_world.rib.indexer.asns()[:20]
+        curves = compute_cone_size_curves(
+            {"full": tiny_world.approaches["full"]}, asns
+        )
+        assert len(curves.asns) == 20
+
+
+class TestFig4And5:
+    def test_shares_within_unit_interval(self, tiny_world, approach):
+        ccdf = compute_member_share_ccdf(tiny_world.result, approach)
+        for values in ccdf.shares.values():
+            if values.size:
+                assert values.min() > 0
+                assert values.max() <= 1.0
+
+    def test_ccdf_monotone(self, tiny_world, approach):
+        ccdf = compute_member_share_ccdf(tiny_world.result, approach)
+        x, y = ccdf.ccdf("bogon")
+        assert (np.diff(y) <= 0).all()
+
+    def test_venn_cells_partition_members(self, tiny_world, approach):
+        venn = compute_filtering_venn(tiny_world.result, approach)
+        assert sum(venn.cells.values()) == venn.total_members
+
+    def test_venn_class_totals_match_result(self, tiny_world, approach):
+        venn = compute_filtering_venn(tiny_world.result, approach)
+        members = tiny_world.result.members_contributing(
+            approach, TrafficClass.BOGON
+        )
+        assert venn.class_total_share("bogon") == pytest.approx(
+            len(members) / venn.total_members
+        )
+
+
+class TestFig6:
+    def test_points_cover_members(self, tiny_world, approach, rng):
+        peeringdb = build_peeringdb(
+            tiny_world.topo, rng, list(tiny_world.ixp.member_asns)
+        )
+        scatter = compute_business_scatter(
+            tiny_world.result, approach, peeringdb, TrafficClass.BOGON
+        )
+        flow_members = set(
+            int(m) for m in np.unique(tiny_world.scenario.flows.member)
+        )
+        assert {p.asn for p in scatter.points} == flow_members
+
+    def test_shares_match_result(self, tiny_world, approach, rng):
+        peeringdb = build_peeringdb(
+            tiny_world.topo, rng, list(tiny_world.ixp.member_asns)
+        )
+        scatter = compute_business_scatter(
+            tiny_world.result, approach, peeringdb, TrafficClass.INVALID
+        )
+        shares = tiny_world.result.member_class_shares(
+            approach, TrafficClass.INVALID
+        )
+        for point in scatter.points[:20]:
+            assert point.share == pytest.approx(shares.get(point.asn, 0.0))
+
+
+class TestFig8:
+    def test_size_cdf_monotone(self, tiny_world, approach):
+        cdf = compute_packet_size_cdf(tiny_world.result, approach)
+        _x, y = cdf.cdf("regular")
+        assert (np.diff(y) >= -1e-12).all()
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_share_below_bounds(self, tiny_world, approach):
+        cdf = compute_packet_size_cdf(tiny_world.result, approach)
+        assert cdf.share_below("regular", 40) == 0.0
+        assert cdf.share_below("regular", 1501) == pytest.approx(1.0)
+
+    def test_timeseries_conserves_packets(self, tiny_world, approach):
+        series = compute_timeseries(
+            tiny_world.result, approach, MEASUREMENT_SECONDS
+        )
+        total = sum(s.sum() for s in series.series.values())
+        assert total == tiny_world.scenario.flows.packets.sum()
+
+
+class TestFig9And10:
+    def test_port_mix_shares_sum_to_one(self, tiny_world, approach):
+        mix = compute_port_mix(tiny_world.result, approach)
+        for panel in mix.shares.values():
+            for class_mix in panel.values():
+                if class_mix:
+                    assert sum(class_mix.values()) == pytest.approx(1.0)
+
+    def test_address_histograms_conserve_packets(self, tiny_world, approach):
+        histograms = compute_address_histograms(tiny_world.result, approach)
+        for name, traffic_class in (
+            ("bogon", TrafficClass.BOGON),
+            ("unrouted", TrafficClass.UNROUTED),
+        ):
+            expected = tiny_world.result.select_class(
+                approach, traffic_class
+            ).packets.sum()
+            assert histograms.sources[name].sum() == expected
+            assert histograms.destinations[name].sum() == expected
+
+    def test_bogon_sources_in_bogon_blocks(self, tiny_world, approach):
+        histograms = compute_address_histograms(tiny_world.result, approach)
+        hist = histograms.sources["bogon"]
+        bogon_first_octets = {10, 100, 127, 169, 172, 192, 198, 203, 0}
+        bogon_first_octets |= set(range(224, 256))
+        covered = sum(hist[o] for o in bogon_first_octets)
+        assert covered == hist.sum()
+
+
+class TestFig11a:
+    def test_ratios_bounded(self, tiny_world, approach):
+        ratios = compute_spoofing_ratios(
+            tiny_world.result, approach, min_packets=5
+        )
+        for values in ratios.ratios.values():
+            if values.size:
+                assert values.min() > 0
+                assert values.max() <= 1.0 + 1e-9
+
+    def test_histogram_normalised(self, tiny_world, approach):
+        ratios = compute_spoofing_ratios(
+            tiny_world.result, approach, min_packets=5
+        )
+        for name, values in ratios.ratios.items():
+            if values.size:
+                assert ratios.histogram(name).sum() == pytest.approx(1.0)

@@ -1,0 +1,133 @@
+"""Tests for Gao–Rexford route propagation on the micro topology."""
+
+import pytest
+
+from repro.bgp.propagation import RoutePropagator, RouteType
+
+
+@pytest.fixture()
+def propagator(micro_topology):
+    return RoutePropagator(micro_topology)
+
+
+class TestReachability:
+    def test_everyone_reaches_everyone_by_default(self, propagator, micro_topology):
+        for origin in micro_topology.ases:
+            outcome = propagator.propagate(origin)
+            for asn in micro_topology.ases:
+                assert outcome.has_route(asn), (origin, asn)
+
+    def test_origin_route_type(self, propagator):
+        outcome = propagator.propagate(5)
+        assert outcome.route_type(5) is RouteType.CUSTOMER
+
+    def test_route_types_follow_hierarchy(self, propagator):
+        # Origin = C1 (AS5, customer of T2a=3 which is customer of T1a=1).
+        outcome = propagator.propagate(5)
+        assert outcome.route_type(3) is RouteType.CUSTOMER
+        assert outcome.route_type(1) is RouteType.CUSTOMER
+        # T1b learns via the T1 peering.
+        assert outcome.route_type(2) is RouteType.PEER
+        # C3 (under T1b) learns downhill.
+        assert outcome.route_type(7) is RouteType.PROVIDER
+
+
+class TestPaths:
+    def test_path_is_valley_free_chain(self, propagator):
+        outcome = propagator.propagate(5)
+        assert outcome.path_from(7) == (7, 4, 2, 1, 3, 5)
+
+    def test_path_from_origin_is_singleton(self, propagator):
+        outcome = propagator.propagate(5)
+        assert outcome.path_from(5) == (5,)
+
+    def test_path_ends_at_origin(self, propagator, micro_topology):
+        for origin in micro_topology.ases:
+            outcome = propagator.propagate(origin)
+            for asn in micro_topology.ases:
+                path = outcome.path_from(asn)
+                assert path is not None
+                assert path[0] == asn
+                assert path[-1] == origin
+
+    def test_paths_use_real_links(self, propagator, micro_topology):
+        outcome = propagator.propagate(6)
+        for asn in micro_topology.ases:
+            path = outcome.path_from(asn)
+            for left, right in zip(path, path[1:]):
+                assert micro_topology.relationship(left, right) is not None
+
+    def test_routed_asns(self, propagator, micro_topology):
+        outcome = propagator.propagate(5)
+        assert set(outcome.routed_asns()) == set(micro_topology.ases)
+
+
+class TestValleyFreeness:
+    def _slope(self, topo, left, right):
+        """+1 uphill (left customer of right), -1 downhill, 0 peer/sib."""
+        from repro.topology.model import Relationship
+
+        rel = topo.relationship(left, right)
+        if rel is Relationship.CUSTOMER_OF:
+            return +1
+        if rel is Relationship.PROVIDER_OF:
+            return -1
+        return 0
+
+    def test_no_valleys_anywhere(self, propagator, micro_topology):
+        # Read paths announcement-wise (origin → receiver): must climb,
+        # cross at most one flat (peer) link, then descend.
+        for origin in micro_topology.ases:
+            outcome = propagator.propagate(origin)
+            for asn in micro_topology.ases:
+                path = list(reversed(outcome.path_from(asn)))
+                slopes = [
+                    self._slope(micro_topology, a, b)
+                    for a, b in zip(path, path[1:])
+                ]
+                # After the first non-uphill step, no more uphill steps.
+                seen_top = False
+                flats = 0
+                for slope in slopes:
+                    if slope == 0:
+                        flats += 1
+                    if slope != 1:
+                        seen_top = True
+                    elif seen_top:
+                        pytest.fail(f"valley in {path}")
+                assert flats <= 1
+
+
+class TestSelectiveAnnouncement:
+    def test_first_hop_restriction(self, propagator, micro_topology):
+        # AS6 announces only to provider 4: AS3 must not route via 6's
+        # link to it... i.e. path from 5 (under 3) goes up and across.
+        outcome = propagator.propagate(6, first_hops={4})
+        path_from_5 = outcome.path_from(5)
+        assert path_from_5 is not None
+        assert path_from_5[:2] != (5, 6)
+        # The first hop from the origin side must be AS4.
+        assert path_from_5[-2] == 4
+
+    def test_restriction_to_nothing_isolates(self, propagator, micro_topology):
+        outcome = propagator.propagate(6, first_hops=set())
+        for asn in micro_topology.ases:
+            if asn != 6:
+                assert not outcome.has_route(asn)
+
+    def test_restriction_still_reaches_all(self, propagator, micro_topology):
+        outcome = propagator.propagate(6, first_hops={4})
+        for asn in micro_topology.ases:
+            assert outcome.has_route(asn)
+
+
+class TestSiblings:
+    def test_sibling_link_carries_routes(self, micro_topology):
+        from repro.topology.model import Relationship
+
+        micro_topology.add_link(6, 8, Relationship.SIBLING)
+        propagator = RoutePropagator(micro_topology)
+        outcome = propagator.propagate(6, first_hops={8})
+        # Routes flow through the sibling and onwards.
+        assert outcome.has_route(4)
+        assert outcome.has_route(1)

@@ -1,0 +1,163 @@
+"""Tests for the global RIB."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.messages import RouteObservation
+from repro.bgp.rib import MAX_PLEN, MIN_PLEN, GlobalRIB
+from repro.net.addr import addr_to_int
+from repro.net.prefix import Prefix
+
+
+def obs(prefix: str, *path: int, source="rrc00", ts=0, update=False):
+    return RouteObservation(
+        prefix=Prefix.parse(prefix),
+        path=tuple(path),
+        source=source,
+        timestamp=ts,
+        from_update=update,
+    )
+
+
+@pytest.fixture()
+def rib():
+    r = GlobalRIB()
+    r.add(obs("10.0.0.0/16", 100, 200, 300))
+    r.add(obs("10.0.0.0/16", 101, 200, 300))
+    r.add(obs("10.0.128.0/17", 100, 400))  # more specific, other origin
+    r.add(obs("20.0.0.0/16", 100, 200))
+    return r
+
+
+class TestLengthFilter:
+    def test_too_specific_dropped(self):
+        r = GlobalRIB()
+        assert not r.add(obs("10.0.0.0/25", 1, 2))
+        assert r.num_prefixes == 0
+        assert r.num_discarded == 1
+
+    def test_too_coarse_dropped(self):
+        r = GlobalRIB()
+        assert not r.add(obs("10.0.0.0/7", 1, 2))
+        assert r.num_discarded == 1
+
+    def test_boundaries_accepted(self):
+        r = GlobalRIB()
+        assert r.add(obs("10.0.0.0/8", 1, 2))
+        assert r.add(obs("10.0.0.0/24", 1, 2))
+        assert MIN_PLEN == 8 and MAX_PLEN == 24
+
+
+class TestAccumulation:
+    def test_num_prefixes(self, rib):
+        assert rib.num_prefixes == 3
+
+    def test_duplicate_routes_deduped(self, rib):
+        before = rib.num_paths
+        rib.add(obs("10.0.0.0/16", 100, 200, 300))
+        assert rib.num_paths == before
+
+    def test_origin_majority_vote(self, rib):
+        pid = rib.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert rib.origin_of(pid) == 300
+
+    def test_moas_origins(self):
+        r = GlobalRIB()
+        r.add(obs("10.0.0.0/16", 1, 2))
+        r.add(obs("10.0.0.0/16", 1, 3))
+        pid = r.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert r.origins_of(pid) == {2, 3}
+
+    def test_path_members(self, rib):
+        pid = rib.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert rib.path_members(pid) == {100, 101, 200, 300}
+
+    def test_adjacencies_are_directed(self, rib):
+        adj = rib.adjacencies()
+        assert (100, 200) in adj
+        assert (200, 300) in adj
+        assert (300, 200) not in adj
+
+    def test_prepending_collapses(self):
+        r = GlobalRIB()
+        r.add(obs("10.0.0.0/16", 1, 2, 2, 2, 3))
+        assert (2, 2) not in r.adjacencies()
+        assert (2, 3) in r.adjacencies()
+
+    def test_observed_asns(self, rib):
+        assert rib.observed_asns() == {100, 101, 200, 300, 400}
+
+
+class TestLookup:
+    def test_lpm_prefers_more_specific(self, rib):
+        pid, origin_index = rib.lookup(addr_to_int("10.0.200.1"))
+        assert rib.prefix_by_id(pid) == Prefix.parse("10.0.128.0/17")
+        assert rib.indexer.asn(origin_index) == 400
+
+    def test_lookup_covering(self, rib):
+        pid, origin_index = rib.lookup(addr_to_int("10.0.1.1"))
+        assert rib.prefix_by_id(pid) == Prefix.parse("10.0.0.0/16")
+        assert rib.indexer.asn(origin_index) == 300
+
+    def test_lookup_unrouted(self, rib):
+        pid, origin_index = rib.lookup(addr_to_int("9.9.9.9"))
+        assert pid == -1
+        assert origin_index == -1
+
+    def test_lookup_many_matches_scalar(self, rib):
+        addrs = np.array(
+            [
+                addr_to_int("10.0.200.1"),
+                addr_to_int("10.0.1.1"),
+                addr_to_int("9.9.9.9"),
+                addr_to_int("20.0.50.1"),
+            ],
+            dtype=np.uint64,
+        )
+        pids, origins = rib.lookup_many(addrs)
+        for i, addr in enumerate(addrs):
+            s_pid, s_origin = rib.lookup(int(addr))
+            assert pids[i] == s_pid
+            assert origins[i] == s_origin
+
+    def test_routed_space(self, rib):
+        space = rib.routed_space()
+        assert addr_to_int("10.0.0.1") in space
+        assert addr_to_int("20.0.0.1") in space
+        assert addr_to_int("30.0.0.1") not in space
+
+    def test_lookup_after_mutation_refreshes(self, rib):
+        # Finalized views must invalidate when new routes arrive.
+        assert rib.lookup(addr_to_int("30.0.0.1"))[0] == -1
+        rib.add(obs("30.0.0.0/16", 1, 2))
+        assert rib.lookup(addr_to_int("30.0.0.1"))[0] != -1
+
+
+class TestExclusiveCoverage:
+    def test_sums_to_routed_space(self, rib):
+        per_prefix = rib.exclusive_slash24s_per_prefix()
+        assert per_prefix.sum() == pytest.approx(
+            rib.routed_space().slash24_equivalents
+        )
+
+    def test_more_specific_claims_space(self, rib):
+        pid_16 = rib.prefix_id(Prefix.parse("10.0.0.0/16"))
+        pid_17 = rib.prefix_id(Prefix.parse("10.0.128.0/17"))
+        per_prefix = rib.exclusive_slash24s_per_prefix()
+        assert per_prefix[pid_17] == 128  # the /17's own half
+        assert per_prefix[pid_16] == 128  # the /16 minus the /17
+
+    def test_per_origin_aggregation(self, rib):
+        per_origin = rib.exclusive_slash24s_per_origin()
+        idx_200 = rib.indexer.index(200)  # origin of 20.0.0.0/16
+        idx_300 = rib.indexer.index(300)  # origin of 10.0.0.0/16
+        idx_400 = rib.indexer.index(400)  # origin of 10.0.128.0/17
+        assert per_origin[idx_200] == 256
+        assert per_origin[idx_300] == 128
+        assert per_origin[idx_400] == 128
+
+    def test_empty_rib(self):
+        r = GlobalRIB()
+        assert r.routed_space().num_addresses == 0
+        pids, origins = r.lookup_many(np.array([1, 2], dtype=np.uint64))
+        assert (pids == -1).all()

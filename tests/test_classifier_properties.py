@@ -1,0 +1,117 @@
+"""Property tests for the classifier over randomised flows.
+
+These run the real pipeline of a built world against synthetic flow
+tables with arbitrary sources and check the structural guarantees the
+method promises for *any* input, not just generator output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrafficClass
+from repro.datasets.bogons import bogon_prefix_set
+from repro.ixp.flows import PROTO_UDP, FlowTable, TruthLabel
+
+
+def random_flows(world, rng, n=4000):
+    members = np.array(world.ixp.member_asns)
+    return FlowTable(
+        src=rng.integers(0, 2**32, size=n, dtype=np.uint64),
+        dst=rng.integers(0, 2**32, size=n, dtype=np.uint64),
+        proto=np.full(n, PROTO_UDP),
+        src_port=rng.integers(0, 65536, size=n),
+        dst_port=rng.integers(0, 65536, size=n),
+        packets=rng.integers(1, 10, size=n),
+        bytes=rng.integers(40, 1500, size=n),
+        member=rng.choice(members, size=n),
+        dst_member=rng.choice(members, size=n),
+        time=rng.integers(0, 1000, size=n),
+        truth=np.full(n, int(TruthLabel.LEGIT)),
+    )
+
+
+@pytest.fixture(scope="module")
+def random_result(tiny_world):
+    rng = np.random.default_rng(99)
+    flows = random_flows(tiny_world, rng)
+    return flows, tiny_world.classifier.classify(flows)
+
+
+class TestClassifierInvariants:
+    def test_every_flow_exactly_one_class(self, random_result):
+        _flows, result = random_result
+        for approach in result.approaches:
+            labels = result.label_vector(approach)
+            assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+    def test_bogon_matches_bogon_list_exactly(self, random_result):
+        flows, result = random_result
+        expected = bogon_prefix_set().contains_many(flows.src)
+        actual = result.class_mask("full+orgs", TrafficClass.BOGON)
+        assert (expected == actual).all()
+
+    def test_unrouted_matches_rib_complement(self, random_result, tiny_world):
+        flows, result = random_result
+        bogon = bogon_prefix_set().contains_many(flows.src)
+        routed = tiny_world.rib.routed_space().contains_many(flows.src)
+        expected = ~bogon & ~routed
+        actual = result.class_mask("full+orgs", TrafficClass.UNROUTED)
+        assert (expected == actual).all()
+
+    def test_agnostic_classes_identical_across_approaches(self, random_result):
+        _flows, result = random_result
+        reference_bogon = result.class_mask("naive", TrafficClass.BOGON)
+        reference_unrouted = result.class_mask("naive", TrafficClass.UNROUTED)
+        for approach in result.approaches:
+            assert (
+                result.class_mask(approach, TrafficClass.BOGON)
+                == reference_bogon
+            ).all()
+            assert (
+                result.class_mask(approach, TrafficClass.UNROUTED)
+                == reference_unrouted
+            ).all()
+
+    def test_org_merge_only_shrinks_invalid(self, random_result):
+        _flows, result = random_result
+        for base, merged in (
+            ("naive", "naive+orgs"),
+            ("cc", "cc+orgs"),
+            ("full", "full+orgs"),
+        ):
+            base_invalid = result.class_mask(base, TrafficClass.INVALID)
+            merged_invalid = result.class_mask(merged, TrafficClass.INVALID)
+            # Merging org rows can only validate flows, never invalidate.
+            assert not (merged_invalid & ~base_invalid).any()
+
+    def test_classification_deterministic(self, tiny_world):
+        rng = np.random.default_rng(7)
+        flows = random_flows(tiny_world, rng, n=1000)
+        first = tiny_world.classifier.classify(flows)
+        second = tiny_world.classifier.classify(flows)
+        for approach in first.approaches:
+            assert (
+                first.label_vector(approach) == second.label_vector(approach)
+            ).all()
+
+    def test_empty_table(self, tiny_world):
+        result = tiny_world.classifier.classify(FlowTable.empty())
+        for approach in result.approaches:
+            assert result.label_vector(approach).size == 0
+        cell = result.contribution("full+orgs", TrafficClass.BOGON)
+        assert cell.members == 0
+
+    def test_unknown_member_flagged_for_routed_sources(self, tiny_world):
+        """A flow from an AS never seen in BGP can't be valid for any
+        routed source."""
+        rng = np.random.default_rng(3)
+        flows = random_flows(tiny_world, rng, n=500)
+        flows.member[:] = 999_999
+        result = tiny_world.classifier.classify(flows)
+        labels = result.label_vector("full+orgs")
+        routed = tiny_world.rib.routed_space().contains_many(flows.src)
+        bogon = bogon_prefix_set().contains_many(flows.src)
+        routed_rows = routed & ~bogon
+        assert (
+            labels[routed_rows] == int(TrafficClass.INVALID)
+        ).all()

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_preset_choices(self):
+        args = build_parser().parse_args(["table1", "--preset", "tiny"])
+        assert args.preset == "tiny"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--preset", "huge"])
+
+    def test_acl_defaults(self):
+        args = build_parser().parse_args(["acl"])
+        assert args.approach == "full+orgs"
+        assert args.peer is None
+
+
+class TestCommands:
+    def test_survey(self, capsys):
+        assert main(["survey", "--responses", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "40 responses" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "bogon" in out and "invalid full+orgs" in out
+
+    def test_cones(self, capsys):
+        assert main(["cones", "--preset", "tiny", "--sample", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2" in out
+
+    def test_acl(self, capsys):
+        assert main(["acl", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "# ingress whitelist" in out
+        # At least one prefix line like a.b.c.d/len.
+        assert any("/" in line for line in out.splitlines()[1:])
+
+    def test_acl_unknown_peer(self, capsys):
+        assert main(["acl", "--preset", "tiny", "--peer", "999999"]) == 2

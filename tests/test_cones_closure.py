@@ -1,0 +1,107 @@
+"""Tests for the SCC-condensed reachability closure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cones.closure import ReachabilityClosure
+
+
+class TestBasics:
+    def test_reflexive(self):
+        closure = ReachabilityClosure(3, [])
+        for node in range(3):
+            assert closure.reaches(node, node)
+            assert closure.reach_count(node) == 1
+
+    def test_chain(self):
+        closure = ReachabilityClosure(4, [(0, 1), (1, 2), (2, 3)])
+        assert closure.reaches(0, 3)
+        assert not closure.reaches(3, 0)
+        assert closure.reach_count(0) == 4
+        assert closure.reach_count(3) == 1
+
+    def test_diamond(self):
+        closure = ReachabilityClosure(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert closure.reachable_set(0) == {0, 1, 2, 3}
+        assert closure.reachable_set(1) == {1, 3}
+
+    def test_cycle_collapses(self):
+        closure = ReachabilityClosure(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        for node in (0, 1, 2):
+            assert closure.reachable_set(node) == {0, 1, 2, 3}
+        assert closure.reachable_set(3) == {3}
+
+    def test_self_loops_ignored(self):
+        closure = ReachabilityClosure(2, [(0, 0), (0, 1)])
+        assert closure.reachable_set(0) == {0, 1}
+
+    def test_unpacked_row_shape(self):
+        closure = ReachabilityClosure(11, [(0, 10)])
+        row = closure.unpacked_row(0)
+        assert row.shape == (11,)
+        assert row[10] and row[0] and not row[5]
+
+    def test_counts_vector(self):
+        closure = ReachabilityClosure(3, [(0, 1)])
+        assert closure.counts().tolist() == [2, 1, 1]
+
+    def test_weighted_counts(self):
+        closure = ReachabilityClosure(3, [(0, 1), (1, 2)])
+        weights = np.array([1.0, 10.0, 100.0])
+        assert closure.weighted_counts(weights).tolist() == [111.0, 110.0, 100.0]
+
+    def test_empty_graph(self):
+        closure = ReachabilityClosure(0, [])
+        assert closure.counts().size == 0
+
+
+def _random_graph(draw, max_n=14):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    return n, edges
+
+
+@st.composite
+def graphs(draw):
+    return _random_graph(draw)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=80, deadline=None)
+    @given(graphs())
+    def test_matches_dfs_reachability(self, graph):
+        n, edges = graph
+        closure = ReachabilityClosure(n, edges)
+        adjacency = [[] for _ in range(n)]
+        for src, dst in edges:
+            adjacency[src].append(dst)
+        for start in range(n):
+            expected = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for child in adjacency[node]:
+                    if child not in expected:
+                        expected.add(child)
+                        stack.append(child)
+            assert closure.reachable_set(start) == expected
+            assert closure.reach_count(start) == len(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs())
+    def test_counts_consistent_with_rows(self, graph):
+        n, edges = graph
+        closure = ReachabilityClosure(n, edges)
+        counts = closure.counts()
+        for node in range(n):
+            assert counts[node] == len(closure.reachable_set(node))

@@ -1,0 +1,141 @@
+"""Tests for AS relationship inference."""
+
+import pytest
+
+from repro.cones.relationships import (
+    InferredRelationship,
+    _collapse,
+    infer_relationships,
+    provider_to_customer_edges,
+    transit_degree,
+)
+
+
+class TestCollapse:
+    def test_removes_prepending(self):
+        assert _collapse((1, 2, 2, 2, 3)) == (1, 2, 3)
+
+    def test_keeps_plain_paths(self):
+        assert _collapse((1, 2, 3)) == (1, 2, 3)
+
+    def test_single_hop(self):
+        assert _collapse((7,)) == (7,)
+
+
+class TestTransitDegree:
+    def test_endpoints_do_not_count(self):
+        rank = transit_degree([(1, 2, 3)])
+        assert rank[2] == 2
+        assert rank[1] == 0
+        assert rank[3] == 0
+
+    def test_distinct_neighbors(self):
+        rank = transit_degree([(1, 2, 3), (4, 2, 3), (1, 2, 5)])
+        assert rank[2] == 4  # neighbors {1, 3, 4, 5}
+
+
+def _hierarchy_paths():
+    """Paths over: T1a(1)-T1b(2) peer clique; 3,4 their customers;
+    5..10 edge customers of 3/4. Observation points below everyone."""
+    paths = []
+    # Announcements from each edge AS observed at peers of other edges.
+    # Structure: [observer-side ..., top, ..., origin]
+    edges_of = {3: [5, 6, 7], 4: [8, 9, 10]}
+    for provider, customers in edges_of.items():
+        t1 = 1 if provider == 3 else 2
+        other_t1 = 2 if t1 == 1 else 1
+        other_prov = 4 if provider == 3 else 3
+        for origin in customers:
+            # Observed at a customer of the same provider.
+            for observer in customers:
+                if observer != origin:
+                    paths.append((observer, provider, origin))
+            # Observed across the T1 peering.
+            for observer in edges_of[other_prov]:
+                paths.append(
+                    (observer, other_prov, other_t1, t1, provider, origin)
+                )
+    # Direct T1 prefixes.
+    for origin, provider in ((1, None), (2, None)):
+        pass
+    return paths
+
+
+class TestInference:
+    def test_simple_hierarchy(self):
+        rels = infer_relationships(_hierarchy_paths())
+        # Edge-provider links inferred as c2p from the edge side.
+        for edge, provider in ((5, 3), (6, 3), (8, 4)):
+            key = (min(edge, provider), max(edge, provider))
+            rel = rels[key]
+            if key[0] == edge:
+                assert rel is InferredRelationship.C2P
+            else:
+                assert rel is InferredRelationship.P2C
+
+    def test_t1_peering_detected(self):
+        rels = infer_relationships(_hierarchy_paths())
+        assert rels[(1, 2)] is InferredRelationship.PEER
+
+    def test_provider_to_customer_edges(self):
+        rels = {
+            (1, 2): InferredRelationship.P2C,
+            (3, 4): InferredRelationship.C2P,
+            (5, 6): InferredRelationship.PEER,
+        }
+        edges = set(provider_to_customer_edges(rels))
+        assert edges == {(1, 2), (4, 3)}
+
+    def test_empty_paths(self):
+        assert infer_relationships([]) == {}
+
+    def test_two_as_path(self):
+        rels = infer_relationships([(1, 2)] * 3)
+        assert (1, 2) in rels
+
+
+class TestOnSyntheticWorld:
+    def test_transit_accuracy(self, bgp_only_world):
+        """≥90% of true transit links present in the inference are
+        recovered with the right direction."""
+        world = bgp_only_world
+        cc = world.approaches["cc"]
+        correct = 0
+        total = 0
+        for (a, b), inferred in cc.relationships.items():
+            true = world.topo.relationship(a, b)
+            if true is None:
+                continue
+            if true.value not in ("p2c", "c2p"):
+                continue
+            total += 1
+            expected = (
+                InferredRelationship.P2C
+                if true.value == "p2c"
+                else InferredRelationship.C2P
+            )
+            if inferred is expected:
+                correct += 1
+        assert total > 50
+        assert correct / total >= 0.90
+
+    def test_no_inverted_transit(self, bgp_only_world):
+        """Reversed transit directions must be very rare (they poison
+        customer cones)."""
+        world = bgp_only_world
+        cc = world.approaches["cc"]
+        inverted = 0
+        total = 0
+        for (a, b), inferred in cc.relationships.items():
+            true = world.topo.relationship(a, b)
+            if true is None or true.value not in ("p2c", "c2p"):
+                continue
+            total += 1
+            wrong = (
+                InferredRelationship.C2P
+                if true.value == "p2c"
+                else InferredRelationship.P2C
+            )
+            if inferred is wrong:
+                inverted += 1
+        assert inverted <= max(2, 0.02 * total)

@@ -1,0 +1,233 @@
+"""Tests for the classification pipeline (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.messages import RouteObservation
+from repro.bgp.rib import GlobalRIB
+from repro.cones.full_cone import FullConeValidSpace
+from repro.cones.naive import NaiveValidSpace
+from repro.core import SpoofingClassifier, TrafficClass, evaluate_against_truth
+from repro.ixp.flows import PROTO_TCP, FlowTable, TruthLabel
+from repro.net.addr import addr_to_int
+from repro.net.prefix import Prefix
+
+
+def obs(prefix, *path):
+    return RouteObservation(Prefix.parse(prefix), tuple(path), "rrc00")
+
+
+@pytest.fixture()
+def setup():
+    """RIB: AS100 originates 10.0/16 via AS10; AS200 originates
+    20.0/16 via AS20; monitors 10 and 20 observe across a peering."""
+    rib = GlobalRIB()
+    rib.add(obs("60.0.0.0/16", 20, 1, 10, 100))
+    rib.add(obs("20.0.0.0/16", 10, 1, 20, 200))
+    full = FullConeValidSpace(rib)
+    classifier = SpoofingClassifier(rib, {"full": full})
+    return rib, classifier
+
+
+def flow_table(rows):
+    """rows: list of (src_text, member, truth)."""
+    n = len(rows)
+    return FlowTable(
+        src=np.array([addr_to_int(r[0]) for r in rows], dtype=np.uint64),
+        dst=np.full(n, addr_to_int("20.0.0.1"), dtype=np.uint64),
+        proto=np.full(n, PROTO_TCP),
+        src_port=np.full(n, 1000),
+        dst_port=np.full(n, 80),
+        packets=np.full(n, 1),
+        bytes=np.full(n, 60),
+        member=np.array([r[1] for r in rows], dtype=np.int64),
+        dst_member=np.full(n, 20, dtype=np.int64),
+        time=np.zeros(n, dtype=np.int64),
+        truth=np.array([int(r[2]) for r in rows], dtype=np.uint8),
+    )
+
+
+class TestSequentialClasses:
+    def test_bogon_first(self, setup):
+        _rib, classifier = setup
+        result = classifier.classify(
+            flow_table([("10.1.2.3", 10, TruthLabel.STRAY_NAT)])
+        )
+        assert result.label_vector("full")[0] == int(TrafficClass.BOGON)
+
+    def test_unrouted_second(self, setup):
+        _rib, classifier = setup
+        result = classifier.classify(
+            flow_table([("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD)])
+        )
+        assert result.label_vector("full")[0] == int(TrafficClass.UNROUTED)
+
+    def test_invalid_third(self, setup):
+        _rib, classifier = setup
+        # AS20 forwarding AS100's space: not in AS20's full cone.
+        result = classifier.classify(
+            flow_table([("60.0.5.5", 200, TruthLabel.SPOOF_FLOOD)])
+        )
+        assert result.label_vector("full")[0] == int(TrafficClass.INVALID)
+
+    def test_valid_last(self, setup):
+        _rib, classifier = setup
+        result = classifier.classify(
+            flow_table([("60.0.5.5", 100, TruthLabel.LEGIT)])
+        )
+        assert result.label_vector("full")[0] == int(TrafficClass.VALID)
+
+    def test_upstream_forwarding_valid(self, setup):
+        _rib, classifier = setup
+        result = classifier.classify(
+            flow_table([("60.0.5.5", 10, TruthLabel.LEGIT)])
+        )
+        assert result.label_vector("full")[0] == int(TrafficClass.VALID)
+
+    def test_bogon_beats_invalid(self, setup):
+        # A bogon source for a member that could never source it must
+        # still be Bogon (classes are matched strictly in order).
+        _rib, classifier = setup
+        result = classifier.classify(
+            flow_table([("192.168.1.1", 200, TruthLabel.STRAY_NAT)])
+        )
+        assert result.label_vector("full")[0] == int(TrafficClass.BOGON)
+
+    def test_classes_mutually_exclusive(self, setup):
+        _rib, classifier = setup
+        table = flow_table(
+            [
+                ("10.1.2.3", 10, TruthLabel.STRAY_NAT),
+                ("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD),
+                ("60.0.5.5", 200, TruthLabel.SPOOF_FLOOD),
+                ("60.0.5.5", 100, TruthLabel.LEGIT),
+            ]
+        )
+        result = classifier.classify(table)
+        labels = result.label_vector("full")
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+
+class TestMultipleApproaches:
+    def test_per_approach_labels(self, setup):
+        rib, _classifier = setup
+        classifier = SpoofingClassifier(
+            rib,
+            {"naive": NaiveValidSpace(rib), "full": FullConeValidSpace(rib)},
+        )
+        # AS1 transits both prefixes; naive and full agree there.
+        result = classifier.classify(
+            flow_table([("60.0.5.5", 1, TruthLabel.LEGIT)])
+        )
+        assert result.label_vector("naive")[0] == int(TrafficClass.VALID)
+        assert result.label_vector("full")[0] == int(TrafficClass.VALID)
+
+    def test_requires_an_approach(self, setup):
+        rib, _classifier = setup
+        with pytest.raises(ValueError):
+            SpoofingClassifier(rib, {})
+
+    def test_agnostic_classes_identical_across_approaches(self, setup):
+        rib, _classifier = setup
+        classifier = SpoofingClassifier(
+            rib,
+            {"naive": NaiveValidSpace(rib), "full": FullConeValidSpace(rib)},
+        )
+        table = flow_table(
+            [
+                ("10.1.2.3", 10, TruthLabel.STRAY_NAT),
+                ("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD),
+            ]
+        )
+        result = classifier.classify(table)
+        for traffic_class in (TrafficClass.BOGON, TrafficClass.UNROUTED):
+            assert (
+                result.class_mask("naive", traffic_class)
+                == result.class_mask("full", traffic_class)
+            ).all()
+
+
+class TestResultAggregation:
+    def test_contribution_counts(self, setup):
+        _rib, classifier = setup
+        table = flow_table(
+            [
+                ("10.1.2.3", 10, TruthLabel.STRAY_NAT),
+                ("10.1.2.4", 10, TruthLabel.STRAY_NAT),
+                ("60.0.5.5", 100, TruthLabel.LEGIT),
+            ]
+        )
+        result = classifier.classify(table)
+        cell = result.contribution("full", TrafficClass.BOGON)
+        assert cell.members == 1
+        assert cell.packets == 2
+        assert cell.packet_share == pytest.approx(2 / 3)
+
+    def test_member_class_shares(self, setup):
+        _rib, classifier = setup
+        table = flow_table(
+            [
+                ("10.1.2.3", 10, TruthLabel.STRAY_NAT),
+                ("60.0.5.5", 10, TruthLabel.LEGIT),
+            ]
+        )
+        result = classifier.classify(table)
+        shares = result.member_class_shares("full", TrafficClass.BOGON)
+        assert shares[10] == pytest.approx(0.5)
+
+    def test_select_class(self, setup):
+        _rib, classifier = setup
+        table = flow_table(
+            [
+                ("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD),
+                ("60.0.5.5", 100, TruthLabel.LEGIT),
+            ]
+        )
+        result = classifier.classify(table)
+        unrouted = result.select_class("full", TrafficClass.UNROUTED)
+        assert len(unrouted) == 1
+
+    def test_relabel(self, setup):
+        _rib, classifier = setup
+        table = flow_table([("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD)])
+        result = classifier.classify(table)
+        new_labels = np.array([int(TrafficClass.VALID)], dtype=np.uint8)
+        relabelled = result.relabel("full", new_labels)
+        assert relabelled.label_vector("full")[0] == int(TrafficClass.VALID)
+        assert result.label_vector("full")[0] == int(TrafficClass.UNROUTED)
+
+
+class TestEvaluation:
+    def test_perfect_detection(self, setup):
+        _rib, classifier = setup
+        table = flow_table(
+            [
+                ("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD),
+                ("60.0.5.5", 100, TruthLabel.LEGIT),
+            ]
+        )
+        result = classifier.classify(table)
+        quality = evaluate_against_truth(result, "full")
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+    def test_stray_share(self, setup):
+        _rib, classifier = setup
+        table = flow_table(
+            [
+                ("10.1.2.3", 10, TruthLabel.STRAY_NAT),
+                ("9.9.9.9", 10, TruthLabel.SPOOF_FLOOD),
+            ]
+        )
+        result = classifier.classify(table)
+        quality = evaluate_against_truth(result, "full")
+        assert quality.stray_share == pytest.approx(0.5)
+        assert quality.precision == pytest.approx(0.5)
+
+    def test_no_spoofed_traffic(self, setup):
+        _rib, classifier = setup
+        table = flow_table([("60.0.5.5", 100, TruthLabel.LEGIT)])
+        result = classifier.classify(table)
+        quality = evaluate_against_truth(result, "full")
+        assert quality.recall == 0.0
+        assert quality.flagged_packets == 0

@@ -1,0 +1,68 @@
+"""Tests for the bogon reference list."""
+
+import numpy as np
+
+from repro.datasets.bogons import (
+    BOGON_PREFIXES,
+    bogon_prefix_set,
+    bogon_slash24_equivalents,
+    is_bogon,
+)
+from repro.net.addr import addr_to_int
+from repro.net.prefix import Prefix
+
+
+class TestBogonList:
+    def test_fourteen_prefixes(self):
+        # The paper's Team Cymru list has 14 non-overlapping prefixes.
+        assert len(BOGON_PREFIXES) == 14
+
+    def test_non_overlapping(self):
+        ordered = sorted(p for p, _r in BOGON_PREFIXES)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.last < b.first
+
+    def test_size_matches_paper(self):
+        # The paper states both "218K /24 equivalents" and "13.8% of
+        # IPv4" for the bogon space; the two are inconsistent (13.8% =
+        # ~2.3M /24s). 218K is the size *without* multicast/future-use,
+        # which the paper's own Figure 10 includes — we follow the
+        # 13.8% figure (multicast and class E are bogons).
+        assert 2_200_000 < bogon_slash24_equivalents() < 2_400_000
+        without_high = bogon_slash24_equivalents() - (
+            2 * Prefix.parse("224.0.0.0/4").slash24_equivalents
+        )
+        assert 210_000 < without_high < 230_000
+
+    def test_known_members(self):
+        for text in (
+            "10.1.2.3",
+            "192.168.1.1",
+            "172.16.0.1",
+            "100.64.0.1",
+            "127.0.0.1",
+            "169.254.1.1",
+            "224.0.0.1",
+            "240.0.0.1",
+            "255.255.255.255",
+            "198.51.100.7",
+        ):
+            assert is_bogon(addr_to_int(text)), text
+
+    def test_known_non_members(self):
+        for text in ("8.8.8.8", "1.1.1.1", "193.0.0.1", "100.128.0.1"):
+            assert not is_bogon(addr_to_int(text)), text
+
+    def test_vectorised_membership(self):
+        addrs = np.array(
+            [addr_to_int("10.0.0.1"), addr_to_int("8.8.8.8")], dtype=np.uint64
+        )
+        assert bogon_prefix_set().contains_many(addrs).tolist() == [True, False]
+
+    def test_singleton_is_cached(self):
+        assert bogon_prefix_set() is bogon_prefix_set()
+
+    def test_share_of_ipv4(self):
+        # The paper's Figure 1a: bogon = 13.8% of IPv4.
+        share = bogon_prefix_set().num_addresses / 2**32
+        assert 0.13 < share < 0.15

@@ -1,0 +1,220 @@
+"""Tests for the synthetic dataset generators (as2org, peeringdb, ark,
+spoofer, zmap, whois)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ark import run_ark_campaign
+from repro.datasets.as2org import build_as2org
+from repro.datasets.peeringdb import build_peeringdb
+from repro.datasets.spoofer import SpoofOutcome, run_spoofer_campaign
+from repro.datasets.whois import build_whois
+from repro.datasets.zmap import generate_ntp_census
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.traffic.behaviors import MemberBehavior
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(n_ases=300, seed=41))
+
+
+class TestAs2Org:
+    def test_every_as_mapped(self, topo):
+        dataset = build_as2org(topo)
+        assert set(r.asn for r in dataset.records) == set(topo.ases)
+
+    def test_visible_orgs_preserved(self, topo):
+        dataset = build_as2org(topo)
+        for org in topo.orgs.values():
+            if len(org.asns) > 1 and org.in_as2org:
+                ids = {dataset.org_of(asn) for asn in org.asns}
+                assert len(ids) == 1
+
+    def test_hidden_orgs_split(self, topo):
+        dataset = build_as2org(topo)
+        hidden = [
+            org
+            for org in topo.orgs.values()
+            if len(org.asns) > 1 and not org.in_as2org
+        ]
+        assert hidden
+        for org in hidden:
+            ids = {dataset.org_of(asn) for asn in org.asns}
+            assert len(ids) == len(org.asns)  # singletons
+
+    def test_multi_as_orgs(self, topo):
+        dataset = build_as2org(topo)
+        for org_id, members in dataset.multi_as_orgs().items():
+            assert len(members) > 1
+
+
+class TestPeeringDB:
+    def test_types_match_ground_truth(self, topo, rng):
+        dataset = build_peeringdb(topo, rng)
+        for record in dataset.records:
+            assert record.business_type is topo.node(record.asn).business_type
+
+    def test_partial_coverage(self, topo, rng):
+        dataset = build_peeringdb(topo, rng, coverage=0.8)
+        assert 0.7 < dataset.coverage() < 0.9
+
+    def test_unknown_asn(self, topo, rng):
+        dataset = build_peeringdb(topo, rng, asns=[1, 2])
+        assert dataset.business_type(99999) is None
+
+
+class TestArk:
+    def test_router_addresses_come_from_links(self, topo, rng):
+        ark = run_ark_campaign(topo, rng, n_traces=800)
+        link_addrs = {
+            addr for pair in topo.link_addresses.values() for addr in pair
+        }
+        assert len(ark) > 0
+        assert set(ark.router_addresses.tolist()) <= link_addrs
+
+    def test_contains_vectorised(self, topo, rng):
+        ark = run_ark_campaign(topo, rng, n_traces=800)
+        known = ark.router_addresses[:3]
+        unknown = np.array([1, 2, 3], dtype=np.uint64)
+        assert ark.contains(known).all()
+        assert not ark.contains(unknown).any()
+
+    def test_partial_coverage(self, topo, rng):
+        few = run_ark_campaign(topo, np.random.default_rng(1), n_traces=30)
+        many = run_ark_campaign(topo, np.random.default_rng(1), n_traces=3000)
+        assert few.router_addresses.size < many.router_addresses.size
+
+    def test_traces_walk_up(self, topo, rng):
+        ark = run_ark_campaign(topo, rng, n_traces=200)
+        for trace in ark.traceroutes[:50]:
+            assert trace.hops
+
+
+class TestSpoofer:
+    def _behaviors(self, asns):
+        out = {}
+        for i, asn in enumerate(asns):
+            spoofable = i % 2 == 0
+            out[asn] = MemberBehavior(
+                asn=asn,
+                emits_bogon=spoofable,
+                emits_unrouted=False,
+                emits_invalid=False,
+                router_stray=False,
+            )
+        return out
+
+    def test_sample_size(self, topo, rng):
+        dataset = run_spoofer_campaign(rng, sorted(topo.ases), {}, test_fraction=0.1)
+        assert len(dataset) == 30
+
+    def test_nat_probes_excluded_from_direct(self, topo, rng):
+        dataset = run_spoofer_campaign(rng, sorted(topo.ases), {}, nat_fraction=0.5)
+        assert len(dataset.direct_results()) < len(dataset)
+        assert dataset.tested_asns(include_nat=True) >= dataset.tested_asns()
+
+    def test_filtered_networks_never_spoofable(self, topo, rng):
+        asns = sorted(topo.ases)
+        behaviors = self._behaviors(asns)
+        dataset = run_spoofer_campaign(
+            rng, asns, behaviors, test_fraction=0.5, upstream_drop_prob=0.0
+        )
+        for result in dataset.results:
+            behavior = behaviors[result.asn]
+            if not behavior.emits_bogon:
+                assert result.outcome is SpoofOutcome.BLOCKED
+
+    def test_upstream_drops_lower_bound(self, topo):
+        asns = sorted(topo.ases)
+        behaviors = self._behaviors(asns)
+        no_drop = run_spoofer_campaign(
+            np.random.default_rng(3), asns, behaviors, test_fraction=0.6,
+            upstream_drop_prob=0.0,
+        )
+        heavy_drop = run_spoofer_campaign(
+            np.random.default_rng(3), asns, behaviors, test_fraction=0.6,
+            upstream_drop_prob=0.9,
+        )
+        assert len(heavy_drop.spoofable_asns()) < len(no_drop.spoofable_asns())
+
+
+class TestZmapCensus:
+    def test_servers_in_routed_space(self, rng):
+        routed = PrefixSet([Prefix.parse("60.0.0.0/8")])
+        census = generate_ntp_census(rng, routed, n_servers=500)
+        assert routed.contains_many(census.current()).all()
+
+    def test_snapshots_churn(self, rng):
+        routed = PrefixSet([Prefix.parse("60.0.0.0/8")])
+        census = generate_ntp_census(rng, routed, n_servers=500, churn=0.4)
+        current = census.current()
+        oldest = census.snapshot(census.labels[0])
+        overlap = np.isin(current, oldest).mean()
+        assert 0.3 < overlap < 0.8
+
+    def test_overlap_counts(self, rng):
+        routed = PrefixSet([Prefix.parse("60.0.0.0/8")])
+        census = generate_ntp_census(rng, routed, n_servers=300)
+        sample = census.current()[:50]
+        assert census.overlap(sample) == 50
+        outsiders = np.array([1, 2, 3], dtype=np.uint64)
+        assert census.overlap(outsiders) == 0
+
+    def test_older_snapshots_match_less(self, rng):
+        routed = PrefixSet([Prefix.parse("60.0.0.0/8")])
+        census = generate_ntp_census(rng, routed, n_servers=800, churn=0.35)
+        targets = census.current()[:300]
+        overlaps = [census.overlap(targets, label) for label in census.labels]
+        assert overlaps[-1] >= overlaps[0]
+
+
+class TestWhois:
+    def test_org_handles_reveal_hidden_orgs(self, topo):
+        whois = build_whois(topo)
+        hidden = [
+            org
+            for org in topo.orgs.values()
+            if len(org.asns) > 1 and not org.in_as2org
+        ]
+        assert hidden
+        for org in hidden:
+            members = sorted(org.asns)
+            assert whois.same_org(members[0], members[1])
+
+    def test_policy_links_for_real_neighbors(self, topo):
+        whois = build_whois(topo)
+        for a, b, _rel in topo.all_links()[:100]:
+            assert whois.policy_link(a, b)
+
+    def test_backup_transit_documented(self, topo):
+        whois = build_whois(topo)
+        for provider, customer in topo.backup_transit:
+            assert whois.policy_link(provider, customer)
+
+    def test_tunnel_remarks(self, topo):
+        whois = build_whois(topo)
+        for carrier, origin in topo.tunnels:
+            assert whois.tunnel_remark(carrier, origin)
+            assert not whois.tunnel_remark(origin, carrier)
+
+    def test_pa_inetnum_names_customer(self, topo):
+        whois = build_whois(topo)
+        assert topo.pa_assignments
+        for customer, _provider, prefix in topo.pa_assignments:
+            assert whois.registered_user(prefix.first) == customer
+
+    def test_unrelated_ases_not_linked(self, topo):
+        whois = build_whois(topo)
+        # Find two stubs with disjoint neighborhoods and orgs.
+        stubs = [
+            asn
+            for asn, node in topo.ases.items()
+            if node.is_stub and len(topo.org_siblings(asn)) == 1
+        ]
+        a, b = stubs[0], stubs[1]
+        if b not in topo.node(a).neighbors:
+            assert not whois.same_org(a, b)
+            assert not whois.policy_link(a, b)

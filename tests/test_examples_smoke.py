@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The examples are the documented entry points; import their modules and
+execute ``main()`` so a refactor that breaks the public API fails CI,
+not a user.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "bogon" in out
+        assert "recall" in out
+
+    def test_offline_pipeline(self, capsys):
+        _load("offline_pipeline").main()
+        out = capsys.readouterr().out
+        assert "exported" in out and "reloaded" in out
+        assert "ingress whitelist" in out
+
+    def test_ixp_study_tiny(self, capsys, monkeypatch):
+        module = _load("ixp_study")
+        monkeypatch.setattr(sys, "argv", ["ixp_study.py", "--preset", "tiny"])
+        module.main()
+        out = capsys.readouterr().out
+        assert "Measurement study" in out
+        assert "Beyond the paper" in out

@@ -1,0 +1,81 @@
+"""Integration tests for the world builder and the study report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import build_study_report
+from repro.experiments import WorldConfig, build_world
+from repro.experiments.runner import APPROACHES, PRIMARY_APPROACH
+
+
+class TestWorldBuilder:
+    def test_all_approaches_present(self, tiny_world):
+        assert set(tiny_world.approaches) == set(APPROACHES)
+        assert tiny_world.primary == PRIMARY_APPROACH
+
+    def test_member_count(self, tiny_world):
+        assert len(tiny_world.ixp) == tiny_world.config.n_members
+
+    def test_rib_covers_announced_space(self, tiny_world):
+        """Every openly announced prefix must be in the RIB."""
+        rib = tiny_world.rib
+        for asn, policy in tiny_world.policies.items():
+            for group in policy.groups:
+                if group.first_hops is None:
+                    for prefix in group.prefixes:
+                        assert rib.prefix_id(prefix) is not None, (asn, prefix)
+
+    def test_dark_prefixes_stay_unrouted(self, tiny_world):
+        routed = tiny_world.rib.routed_space()
+        for node in tiny_world.topo.ases.values():
+            for prefix in node.dark_prefixes:
+                assert prefix.first not in routed
+
+    def test_result_covers_all_flows(self, tiny_world):
+        assert tiny_world.result is not None
+        for name in APPROACHES:
+            assert tiny_world.result.label_vector(name).size == len(
+                tiny_world.scenario.flows
+            )
+
+    def test_bgp_only_world_skips_traffic(self, bgp_only_world):
+        assert bgp_only_world.scenario is None
+        assert bgp_only_world.result is None
+
+    def test_classify_false(self):
+        world = build_world(WorldConfig.tiny(seed=5), classify=False)
+        assert world.scenario is not None
+        assert world.result is None
+
+    def test_origin_indices_match_lookup(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        pids, oidx = tiny_world.rib.lookup_many(flows.src[:500])
+        assert (pids == tiny_world.result.prefix_ids[:500]).all()
+        assert (oidx == tiny_world.result.origin_indices[:500]).all()
+
+
+class TestStudyReport:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_world):
+        return build_study_report(tiny_world)
+
+    def test_report_renders(self, report):
+        text = report.render()
+        for marker in (
+            "Fig.1a",
+            "Fig.2", "Fig.4", "Fig.5", "Fig.6", "Fig.7", "Fig.8a",
+            "Fig.8b", "Fig.9", "Fig.10", "Fig.11a", "Fig.11b", "Fig.11c",
+            "Sec.7", "Sec.4.4", "Sec.4.5",
+        ):
+            assert marker in text, marker
+
+    def test_report_datasets_attached(self, report):
+        assert set(report.datasets) == {"peeringdb", "ark", "whois", "spoofer"}
+
+    def test_requires_classified_world(self, bgp_only_world):
+        with pytest.raises(ValueError):
+            build_study_report(bgp_only_world)
+
+    def test_fig2_sampling_cap(self, tiny_world):
+        report = build_study_report(tiny_world, fig2_sample=25)
+        assert len(report.cone_sizes.asns) == 25

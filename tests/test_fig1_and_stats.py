@@ -1,0 +1,70 @@
+"""Tests for the Figure 1a categories and topology statistics."""
+
+import pytest
+
+from repro.analysis.fig1_categories import compute_address_categories
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.stats import compute_topology_stats
+
+
+class TestAddressCategories:
+    @pytest.fixture(scope="class")
+    def categories(self, bgp_only_world):
+        return compute_address_categories(bgp_only_world.rib)
+
+    def test_partition_tiles_ipv4(self, categories):
+        assert categories.tiles_exactly()
+
+    def test_bogon_share_matches_paper(self, categories):
+        assert categories.bogon == pytest.approx(0.138, abs=0.01)
+
+    def test_routable_share_matches_paper(self, categories):
+        assert categories.routable == pytest.approx(0.862, abs=0.01)
+
+    def test_routed_below_routable(self, categories):
+        assert 0 < categories.routed < categories.routable
+        assert categories.unrouted > 0
+
+    def test_render(self, categories):
+        assert "Fig.1a" in categories.render()
+
+    def test_empty_rib(self):
+        from repro.bgp.rib import GlobalRIB
+
+        categories = compute_address_categories(GlobalRIB())
+        assert categories.routed == 0.0
+        assert categories.tiles_exactly()
+
+
+class TestTopologyStats:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        topo = generate_topology(TopologyConfig(n_ases=500, seed=13))
+        return compute_topology_stats(topo)
+
+    def test_counts(self, stats):
+        assert stats.n_ases == 500
+        assert stats.n_links == (
+            stats.n_transit_links
+            + stats.n_peering_links
+            + stats.n_sibling_links
+        )
+
+    def test_mostly_stubs(self, stats):
+        assert 0.4 < stats.stub_share < 0.95
+
+    def test_multihoming_common(self, stats):
+        assert stats.multihomed_share > 0.3
+
+    def test_heavy_tail(self, stats):
+        assert stats.median_cone <= 2
+        assert stats.max_cone > 50
+        assert stats.cone_tail_exponent > 0.2
+
+    def test_degrees(self, stats):
+        assert stats.mean_degree > 1.5
+        assert stats.max_degree > 20
+
+    def test_render(self, stats):
+        text = stats.render()
+        assert "cones:" in text and "500 ASes" in text

@@ -1,0 +1,75 @@
+"""Tests for IXP member selection and packet sampling."""
+
+import numpy as np
+import pytest
+
+from repro.ixp.model import IXP, IXPMember, select_members
+from repro.ixp.sampling import PacketSampler
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(n_ases=300, seed=17))
+
+
+class TestSelectMembers:
+    def test_member_count(self, topo, rng):
+        ixp = select_members(topo, rng, 80)
+        assert len(ixp) == 80
+
+    def test_members_are_real_ases(self, topo, rng):
+        ixp = select_members(topo, rng, 80)
+        for asn in ixp.member_asns:
+            assert asn in topo
+
+    def test_cannot_exceed_population(self, topo, rng):
+        ixp = select_members(topo, rng, 10_000)
+        assert len(ixp) == len(topo)
+
+    def test_heavy_tailed_weights(self, topo, rng):
+        ixp = select_members(topo, rng, 150)
+        weights = ixp.traffic_weights()
+        assert weights.max() / np.median(weights) > 10
+
+    def test_transit_members_have_customers(self, topo, rng):
+        ixp = select_members(topo, rng, 150)
+        transit = [m for m in ixp.members.values() if m.transits_via_ixp]
+        assert transit
+        for member in transit:
+            assert len(topo.node(member.asn).customers) >= 3
+
+    def test_route_server_participation(self, topo, rng):
+        ixp = select_members(topo, rng, 100, rs_participation=0.5)
+        assert len(ixp.route_server) == 50
+
+    def test_member_accessor(self, topo, rng):
+        ixp = select_members(topo, rng, 20)
+        asn = ixp.member_asns[0]
+        assert ixp.member(asn).asn == asn
+        assert asn in ixp
+
+
+class TestPacketSampler:
+    def test_expected_rate(self, rng):
+        sampler = PacketSampler(rng, rate=100)
+        total = sum(sampler.sampled_count(10_000) for _ in range(200))
+        # Mean = 100 per draw; 200 draws → ~20000 ± noise.
+        assert 17_000 < total < 23_000
+
+    def test_vectorised(self, rng):
+        sampler = PacketSampler(rng, rate=10)
+        counts = sampler.sampled_counts(np.full(1000, 100.0))
+        assert 8.0 < counts.mean() < 12.0
+
+    def test_zero_packets(self, rng):
+        sampler = PacketSampler(rng)
+        assert sampler.sampled_count(0) == 0
+
+    def test_extrapolate(self, rng):
+        sampler = PacketSampler(rng, rate=10_000)
+        assert sampler.extrapolate(5) == 50_000
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            PacketSampler(rng, rate=0)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.net.addr."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import (
+    MAX_IPV4,
+    addr_to_int,
+    int_to_addr,
+    parse_prefix,
+    random_addr_in_prefix,
+)
+from repro.net.errors import AddressError, PrefixError
+
+
+class TestAddrToInt:
+    def test_known_values(self):
+        assert addr_to_int("0.0.0.0") == 0
+        assert addr_to_int("10.0.0.1") == (10 << 24) + 1
+        assert addr_to_int("255.255.255.255") == MAX_IPV4
+        assert addr_to_int("192.168.1.1") == 0xC0A80101
+
+    def test_rejects_short_and_long_quads(self):
+        with pytest.raises(AddressError):
+            addr_to_int("10.0.0")
+        with pytest.raises(AddressError):
+            addr_to_int("10.0.0.0.0")
+
+    def test_rejects_out_of_range_octet(self):
+        with pytest.raises(AddressError):
+            addr_to_int("256.0.0.1")
+
+    def test_rejects_negative_octet(self):
+        with pytest.raises(AddressError):
+            addr_to_int("-1.0.0.1")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(AddressError):
+            addr_to_int("a.b.c.d")
+
+    def test_rejects_leading_zeros(self):
+        with pytest.raises(AddressError):
+            addr_to_int("010.0.0.1")
+
+    def test_rejects_empty_octet(self):
+        with pytest.raises(AddressError):
+            addr_to_int("10..0.1")
+
+
+class TestIntToAddr:
+    def test_known_values(self):
+        assert int_to_addr(0) == "0.0.0.0"
+        assert int_to_addr(MAX_IPV4) == "255.255.255.255"
+        assert int_to_addr(0x7F000001) == "127.0.0.1"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            int_to_addr(-1)
+        with pytest.raises(AddressError):
+            int_to_addr(2**32)
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_roundtrip(self, value):
+        assert addr_to_int(int_to_addr(value)) == value
+
+
+class TestParsePrefix:
+    def test_parses_base_and_length(self):
+        network, length = parse_prefix("10.0.0.0/8")
+        assert network == 10 << 24
+        assert length == 8
+
+    def test_parses_host_route(self):
+        network, length = parse_prefix("1.2.3.4/32")
+        assert network == addr_to_int("1.2.3.4")
+        assert length == 32
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(PrefixError):
+            parse_prefix("10.0.0.0")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            parse_prefix("10.0.0.0/33")
+        with pytest.raises(PrefixError):
+            parse_prefix("10.0.0.0/-1")
+        with pytest.raises(PrefixError):
+            parse_prefix("10.0.0.0/x")
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            parse_prefix("10.0.0.1/8")
+
+
+class TestRandomAddrInPrefix:
+    def test_stays_in_prefix(self):
+        rng = np.random.default_rng(1)
+        network, length = parse_prefix("192.0.2.0/24")
+        for _ in range(100):
+            addr = random_addr_in_prefix(rng, network, length)
+            assert network <= addr < network + 256
+
+    def test_host_route_is_deterministic(self):
+        rng = np.random.default_rng(1)
+        network, length = parse_prefix("192.0.2.7/32")
+        assert random_addr_in_prefix(rng, network, length) == network

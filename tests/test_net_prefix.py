@@ -1,0 +1,106 @@
+"""Unit tests for repro.net.prefix.Prefix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.errors import PrefixError
+from repro.net.prefix import Prefix
+
+
+def prefixes(min_len=0, max_len=32):
+    """Hypothesis strategy producing valid prefixes."""
+    return st.integers(min_value=min_len, max_value=max_len).flatmap(
+        lambda length: st.integers(
+            min_value=0, max_value=(1 << length) - 1 if length else 0
+        ).map(lambda top: Prefix(top << (32 - length), length))
+    )
+
+
+class TestConstruction:
+    def test_parse(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.network == 10 << 24
+        assert prefix.length == 8
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(1, 8)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 40)
+
+    def test_str_roundtrip(self):
+        assert str(Prefix.parse("198.51.100.0/24")) == "198.51.100.0/24"
+
+    def test_equality_and_hash(self):
+        assert Prefix.parse("10.0.0.0/8") == Prefix.parse("10.0.0.0/8")
+        assert len({Prefix.parse("10.0.0.0/8"), Prefix.parse("10.0.0.0/8")}) == 1
+
+
+class TestGeometry:
+    def test_first_last(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.first == prefix.network
+        assert prefix.last == prefix.network + 255
+
+    def test_num_addresses(self):
+        assert Prefix.parse("0.0.0.0/0").num_addresses == 2**32
+        assert Prefix.parse("1.2.3.4/32").num_addresses == 1
+
+    def test_slash24_equivalents(self):
+        assert Prefix.parse("10.0.0.0/8").slash24_equivalents == 65536
+        assert Prefix.parse("192.0.2.0/24").slash24_equivalents == 1
+        assert Prefix.parse("1.2.3.0/25").slash24_equivalents == 0.5
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains((10 << 24) + 12345)
+        assert not prefix.contains(11 << 24)
+
+    def test_covers(self):
+        big = Prefix.parse("10.0.0.0/8")
+        small = Prefix.parse("10.1.0.0/16")
+        assert big.covers(small)
+        assert big.covers(big)
+        assert not small.covers(big)
+        assert not big.covers(Prefix.parse("11.0.0.0/16"))
+
+
+class TestSubnetsAndSupernet:
+    def test_subnets(self):
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert str(low) == "10.0.0.0/9"
+        assert str(high) == "10.128.0.0/9"
+
+    def test_subnets_of_host_route_fail(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.4/32").subnets()
+
+    def test_supernet(self):
+        assert str(Prefix.parse("10.128.0.0/9").supernet()) == "10.0.0.0/8"
+
+    def test_supernet_of_default_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("0.0.0.0/0").supernet()
+
+    @given(prefixes(min_len=1))
+    def test_supernet_covers_child(self, prefix):
+        assert prefix.supernet().covers(prefix)
+
+    @given(prefixes(max_len=31))
+    def test_subnets_partition_parent(self, prefix):
+        low, high = prefix.subnets()
+        assert low.first == prefix.first
+        assert high.last == prefix.last
+        assert low.last + 1 == high.first
+        assert low.num_addresses + high.num_addresses == prefix.num_addresses
+
+
+class TestOrdering:
+    def test_sorts_by_network_then_length(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert sorted([c, b, a]) == [a, b, c]

@@ -1,0 +1,150 @@
+"""Unit and property tests for PrefixSet (interval set algebra)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet, union_all
+
+
+def ps(*texts: str) -> PrefixSet:
+    return PrefixSet(Prefix.parse(t) for t in texts)
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = PrefixSet()
+        assert not empty
+        assert empty.num_addresses == 0
+        assert empty.num_intervals == 0
+
+    def test_merges_adjacent(self):
+        merged = ps("10.0.0.0/9", "10.128.0.0/9")
+        assert merged.num_intervals == 1
+        assert merged == ps("10.0.0.0/8")
+
+    def test_merges_overlapping(self):
+        merged = ps("10.0.0.0/8", "10.1.0.0/16")
+        assert merged == ps("10.0.0.0/8")
+
+    def test_from_intervals_drops_empty(self):
+        s = PrefixSet.from_intervals([(5, 5), (10, 20)])
+        assert s.num_addresses == 10
+
+    def test_universe(self):
+        assert PrefixSet.universe().num_addresses == 2**32
+
+    def test_slash24_equivalents(self):
+        assert ps("10.0.0.0/8").slash24_equivalents == 65536.0
+
+
+class TestMembership:
+    def test_scalar_contains(self):
+        s = ps("192.0.2.0/24")
+        assert Prefix.parse("192.0.2.0/24").first in s
+        assert Prefix.parse("192.0.2.0/24").last in s
+        assert (Prefix.parse("192.0.2.0/24").last + 1) not in s
+
+    def test_contains_many(self):
+        s = ps("10.0.0.0/8", "192.0.2.0/24")
+        addrs = np.array(
+            [10 << 24, (10 << 24) - 1, Prefix.parse("192.0.2.0/24").first],
+            dtype=np.uint64,
+        )
+        assert s.contains_many(addrs).tolist() == [True, False, True]
+
+    def test_contains_many_empty_set(self):
+        assert not PrefixSet().contains_many(np.array([1, 2])).any()
+
+    def test_contains_prefix(self):
+        s = ps("10.0.0.0/8")
+        assert s.contains_prefix(Prefix.parse("10.1.0.0/16"))
+        assert not s.contains_prefix(Prefix.parse("0.0.0.0/7"))
+
+    def test_issubset(self):
+        assert ps("10.1.0.0/16").issubset(ps("10.0.0.0/8"))
+        assert not ps("11.0.0.0/16").issubset(ps("10.0.0.0/8"))
+
+
+class TestAlgebra:
+    def test_union(self):
+        union = ps("10.0.0.0/8") | ps("11.0.0.0/8")
+        assert union.num_addresses == 2 * 2**24
+        assert union.num_intervals == 1  # adjacent blocks merge
+
+    def test_intersection(self):
+        inter = ps("10.0.0.0/8") & ps("10.1.0.0/16", "11.0.0.0/8")
+        assert inter == ps("10.1.0.0/16")
+
+    def test_intersection_disjoint(self):
+        assert not (ps("10.0.0.0/8") & ps("12.0.0.0/8"))
+
+    def test_difference_carves_hole(self):
+        diff = ps("10.0.0.0/8") - ps("10.1.0.0/16")
+        assert diff.num_addresses == 2**24 - 2**16
+        assert Prefix.parse("10.1.0.0/16").first not in diff
+        assert (10 << 24) in diff
+
+    def test_difference_total(self):
+        assert not (ps("10.0.0.0/8") - ps("0.0.0.0/0"))
+
+    def test_union_all(self):
+        total = union_all([ps("10.0.0.0/8"), ps("11.0.0.0/8"), ps("10.0.0.0/9")])
+        assert total.num_addresses == 2 * 2**24
+
+    def test_prefixes_roundtrip(self):
+        original = ps("10.0.0.0/8", "192.0.2.0/24")
+        rebuilt = PrefixSet(original.prefixes())
+        assert rebuilt == original
+
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 2),
+        st.integers(min_value=1, max_value=2**20),
+    ).map(lambda t: (t[0], min(t[0] + t[1], 2**32))),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestPropertyBased:
+    @settings(max_examples=80, deadline=None)
+    @given(intervals_strategy, intervals_strategy)
+    def test_set_algebra_laws(self, a_intervals, b_intervals):
+        a = PrefixSet.from_intervals(a_intervals)
+        b = PrefixSet.from_intervals(b_intervals)
+        union = a | b
+        inter = a & b
+        diff = a - b
+        # |A∪B| = |A| + |B| - |A∩B|
+        assert union.num_addresses == (
+            a.num_addresses + b.num_addresses - inter.num_addresses
+        )
+        # A-B and A∩B partition A.
+        assert diff.num_addresses + inter.num_addresses == a.num_addresses
+        # Difference result is disjoint from B.
+        assert not (diff & b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(intervals_strategy)
+    def test_scalar_and_bulk_membership_agree(self, intervals):
+        s = PrefixSet.from_intervals(intervals)
+        probes = []
+        for start, end in intervals[:6]:
+            probes.extend([start, end - 1, max(start - 1, 0), min(end, 2**32 - 1)])
+        if not probes:
+            probes = [0, 2**32 - 1]
+        arr = np.array(probes, dtype=np.uint64)
+        bulk = s.contains_many(arr)
+        for addr, expected in zip(probes, bulk):
+            assert (addr in s) == bool(expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(intervals_strategy)
+    def test_cidr_decomposition_covers_exactly(self, intervals):
+        s = PrefixSet.from_intervals(intervals)
+        rebuilt = PrefixSet(s.prefixes())
+        assert rebuilt == s

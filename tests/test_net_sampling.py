@@ -1,0 +1,53 @@
+"""Tests for the interval address sampler."""
+
+import numpy as np
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.net.sampling import IntervalSampler
+
+
+class TestIntervalSampler:
+    def test_samples_stay_inside_space(self, rng):
+        space = PrefixSet([Prefix.parse("10.0.0.0/8"), Prefix.parse("192.0.2.0/24")])
+        sampler = IntervalSampler(space)
+        addrs = sampler.sample(rng, 5000)
+        assert space.contains_many(addrs).all()
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(PrefixSet())
+
+    def test_num_addresses(self):
+        sampler = IntervalSampler(PrefixSet([Prefix.parse("10.0.0.0/24")]))
+        assert sampler.num_addresses == 256
+
+    def test_covers_both_intervals(self, rng):
+        space = PrefixSet(
+            [Prefix.parse("10.0.0.0/24"), Prefix.parse("192.0.2.0/24")]
+        )
+        sampler = IntervalSampler(space)
+        addrs = sampler.sample(rng, 2000)
+        in_first = (addrs >> np.uint64(24)) == 10
+        # Both intervals should receive roughly half the draws.
+        assert 0.3 < in_first.mean() < 0.7
+
+    def test_spike_concentrates_draws(self, rng):
+        space = PrefixSet([Prefix.parse("10.0.0.0/8")])
+        spike = (10 << 24, (10 << 24) + 256)
+        sampler = IntervalSampler(space, spike=spike, spike_share=0.5)
+        addrs = sampler.sample(rng, 4000)
+        spiked = (addrs >= spike[0]) & (addrs < spike[1])
+        # Without the spike, P(addr in /24 of a /8) ~ 1/65536.
+        assert spiked.mean() > 0.3
+
+    def test_single_address_space(self, rng):
+        sampler = IntervalSampler(PrefixSet([Prefix.parse("1.2.3.4/32")]))
+        assert (sampler.sample(rng, 10) == np.uint64(0x01020304)).all()
+
+    def test_roughly_uniform(self, rng):
+        sampler = IntervalSampler(PrefixSet([Prefix.parse("8.0.0.0/7")]))
+        addrs = sampler.sample(rng, 20000)
+        in_low_half = (addrs >> np.uint64(24)) == 8
+        assert 0.45 < in_low_half.mean() < 0.55

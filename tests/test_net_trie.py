@@ -1,0 +1,127 @@
+"""Unit tests for the Patricia-style prefix trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import addr_to_int
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+@pytest.fixture()
+def trie():
+    t = PrefixTrie()
+    t.insert(Prefix.parse("10.0.0.0/8"), "ten")
+    t.insert(Prefix.parse("10.1.0.0/16"), "ten-one")
+    t.insert(Prefix.parse("192.0.2.0/24"), "testnet")
+    return t
+
+
+class TestBasicOps:
+    def test_len(self, trie):
+        assert len(trie) == 3
+
+    def test_exact_get(self, trie):
+        assert trie.get(Prefix.parse("10.0.0.0/8")) == "ten"
+        assert trie.get(Prefix.parse("10.1.0.0/16")) == "ten-one"
+
+    def test_get_missing_returns_default(self, trie):
+        assert trie.get(Prefix.parse("10.2.0.0/16")) is None
+        assert trie.get(Prefix.parse("10.2.0.0/16"), "x") == "x"
+
+    def test_contains(self, trie):
+        assert Prefix.parse("10.0.0.0/8") in trie
+        assert Prefix.parse("10.0.0.0/9") not in trie
+
+    def test_contains_none_value(self):
+        t = PrefixTrie()
+        t.insert(Prefix.parse("10.0.0.0/8"), None)
+        assert Prefix.parse("10.0.0.0/8") in t
+
+    def test_overwrite_keeps_size(self, trie):
+        trie.insert(Prefix.parse("10.0.0.0/8"), "TEN")
+        assert len(trie) == 3
+        assert trie.get(Prefix.parse("10.0.0.0/8")) == "TEN"
+
+    def test_remove(self, trie):
+        assert trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert len(trie) == 2
+        assert trie.get(Prefix.parse("10.1.0.0/16")) is None
+        # Covering entry still answers LPM.
+        assert trie.lookup(addr_to_int("10.1.2.3")) == "ten"
+
+    def test_remove_missing(self, trie):
+        assert not trie.remove(Prefix.parse("10.9.0.0/16"))
+        assert len(trie) == 3
+
+    def test_default_route(self):
+        t = PrefixTrie()
+        t.insert(Prefix.parse("0.0.0.0/0"), "default")
+        assert t.lookup(addr_to_int("8.8.8.8")) == "default"
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self, trie):
+        assert trie.lookup(addr_to_int("10.1.2.3")) == "ten-one"
+        assert trie.lookup(addr_to_int("10.2.2.3")) == "ten"
+
+    def test_no_match(self, trie):
+        assert trie.lookup(addr_to_int("8.8.8.8")) is None
+        assert trie.longest_match(addr_to_int("8.8.8.8")) is None
+
+    def test_match_returns_prefix(self, trie):
+        prefix, value = trie.longest_match(addr_to_int("192.0.2.200"))
+        assert prefix == Prefix.parse("192.0.2.0/24")
+        assert value == "testnet"
+
+    def test_covers(self, trie):
+        assert trie.covers(addr_to_int("10.255.255.255"))
+        assert not trie.covers(addr_to_int("11.0.0.0"))
+
+
+class TestIteration:
+    def test_items_in_order(self, trie):
+        keys = [p for p, _v in trie.items()]
+        assert keys == sorted(keys)
+
+    def test_prefixes_match_inserted(self, trie):
+        assert set(trie.prefixes()) == {
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.1.0.0/16"),
+            Prefix.parse("192.0.2.0/24"),
+        }
+
+
+@st.composite
+def prefix_strategy(draw):
+    length = draw(st.integers(min_value=8, max_value=32))
+    top = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return Prefix(top << (32 - length), length)
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(prefix_strategy(), min_size=1, max_size=40, unique=True))
+    def test_lpm_agrees_with_linear_scan(self, prefix_list):
+        trie = PrefixTrie()
+        for index, prefix in enumerate(prefix_list):
+            trie.insert(prefix, index)
+        probes = [p.first for p in prefix_list] + [p.last for p in prefix_list]
+        for addr in probes:
+            expected = None
+            for index, prefix in enumerate(prefix_list):
+                if prefix.contains(addr) and (
+                    expected is None
+                    or prefix.length > prefix_list[expected].length
+                ):
+                    expected = index
+            assert trie.lookup(addr) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(prefix_strategy(), min_size=1, max_size=40, unique=True))
+    def test_size_matches_unique_inserts(self, prefix_list):
+        trie = PrefixTrie()
+        for prefix in prefix_list:
+            trie.insert(prefix, 0)
+        assert len(trie) == len(set(prefix_list))

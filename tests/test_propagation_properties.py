@@ -1,0 +1,120 @@
+"""Property tests for route propagation on generated topologies.
+
+The micro-topology tests pin exact paths; these check the structural
+guarantees (valley-freeness, reachability, export discipline) across
+randomly generated topologies and origins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bgp.propagation import RoutePropagator, RouteType
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.model import Relationship
+
+
+@pytest.fixture(scope="module", params=[101, 202, 303])
+def world(request):
+    topo = generate_topology(
+        TopologyConfig(n_ases=150, n_tier1=5, seed=request.param)
+    )
+    return topo, RoutePropagator(topo)
+
+
+def _slope(topo, left, right):
+    """+1 uphill, -1 downhill, 0 peer, None sibling (allowed anywhere —
+    sibling links are mutual transit in Gao's valley-free model)."""
+    rel = topo.relationship(left, right)
+    if rel is Relationship.CUSTOMER_OF:
+        return +1
+    if rel is Relationship.PROVIDER_OF:
+        return -1
+    if rel is Relationship.PEER:
+        return 0
+    if rel is Relationship.SIBLING:
+        return None
+    raise AssertionError(f"path uses non-existent link {left}-{right}")
+
+
+class TestPropagationProperties:
+    def test_full_reachability(self, world):
+        topo, propagator = world
+        rng = np.random.default_rng(0)
+        for origin in rng.choice(sorted(topo.ases), size=12, replace=False):
+            outcome = propagator.propagate(int(origin))
+            unreached = [
+                asn for asn in topo.ases if not outcome.has_route(asn)
+            ]
+            assert not unreached
+
+    def test_valley_freeness(self, world):
+        topo, propagator = world
+        rng = np.random.default_rng(1)
+        for origin in rng.choice(sorted(topo.ases), size=8, replace=False):
+            outcome = propagator.propagate(int(origin))
+            for asn in rng.choice(sorted(topo.ases), size=25, replace=False):
+                path = list(reversed(outcome.path_from(int(asn))))
+                slopes = [
+                    _slope(topo, a, b)
+                    for a, b in zip(path, path[1:])
+                ]
+                # Sibling hops are wildcard transit; drop them, then
+                # the remainder must be uphill*, ≤1 peer hop, downhill*.
+                effective = [s for s in slopes if s is not None]
+                seen_non_up = False
+                peer_hops = 0
+                for slope in effective:
+                    if slope == 0:
+                        peer_hops += 1
+                    if slope != 1:
+                        seen_non_up = True
+                    else:
+                        assert not seen_non_up, f"valley in {path}"
+                assert peer_hops <= 1
+
+    def test_paths_simple(self, world):
+        """No AS repeats within a best path (loop freedom)."""
+        topo, propagator = world
+        rng = np.random.default_rng(2)
+        for origin in rng.choice(sorted(topo.ases), size=8, replace=False):
+            outcome = propagator.propagate(int(origin))
+            for asn in topo.ases:
+                path = outcome.path_from(asn)
+                assert len(path) == len(set(path))
+
+    def test_peer_routes_only_one_peer_hop(self, world):
+        topo, propagator = world
+        rng = np.random.default_rng(3)
+        for origin in rng.choice(sorted(topo.ases), size=6, replace=False):
+            outcome = propagator.propagate(int(origin))
+            for asn in topo.ases:
+                path = list(reversed(outcome.path_from(asn)))
+                peer_hops = sum(
+                    1
+                    for a, b in zip(path, path[1:])
+                    if topo.relationship(a, b) is Relationship.PEER
+                )
+                assert peer_hops <= 1
+
+    def test_customer_routes_shortest_among_uphill(self, world):
+        """Customer-learned routes use a shortest uphill path."""
+        topo, propagator = world
+        rng = np.random.default_rng(4)
+        origin = int(rng.choice(sorted(topo.ases)))
+        outcome = propagator.propagate(origin)
+        # BFS distances along uphill edges from origin.
+        from collections import deque
+
+        dist = {origin: 0}
+        queue = deque([origin])
+        while queue:
+            current = queue.popleft()
+            node = topo.node(current)
+            for upstream in node.providers | node.siblings:
+                if upstream not in dist:
+                    dist[upstream] = dist[current] + 1
+                    queue.append(upstream)
+        for asn, distance in dist.items():
+            if outcome.route_type(asn) is RouteType.CUSTOMER:
+                path = outcome.path_from(asn)
+                assert len(path) - 1 == distance

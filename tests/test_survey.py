@@ -1,0 +1,70 @@
+"""Tests for the operator survey (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.survey import (
+    EgressPolicy,
+    IngressPolicy,
+    generate_survey_responses,
+    tabulate,
+)
+from repro.survey.model import MARGINALS
+
+
+@pytest.fixture(scope="module")
+def results():
+    rng = np.random.default_rng(42)
+    return tabulate(generate_survey_responses(rng, n=84))
+
+
+class TestGeneration:
+    def test_sample_size(self, results):
+        assert results.n == 84
+
+    def test_all_regions(self, results):
+        assert results.regions_covered >= 4
+
+    def test_tabulate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tabulate([])
+
+
+class TestMarginals:
+    """Shares should approximate Section 2.2 within sampling noise."""
+
+    def test_suffered_attacks(self, results):
+        assert abs(results.suffered_attack_share - 0.70) < 0.15
+
+    def test_complaints(self, results):
+        assert abs(results.complained_share - 0.50) < 0.15
+
+    def test_no_validation(self, results):
+        assert abs(results.no_validation_share - 0.24) < 0.15
+
+    def test_ingress_mix(self, results):
+        assert (
+            results.ingress_shares[IngressPolicy.WELL_KNOWN_RANGES]
+            > results.ingress_shares[IngressPolicy.CUSTOMER_SPECIFIC]
+            > results.ingress_shares[IngressPolicy.NONE]
+        )
+
+    def test_egress_mix(self, results):
+        assert (
+            results.egress_shares[EgressPolicy.CUSTOMER_AS_SPECIFIC]
+            >= results.egress_shares[EgressPolicy.NON_ROUTABLE_ONLY]
+        )
+
+    def test_filters_own(self, results):
+        assert abs(results.filters_own_share - 0.65) < 0.15
+
+    def test_large_sample_converges(self):
+        rng = np.random.default_rng(7)
+        big = tabulate(generate_survey_responses(rng, n=20_000))
+        assert abs(big.suffered_attack_share - MARGINALS["suffered_spoofing_attack"]) < 0.02
+        assert abs(big.no_validation_share - MARGINALS["no_source_validation"]) < 0.02
+
+    def test_render(self, results):
+        text = results.render()
+        assert "84 responses" in text
+        assert "ingress" in text and "egress" in text

@@ -1,0 +1,155 @@
+"""Tests for the synthetic topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.net.prefixset import PrefixSet
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.model import BusinessType, Relationship
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig(n_ases=400, seed=3))
+
+
+class TestStructure:
+    def test_as_count(self, topo):
+        assert len(topo) == 400
+
+    def test_tier1_clique(self, topo):
+        tier1 = sorted(topo.tier1_asns())
+        assert len(tier1) == TopologyConfig().n_tier1
+        for a in tier1:
+            for b in tier1:
+                if a < b:
+                    assert topo.relationship(a, b) is Relationship.PEER
+
+    def test_everyone_but_tier1_has_a_provider(self, topo):
+        for asn, node in topo.ases.items():
+            if node.tier != 1:
+                assert node.providers, f"AS{asn} has no provider"
+
+    def test_tier1_has_no_providers(self, topo):
+        for asn in topo.tier1_asns():
+            assert not topo.node(asn).providers
+
+    def test_no_self_links(self, topo):
+        for asn, node in topo.ases.items():
+            assert asn not in node.neighbors
+
+    def test_relationships_are_symmetricly_wired(self, topo):
+        for a, b, rel in topo.all_links():
+            assert topo.relationship(b, a) is rel.inverse()
+
+    def test_heavy_tailed_cones(self, topo):
+        sizes = sorted(
+            len(topo.customer_cone(asn)) for asn in topo.ases
+        )
+        # Most ASes are stubs, the top AS reaches a large share.
+        assert sizes[len(sizes) // 2] <= 2
+        assert sizes[-1] > len(topo) * 0.2
+
+    def test_edge_business_mix(self, topo):
+        edge_types = [
+            node.business_type
+            for node in topo.ases.values()
+            if node.tier == 3
+        ]
+        # All four edge types present in a 400-AS world.
+        assert {
+            BusinessType.ISP,
+            BusinessType.HOSTING,
+            BusinessType.CONTENT,
+            BusinessType.OTHER,
+        } <= set(edge_types)
+
+    def test_too_small_config_rejected(self):
+        with pytest.raises(ValueError):
+            generate_topology(TopologyConfig(n_ases=5, n_tier1=10))
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        a = generate_topology(TopologyConfig(n_ases=120, seed=9))
+        b = generate_topology(TopologyConfig(n_ases=120, seed=9))
+        assert {n: sorted(v.providers) for n, v in a.ases.items()} == {
+            n: sorted(v.providers) for n, v in b.ases.items()
+        }
+        assert a.announced_prefixes() == b.announced_prefixes()
+
+    def test_different_seed_differs(self):
+        a = generate_topology(TopologyConfig(n_ases=120, seed=9))
+        b = generate_topology(TopologyConfig(n_ases=120, seed=10))
+        assert a.announced_prefixes() != b.announced_prefixes()
+
+
+class TestAddressPlan:
+    def test_everyone_has_prefixes(self, topo):
+        for asn, node in topo.ases.items():
+            assert node.prefixes, f"AS{asn} has no prefixes"
+
+    def test_prefixes_disjoint_across_ases(self, topo):
+        total = 0
+        all_prefixes = []
+        for node in topo.ases.values():
+            all_prefixes.extend(node.prefixes)
+            all_prefixes.extend(node.dark_prefixes)
+            total += sum(
+                p.num_addresses for p in node.prefixes + node.dark_prefixes
+            )
+        merged = PrefixSet(all_prefixes)
+        assert merged.num_addresses == total  # no overlap anywhere
+
+    def test_prefixes_avoid_bogon_space(self, topo):
+        bogons = bogon_prefix_set()
+        for node in topo.ases.values():
+            for prefix in node.prefixes:
+                assert not (PrefixSet([prefix]) & bogons)
+
+    def test_some_dark_space_exists(self, topo):
+        assert any(node.dark_prefixes for node in topo.ases.values())
+
+
+class TestSpecialStructures:
+    def test_multi_as_orgs_exist(self, topo):
+        multi = [org for org in topo.orgs.values() if len(org.asns) > 1]
+        assert multi
+        hidden = [org for org in multi if not org.in_as2org]
+        assert hidden  # some orgs are invisible to AS2Org
+
+    def test_pa_assignments_carved_from_provider(self, topo):
+        assert topo.pa_assignments
+        for customer, provider, prefix in topo.pa_assignments:
+            assert provider in topo.node(customer).providers
+            assert any(
+                parent.covers(prefix) for parent in topo.node(provider).prefixes
+            )
+
+    def test_partial_transit_links_are_peerings(self, topo):
+        assert topo.partial_transit
+        for carrier, peer in topo.partial_transit:
+            assert topo.relationship(carrier, peer) is Relationship.PEER
+
+    def test_backup_transit_is_invisible(self, topo):
+        assert topo.backup_transit
+        for provider, customer in topo.backup_transit:
+            # Not wired into the relationship sets → invisible to BGP.
+            assert topo.relationship(provider, customer) is None
+
+    def test_transit_links_numbered(self, topo):
+        transit_links = [
+            (a, b)
+            for a, b, rel in topo.all_links()
+            if rel in (Relationship.CUSTOMER_OF, Relationship.PROVIDER_OF)
+        ]
+        # Most (not necessarily all) transit links get a /30.
+        assert len(topo.link_addresses) > 0.8 * len(transit_links)
+        for (provider, customer), (p_addr, c_addr) in topo.link_addresses.items():
+            assert abs(p_addr - c_addr) == 1  # same /30, .1 and .2
+
+    def test_tunnels_reference_real_ases(self, topo):
+        for carrier, origin in topo.tunnels:
+            assert carrier in topo
+            assert origin in topo

@@ -1,0 +1,84 @@
+"""Tests for the AS topology data model."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.topology.model import ASNode, ASTopology, BusinessType, Relationship
+
+
+class TestRelationshipEnum:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER_OF.inverse() is Relationship.PROVIDER_OF
+        assert Relationship.PROVIDER_OF.inverse() is Relationship.CUSTOMER_OF
+        assert Relationship.PEER.inverse() is Relationship.PEER
+        assert Relationship.SIBLING.inverse() is Relationship.SIBLING
+
+
+class TestLinkWiring:
+    def test_customer_of_wires_both_sides(self, micro_topology):
+        assert 1 in micro_topology.node(3).providers
+        assert 3 in micro_topology.node(1).customers
+
+    def test_peer_wires_both_sides(self, micro_topology):
+        assert 2 in micro_topology.node(1).peers
+        assert 1 in micro_topology.node(2).peers
+
+    def test_relationship_lookup(self, micro_topology):
+        assert micro_topology.relationship(3, 1) is Relationship.CUSTOMER_OF
+        assert micro_topology.relationship(1, 3) is Relationship.PROVIDER_OF
+        assert micro_topology.relationship(1, 2) is Relationship.PEER
+        assert micro_topology.relationship(5, 7) is None
+
+    def test_duplicate_asn_rejected(self, micro_topology):
+        with pytest.raises(ValueError):
+            micro_topology.add_as(
+                ASNode(1, BusinessType.NSP, tier=1, org_id=99)
+            )
+
+    def test_sibling_links(self):
+        topo = ASTopology()
+        topo.add_as(ASNode(1, BusinessType.NSP, 1, org_id=1))
+        topo.add_as(ASNode(2, BusinessType.NSP, 1, org_id=1))
+        topo.add_link(1, 2, Relationship.SIBLING)
+        assert topo.relationship(1, 2) is Relationship.SIBLING
+        assert 2 in topo.node(1).siblings
+
+
+class TestQueries:
+    def test_customer_cone_transitive(self, micro_topology):
+        assert micro_topology.customer_cone(1) == {1, 3, 5, 6}
+        assert micro_topology.customer_cone(2) == {2, 4, 6, 7, 8}
+        assert micro_topology.customer_cone(3) == {3, 5, 6}
+
+    def test_customer_cone_of_stub_is_self(self, micro_topology):
+        assert micro_topology.customer_cone(5) == {5}
+
+    def test_org_siblings(self, micro_topology):
+        assert micro_topology.org_siblings(6) == {6, 8}
+        assert micro_topology.org_siblings(5) == {5}
+
+    def test_all_links_each_once(self, micro_topology):
+        links = micro_topology.all_links()
+        seen = {(min(a, b), max(a, b)) for a, b, _r in links}
+        assert len(seen) == len(links) == 8
+
+    def test_is_stub(self, micro_topology):
+        assert micro_topology.node(5).is_stub
+        assert not micro_topology.node(3).is_stub
+
+    def test_tier1_asns(self, micro_topology):
+        assert micro_topology.tier1_asns() == {1, 2}
+
+    def test_neighbors(self, micro_topology):
+        assert micro_topology.node(6).neighbors == {3, 4}
+
+    def test_announced_prefixes(self, micro_topology):
+        micro_topology.node(5).prefixes.append(Prefix.parse("10.0.0.0/16"))
+        announced = micro_topology.announced_prefixes()
+        assert announced[5] == [Prefix.parse("10.0.0.0/16")]
+        assert announced[7] == []
+
+    def test_len_and_contains(self, micro_topology):
+        assert len(micro_topology) == 8
+        assert 5 in micro_topology
+        assert 99 not in micro_topology

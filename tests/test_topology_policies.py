@@ -1,0 +1,107 @@
+"""Tests for announcement policies."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.policies import (
+    AnnouncementGroup,
+    AnnouncementPolicy,
+    asymmetric_origins,
+    build_policies,
+    primary_provider_map,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = generate_topology(TopologyConfig(n_ases=400, seed=21))
+    rng = np.random.default_rng(4)
+    policies = build_policies(topo, rng, selective_fraction=0.4, deagg_fraction=0.4)
+    return topo, policies
+
+
+class TestAnnouncementGroup:
+    def test_announced_to_unrestricted(self):
+        group = AnnouncementGroup([], None)
+        assert group.announced_to(42)
+
+    def test_announced_to_restricted(self):
+        group = AnnouncementGroup([], {1, 2})
+        assert group.announced_to(1)
+        assert not group.announced_to(3)
+
+
+class TestBuildPolicies:
+    def test_every_origin_has_policy(self, world):
+        topo, policies = world
+        assert set(policies) == set(topo.ases)
+
+    def test_policy_prefixes_cover_all_announceable(self, world):
+        topo, policies = world
+        for asn, policy in policies.items():
+            node_prefixes = set(topo.node(asn).prefixes)
+            policy_prefixes = set(policy.all_prefixes())
+            # All node prefixes announced (deagg adds subnets on top).
+            assert node_prefixes <= policy_prefixes
+
+    def test_selective_policies_exist(self, world):
+        _topo, policies = world
+        selective = [p for p in policies.values() if p.kind == "selective"]
+        assert selective
+        for policy in selective:
+            restricted = policy.groups[1]
+            assert restricted.first_hops is not None
+            assert len(restricted.first_hops) == 1
+
+    def test_selective_keeps_one_open_prefix(self, world):
+        topo, policies = world
+        for policy in policies.values():
+            if policy.kind != "selective":
+                continue
+            open_group = policy.groups[0]
+            assert open_group.first_hops is None
+            assert open_group.prefixes  # link visibility preserved
+
+    def test_deagg_policies_announce_subnets(self, world):
+        _topo, policies = world
+        deagg = [p for p in policies.values() if p.kind == "deagg"]
+        assert deagg
+        for policy in deagg:
+            open_prefixes = policy.groups[0].prefixes
+            subnets = policy.groups[1].prefixes
+            assert len(subnets) == 2
+            parent = subnets[0].supernet()
+            assert parent in open_prefixes
+            assert subnets[0].supernet() == subnets[1].supernet()
+
+    def test_selective_only_for_multihomed_edge(self, world):
+        topo, policies = world
+        for asn, policy in policies.items():
+            if policy.kind in ("selective", "deagg"):
+                node = topo.node(asn)
+                assert node.tier == 3
+                assert len(node.providers) >= 2
+
+    def test_zero_fractions_mean_all_open(self):
+        topo = generate_topology(TopologyConfig(n_ases=150, seed=2))
+        policies = build_policies(
+            topo, np.random.default_rng(0), 0.0, 0.0
+        )
+        assert all(p.kind == "open" for p in policies.values())
+
+
+class TestDerivedMaps:
+    def test_primary_provider_map(self, world):
+        topo, policies = world
+        primaries = primary_provider_map(policies)
+        for asn, provider in primaries.items():
+            assert provider in topo.node(asn).providers
+
+    def test_asymmetric_origins_are_selective_only(self, world):
+        _topo, policies = world
+        asymmetric = asymmetric_origins(policies)
+        for asn in asymmetric:
+            assert policies[asn].kind == "selective"
+        deagg = {a for a, p in policies.items() if p.kind == "deagg"}
+        assert not (asymmetric & deagg)

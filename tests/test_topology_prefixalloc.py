@@ -1,0 +1,62 @@
+"""Tests for the prefix allocator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.net.prefixset import PrefixSet
+from repro.topology.prefixalloc import AllocationError, PrefixAllocator
+
+
+class TestAllocation:
+    def test_allocations_are_disjoint(self, rng):
+        allocator = PrefixAllocator(rng)
+        prefixes = [allocator.allocate(int(rng.integers(16, 25))) for _ in range(300)]
+        total = sum(p.num_addresses for p in prefixes)
+        assert PrefixSet(prefixes).num_addresses == total
+
+    def test_allocations_avoid_bogons(self, rng):
+        allocator = PrefixAllocator(rng)
+        bogons = bogon_prefix_set()
+        for _ in range(200):
+            prefix = allocator.allocate(20)
+            assert not (PrefixSet([prefix]) & bogons)
+
+    def test_natural_alignment(self, rng):
+        allocator = PrefixAllocator(rng)
+        for _ in range(100):
+            prefix = allocator.allocate(18)
+            assert prefix.network % prefix.num_addresses == 0
+
+    def test_rejects_silly_lengths(self, rng):
+        allocator = PrefixAllocator(rng)
+        with pytest.raises(ValueError):
+            allocator.allocate(4)
+        with pytest.raises(ValueError):
+            allocator.allocate(33)
+
+    def test_allocate_many(self, rng):
+        allocator = PrefixAllocator(rng)
+        prefixes = allocator.allocate_many([16, 20, 24])
+        assert [p.length for p in prefixes] == [16, 20, 24]
+
+    def test_allocated_space_covers_allocations(self, rng):
+        allocator = PrefixAllocator(rng)
+        prefixes = [allocator.allocate(20) for _ in range(50)]
+        space = allocator.allocated_space()
+        for prefix in prefixes:
+            assert space.contains_prefix(prefix) or prefix.first in space
+
+    def test_deterministic_for_seed(self):
+        a = PrefixAllocator(np.random.default_rng(5))
+        b = PrefixAllocator(np.random.default_rng(5))
+        assert [a.allocate(20) for _ in range(20)] == [
+            b.allocate(20) for _ in range(20)
+        ]
+
+    def test_uneven_region_density(self, rng):
+        # The pareto region weights should concentrate allocations.
+        allocator = PrefixAllocator(rng)
+        firsts = [allocator.allocate(20).network >> 24 for _ in range(400)]
+        unique = len(set(firsts))
+        assert unique < 150  # far fewer than the ~200 available /8s

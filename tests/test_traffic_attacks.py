@@ -1,0 +1,190 @@
+"""Tests for attack emission (floods and NTP amplification)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.ixp.flows import PROTO_TCP, PROTO_UDP, TruthLabel
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.net.sampling import IntervalSampler
+from repro.traffic.addressing import BogonSampler, build_unrouted_sampler
+from repro.traffic.attacks import (
+    NTP_RESPONSE_SIZE,
+    NTP_TRIGGER_SIZE,
+    AmplificationEvent,
+    FloodEvent,
+    emit_amplification,
+    emit_flood,
+)
+from repro.util.timeconst import HOUR
+
+
+@pytest.fixture()
+def samplers(rng):
+    routed = PrefixSet([Prefix.parse("1.0.0.0/8"), Prefix.parse("9.0.0.0/8")])
+    return (
+        build_unrouted_sampler(routed, rng),
+        IntervalSampler(routed),
+        BogonSampler(),
+    )
+
+
+def flood(src_mode="unrouted", kind="syn_flood", packets=500):
+    return FloodEvent(
+        member=42,
+        victim_addr=Prefix.parse("9.1.0.0/16").first + 7,
+        start=1000,
+        duration=2 * HOUR,
+        sampled_packets=packets,
+        src_mode=src_mode,
+        kind=kind,
+    )
+
+
+class TestFloods:
+    def test_one_row_per_packet_fresh_sources(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        table = emit_flood(rng, flood(), unrouted, routed, bogons, 7)
+        assert len(table) == 500
+        assert (table.packets == 1).all()
+        # Random spoofing: (almost) every packet a distinct source.
+        assert np.unique(table.src).size > 480
+
+    def test_unrouted_sources(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        table = emit_flood(rng, flood("unrouted"), unrouted, routed, bogons, 7)
+        routed_space = PrefixSet(
+            [Prefix.parse("1.0.0.0/8"), Prefix.parse("9.0.0.0/8")]
+        )
+        assert not routed_space.contains_many(table.src).any()
+        assert not bogon_prefix_set().contains_many(table.src).any()
+
+    def test_bogon_sources(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        table = emit_flood(rng, flood("bogon"), unrouted, routed, bogons, 7)
+        assert bogon_prefix_set().contains_many(table.src).all()
+
+    def test_syn_flood_shape(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        table = emit_flood(rng, flood(), unrouted, routed, bogons, 7)
+        assert (table.proto == PROTO_TCP).all()
+        sizes = table.mean_packet_sizes()
+        assert (sizes <= 60).all()
+        assert np.isin(table.dst_port, (80, 443, 53, 22)).all()
+        assert (table.truth == int(TruthLabel.SPOOF_FLOOD)).all()
+
+    def test_gaming_flood_shape(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        table = emit_flood(
+            rng, flood(kind="gaming_flood"), unrouted, routed, bogons, 7
+        )
+        assert (table.proto == PROTO_UDP).all()
+        assert (table.dst_port == 27015).all()
+        assert (table.truth == int(TruthLabel.SPOOF_GAMING)).all()
+
+    def test_times_inside_event(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        event = flood()
+        table = emit_flood(rng, event, unrouted, routed, bogons, 7)
+        assert (table.time >= event.start).all()
+        assert (table.time < event.start + event.duration).all()
+
+    def test_single_victim(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        event = flood()
+        table = emit_flood(rng, event, unrouted, routed, bogons, 7)
+        assert (table.dst == np.uint64(event.victim_addr)).all()
+
+    def test_zero_packets(self, rng, samplers):
+        unrouted, routed, bogons = samplers
+        table = emit_flood(rng, flood(packets=0), unrouted, routed, bogons, 7)
+        assert len(table) == 0
+
+
+def amplification(strategy="concentrated", packets=2000, n_amp=40):
+    rng = np.random.default_rng(5)
+    amplifiers = np.unique(
+        rng.integers(
+            Prefix.parse("1.0.0.0/8").first,
+            Prefix.parse("1.0.0.0/8").last,
+            size=n_amp,
+            dtype=np.uint64,
+        )
+    )
+    return AmplificationEvent(
+        member=42,
+        victim_addr=Prefix.parse("9.1.0.0/16").first + 9,
+        start=0,
+        duration=6 * HOUR,
+        sampled_packets=packets,
+        amplifiers=amplifiers,
+        strategy=strategy,
+    )
+
+
+class TestAmplification:
+    def test_trigger_shape(self, rng):
+        event = amplification()
+        trigger, _resp = emit_amplification(rng, event, 7, {})
+        assert (trigger.proto == PROTO_UDP).all()
+        assert (trigger.dst_port == 123).all()
+        assert (trigger.src == np.uint64(event.victim_addr)).all()
+        assert trigger.packets.sum() == event.sampled_packets
+        assert (trigger.truth == int(TruthLabel.SPOOF_TRIGGER)).all()
+
+    def test_concentrated_strategy(self, rng):
+        event = amplification("concentrated")
+        trigger, _ = emit_amplification(rng, event, 7, {})
+        per_amp = {}
+        for dst, pkts in zip(trigger.dst.tolist(), trigger.packets.tolist()):
+            per_amp[dst] = per_amp.get(dst, 0) + pkts
+        ordered = sorted(per_amp.values(), reverse=True)
+        assert sum(ordered[:5]) / sum(ordered) > 0.5
+
+    def test_distributed_strategy(self, rng):
+        event = amplification("distributed", packets=4000, n_amp=400)
+        trigger, _ = emit_amplification(rng, event, 7, {})
+        per_amp = {}
+        for dst, pkts in zip(trigger.dst.tolist(), trigger.packets.tolist()):
+            per_amp[dst] = per_amp.get(dst, 0) + pkts
+        ordered = sorted(per_amp.values(), reverse=True)
+        assert sum(ordered[:5]) / sum(ordered) < 0.2
+
+    def test_no_responses_without_map(self, rng):
+        _trigger, response = emit_amplification(rng, amplification(), 7, {})
+        assert len(response) == 0
+
+    def test_responses_mirror_triggers(self, rng):
+        event = amplification()
+        member_of = {int(a): 99 for a in event.amplifiers}
+        trigger, response = emit_amplification(
+            rng, event, 7, member_of, response_visibility=1.0
+        )
+        assert len(response) > 0
+        assert (response.src_port == 123).all()
+        assert (response.dst == np.uint64(event.victim_addr)).all()
+        assert (response.member == 99).all()
+        assert (response.truth == int(TruthLabel.AMP_RESPONSE)).all()
+        # Byte amplification ≈ size ratio.
+        ratio = response.bytes.sum() / trigger.bytes.sum()
+        assert ratio > 0.5 * NTP_RESPONSE_SIZE / NTP_TRIGGER_SIZE
+
+    def test_partial_visibility(self, rng):
+        event = amplification(n_amp=200, packets=4000)
+        member_of = {int(a): 99 for a in event.amplifiers}
+        _t, full = emit_amplification(rng, event, 7, member_of, 1.0)
+        _t, half = emit_amplification(rng, event, 7, member_of, 0.4)
+        assert half.packets.sum() < full.packets.sum()
+
+    def test_heavy_amplifiers_split_hourly(self, rng):
+        event = amplification("concentrated", packets=5000, n_amp=10)
+        trigger, _ = emit_amplification(rng, event, 7, {})
+        # The top amplifier should appear in several hourly rows.
+        values, counts = np.unique(trigger.dst, return_counts=True)
+        assert counts.max() >= 3
+
+    def test_empty_event(self, rng):
+        event = amplification(packets=0)
+        trigger, response = emit_amplification(rng, event, 7, {})
+        assert len(trigger) == 0 and len(response) == 0

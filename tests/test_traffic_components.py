@@ -1,0 +1,178 @@
+"""Tests for pool sampling, regular traffic, and stray generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.ixp.flows import PROTO_ICMP, TruthLabel
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.traffic.diurnal import DiurnalModel
+from repro.traffic.forwarding import SourceEntry, SourceKind, SourcePool
+from repro.traffic.poolsampler import PoolAddressSampler
+from repro.traffic.regular import generate_regular, member_flow_counts
+from repro.traffic.stray import (
+    generate_nat_leaks,
+    generate_router_strays,
+    member_router_addresses,
+)
+from repro.util.timeconst import WEEK
+
+
+def make_pool(member=10):
+    return SourcePool(
+        member=member,
+        entries=[
+            SourceEntry(member, (Prefix.parse("60.0.0.0/16"),), SourceKind.OWN, 1.0),
+            SourceEntry(
+                77, (Prefix.parse("61.0.0.0/16"),), SourceKind.CUSTOMER, 0.5
+            ),
+            SourceEntry(
+                88, (Prefix.parse("62.0.0.0/24"),), SourceKind.TUNNEL, 0.3,
+                hidden=True,
+            ),
+        ],
+    )
+
+
+class TestPoolSampler:
+    def test_sources_within_entries(self, rng):
+        sampler = PoolAddressSampler()
+        addrs, origins, hidden = sampler.sample(rng, make_pool(), 2000)
+        space = PrefixSet(
+            [
+                Prefix.parse("60.0.0.0/16"),
+                Prefix.parse("61.0.0.0/16"),
+                Prefix.parse("62.0.0.0/24"),
+            ]
+        )
+        assert space.contains_many(addrs).all()
+        assert set(np.unique(origins)) <= {10, 77, 88}
+
+    def test_hidden_flag_tracks_entry(self, rng):
+        sampler = PoolAddressSampler()
+        addrs, origins, hidden = sampler.sample(rng, make_pool(), 2000)
+        assert (hidden == (origins == 88)).all()
+
+    def test_visible_only_excludes_hidden(self, rng):
+        sampler = PoolAddressSampler()
+        _addrs, origins, hidden = sampler.sample(
+            rng, make_pool(), 1000, visible_only=True
+        )
+        assert not hidden.any()
+        assert 88 not in origins
+
+    def test_empty_pool_rejected(self, rng):
+        sampler = PoolAddressSampler()
+        with pytest.raises(ValueError):
+            sampler.sample(rng, SourcePool(member=1, entries=[]), 5)
+
+    def test_weights_influence_mix(self, rng):
+        sampler = PoolAddressSampler()
+        _a, origins, _h = sampler.sample(rng, make_pool(), 4000)
+        own_share = (origins == 10).mean()
+        tunnel_share = (origins == 88).mean()
+        assert own_share > tunnel_share  # weight 1.0·√65536 vs 0.3·√256
+
+
+class TestRegularGeneration:
+    def test_member_flow_counts_sum(self, tiny_world, rng):
+        counts = member_flow_counts(rng, tiny_world.ixp, 5000)
+        assert sum(counts.values()) == 5000
+        assert set(counts) <= set(tiny_world.ixp.member_asns)
+
+    def test_generate_regular_columns(self, tiny_world, rng):
+        from repro.traffic.forwarding import build_source_pools
+
+        members = list(tiny_world.ixp.member_asns)
+        pools = build_source_pools(tiny_world.topo, members, set())
+        diurnal = DiurnalModel(rng, window_seconds=WEEK)
+        table = generate_regular(rng, tiny_world.ixp, pools, diurnal, 3000)
+        assert 0 < len(table) <= 3000
+        assert (table.packets >= 1).all()
+        assert (table.time < WEEK).all()
+        assert not bogon_prefix_set().contains_many(table.src).any()
+        # Destination members differ from the ingress member.
+        assert (table.dst_member != table.member).all()
+
+    def test_truth_labels_split_hidden(self, tiny_world, rng):
+        from repro.traffic.forwarding import build_source_pools
+
+        members = list(tiny_world.ixp.member_asns)
+        pools = build_source_pools(tiny_world.topo, members, set())
+        diurnal = DiurnalModel(rng, window_seconds=WEEK)
+        table = generate_regular(rng, tiny_world.ixp, pools, diurnal, 8000)
+        labels = set(int(t) for t in np.unique(table.truth))
+        assert labels <= {
+            int(TruthLabel.LEGIT),
+            int(TruthLabel.LEGIT_HIDDEN_REL),
+        }
+
+
+class TestStrayGeneration:
+    def test_member_router_addresses(self, tiny_world):
+        topo = tiny_world.topo
+        some_link = next(iter(topo.link_addresses))
+        provider, customer = some_link
+        p_addr, c_addr = topo.link_addresses[some_link]
+        assert p_addr in member_router_addresses(topo, provider)
+        assert c_addr in member_router_addresses(topo, customer)
+
+    def test_nat_leaks_shape(self, tiny_world, rng):
+        from repro.traffic.forwarding import build_source_pools
+        from repro.traffic.poolsampler import PoolAddressSampler
+
+        members = list(tiny_world.ixp.member_asns)
+        pools = build_source_pools(tiny_world.topo, members, set())
+        diurnal = DiurnalModel(rng, window_seconds=WEEK)
+        table = generate_nat_leaks(
+            rng, members[0], 300, diurnal, pools, PoolAddressSampler(),
+            np.array(members[1:4]),
+        )
+        assert len(table) == 300
+        assert bogon_prefix_set().contains_many(table.src).all()
+        assert (table.truth == int(TruthLabel.STRAY_NAT)).all()
+        assert (table.packets == 1).all()
+
+    def test_nat_leaks_zero_rows(self, tiny_world, rng):
+        from repro.traffic.forwarding import build_source_pools
+        from repro.traffic.poolsampler import PoolAddressSampler
+
+        members = list(tiny_world.ixp.member_asns)
+        pools = build_source_pools(tiny_world.topo, members, set())
+        diurnal = DiurnalModel(rng, window_seconds=WEEK)
+        table = generate_nat_leaks(
+            rng, members[0], 0, diurnal, pools, PoolAddressSampler(),
+            np.array(members[1:2]),
+        )
+        assert len(table) == 0
+
+    def test_router_strays_sources_are_interfaces(self, tiny_world, rng):
+        from repro.traffic.forwarding import build_source_pools
+        from repro.traffic.poolsampler import PoolAddressSampler
+
+        topo = tiny_world.topo
+        member = next(
+            asn
+            for asn in tiny_world.ixp.member_asns
+            if member_router_addresses(topo, asn)
+        )
+        members = list(tiny_world.ixp.member_asns)
+        pools = build_source_pools(topo, members, set())
+        table = generate_router_strays(
+            rng, member, 200, topo, pools, PoolAddressSampler(),
+            np.array(members[:3]), WEEK,
+        )
+        assert len(table) == 200
+        valid_addrs = set(member_router_addresses(topo, member))
+        assert set(int(s) for s in np.unique(table.src)) <= valid_addrs
+        assert (table.proto == PROTO_ICMP).mean() > 0.6
+
+    def test_router_strays_without_links(self, micro_topology, rng):
+        from repro.traffic.poolsampler import PoolAddressSampler
+
+        table = generate_router_strays(
+            rng, 5, 50, micro_topology, {}, PoolAddressSampler(),
+            np.array([1]), WEEK,
+        )
+        assert len(table) == 0  # member has no numbered links

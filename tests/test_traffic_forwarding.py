@@ -1,0 +1,142 @@
+"""Tests for ground-truth source pools and egress shares."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.traffic.forwarding import (
+    SourceKind,
+    build_source_pools,
+    customer_egress_shares,
+)
+
+
+@pytest.fixture()
+def micro_with_prefixes(micro_topology):
+    for asn, node in micro_topology.ases.items():
+        node.prefixes.append(Prefix(asn << 24, 16))
+    return micro_topology
+
+
+class TestEgressShares:
+    def test_single_homed(self, micro_with_prefixes):
+        shares = customer_egress_shares(micro_with_prefixes, 5, None, False)
+        assert shares == {3: 1.0}
+
+    def test_symmetric_multihomed(self, micro_with_prefixes):
+        shares = customer_egress_shares(micro_with_prefixes, 6, 3, False)
+        assert shares[3] == pytest.approx(0.85)
+        assert shares[4] == pytest.approx(0.15)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_asymmetric_inverts(self, micro_with_prefixes):
+        shares = customer_egress_shares(micro_with_prefixes, 6, 3, True)
+        assert shares[3] < shares[4]
+
+    def test_unknown_primary_falls_back(self, micro_with_prefixes):
+        shares = customer_egress_shares(micro_with_prefixes, 6, 999, False)
+        assert shares[3] == pytest.approx(0.85)  # lowest ASN fallback
+
+    def test_no_providers(self, micro_with_prefixes):
+        assert customer_egress_shares(micro_with_prefixes, 1, None, False) == {}
+
+
+class TestSourcePools:
+    def test_own_entry_first(self, micro_with_prefixes):
+        pools = build_source_pools(micro_with_prefixes, [3], set())
+        own = [e for e in pools[3].entries if e.kind is SourceKind.OWN]
+        assert len(own) == 1
+        assert own[0].origin == 3
+
+    def test_customer_entries(self, micro_with_prefixes):
+        pools = build_source_pools(micro_with_prefixes, [3], set())
+        customers = {
+            e.origin
+            for e in pools[3].entries
+            if e.kind is SourceKind.CUSTOMER
+        }
+        assert customers == {5, 6}
+
+    def test_stub_pool_is_own_only(self, micro_with_prefixes):
+        pools = build_source_pools(micro_with_prefixes, [5], set())
+        assert [e.kind for e in pools[5].entries] == [SourceKind.OWN]
+
+    def test_hidden_sibling_entries(self, micro_with_prefixes):
+        # AS6 and AS8 share an org with no visible link.
+        pools = build_source_pools(micro_with_prefixes, [6], set())
+        siblings = [
+            e for e in pools[6].entries if e.kind is SourceKind.SIBLING
+        ]
+        assert siblings
+        assert all(e.hidden for e in siblings)
+        assert {e.origin for e in siblings} == {8}
+
+    def test_peer_entries_only_for_transit_members(self, micro_with_prefixes):
+        pools_plain = build_source_pools(micro_with_prefixes, [1], set())
+        pools_transit = build_source_pools(micro_with_prefixes, [1], {1})
+        peers_plain = [
+            e for e in pools_plain[1].entries if e.kind is SourceKind.PEER_TRANSIT
+        ]
+        peers_transit = [
+            e for e in pools_transit[1].entries if e.kind is SourceKind.PEER_TRANSIT
+        ]
+        assert not peers_plain
+        assert {e.origin for e in peers_transit} == {2, 4, 6, 7, 8}
+
+    def test_partial_transit_without_membership(self, micro_with_prefixes):
+        micro_with_prefixes.partial_transit.add((1, 2))
+        pools = build_source_pools(micro_with_prefixes, [1], set())
+        peers = {
+            e.origin
+            for e in pools[1].entries
+            if e.kind is SourceKind.PEER_TRANSIT
+        }
+        assert 2 in peers
+
+    def test_pa_space_entry(self, micro_with_prefixes):
+        pa_prefix = Prefix((3 << 24) + 256, 24)  # inside AS3's block
+        micro_with_prefixes.pa_assignments.append((6, 3, pa_prefix))
+        pools = build_source_pools(micro_with_prefixes, [6], set())
+        pa = [e for e in pools[6].entries if e.kind is SourceKind.PA_SPACE]
+        assert len(pa) == 1
+        assert pa[0].origin == 3  # LPM owner is the provider
+        assert pa[0].hidden
+
+    def test_backup_transit_entry(self, micro_with_prefixes):
+        micro_with_prefixes.backup_transit.add((4, 5))
+        pools = build_source_pools(micro_with_prefixes, [4], set())
+        backup = [
+            e for e in pools[4].entries if e.kind is SourceKind.BACKUP_TRANSIT
+        ]
+        assert {e.origin for e in backup} == {5}
+        assert all(e.hidden for e in backup)
+
+    def test_tunnel_entry(self, micro_with_prefixes):
+        micro_with_prefixes.tunnels.add((5, 7))
+        pools = build_source_pools(micro_with_prefixes, [5], set())
+        tunnels = [e for e in pools[5].entries if e.kind is SourceKind.TUNNEL]
+        assert {e.origin for e in tunnels} == {7}
+        assert tunnels[0].weight > 1.0  # dominates the carrier's mix
+
+    def test_visible_hidden_split(self, micro_with_prefixes):
+        micro_with_prefixes.tunnels.add((5, 7))
+        pools = build_source_pools(micro_with_prefixes, [5], set())
+        pool = pools[5]
+        assert len(pool.visible_entries()) + len(pool.hidden_entries()) == len(
+            pool.entries
+        )
+
+    def test_asymmetric_customer_weight_shift(self, micro_with_prefixes):
+        # AS6 multihomed to 3 and 4; make it asymmetric with primary 3:
+        # its entry in AS4's pool (via backup) should gain weight.
+        sym = build_source_pools(micro_with_prefixes, [4], set())
+        asym = build_source_pools(
+            micro_with_prefixes, [4], set(),
+            primary_providers={6: 3}, asymmetric_asns={6},
+        )
+        def weight_of(pools):
+            return next(
+                e.weight
+                for e in pools[4].entries
+                if e.kind is SourceKind.CUSTOMER and e.origin == 6
+            )
+        assert weight_of(asym) > weight_of(sym)

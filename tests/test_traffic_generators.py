@@ -1,0 +1,138 @@
+"""Tests for the traffic building blocks (apps, diurnal, addressing)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.traffic.addressing import (
+    BogonSampler,
+    OriginAddressSampler,
+    build_unrouted_sampler,
+    routable_space,
+    unrouted_space,
+)
+from repro.traffic.apps import clamp_packet_size, draw_regular_app, ephemeral_port
+from repro.traffic.diurnal import DiurnalModel, uniform_times
+from repro.traffic.regular import draw_app_columns
+from repro.util.timeconst import DAY, HOUR, WEEK
+
+
+class TestApps:
+    def test_draw_regular_app_fields(self, rng):
+        for _ in range(50):
+            spec = draw_regular_app(rng)
+            assert spec.proto in (6, 17)
+            assert 0 < spec.src_port < 65536
+            assert 0 < spec.dst_port < 65536
+            assert spec.mean_sampled_packets >= 1.0
+
+    def test_ephemeral_port_range(self, rng):
+        for _ in range(100):
+            assert 49152 <= ephemeral_port(rng) < 65536
+
+    def test_clamp(self):
+        assert clamp_packet_size(10) == 40
+        assert clamp_packet_size(9999) == 1500
+        assert clamp_packet_size(1000.4) == 1000
+
+    def test_draw_app_columns_shapes(self, rng):
+        proto, sport, dport, packets, nbytes = draw_app_columns(rng, 500)
+        assert proto.shape == (500,)
+        assert (packets >= 1).all()
+        assert (nbytes >= 40 * packets).all()
+        assert (nbytes <= 1500 * packets).all()
+
+    def test_bimodal_sizes(self, rng):
+        _p, _s, _d, packets, nbytes = draw_app_columns(rng, 8000)
+        sizes = nbytes / packets
+        small = (sizes < 150).mean()
+        large = (sizes > 1000).mean()
+        assert small > 0.2 and large > 0.2
+
+    def test_web_ports_present(self, rng):
+        proto, sport, dport, _p, _b = draw_app_columns(rng, 4000)
+        tcp = proto == 6
+        web_dst = np.isin(dport[tcp], (80, 443)).mean()
+        assert web_dst > 0.2
+
+
+class TestDiurnal:
+    def test_weights_normalised(self, rng):
+        model = DiurnalModel(rng, window_seconds=WEEK)
+        assert model.hourly_weights.sum() == pytest.approx(1.0)
+        assert model.hourly_weights.size == 7 * 24
+
+    def test_day_night_contrast(self, rng):
+        model = DiurnalModel(rng, window_seconds=2 * WEEK, noise=0.0)
+        weights = model.hourly_weights
+        days = weights.reshape(-1, 24)
+        profile = days.mean(axis=0)
+        assert profile.max() / profile.min() > 1.8
+
+    def test_sample_times_in_window(self, rng):
+        model = DiurnalModel(rng, window_seconds=WEEK)
+        times = model.sample_times(rng, 5000)
+        assert (times >= 0).all()
+        assert (times < WEEK).all()
+
+    def test_samples_follow_pattern(self, rng):
+        model = DiurnalModel(rng, window_seconds=WEEK, day_night_ratio=4.0)
+        times = model.sample_times(rng, 40_000)
+        hour_of_day = (times % DAY) // HOUR
+        evening = np.isin(hour_of_day, (19, 20, 21)).mean()
+        night = np.isin(hour_of_day, (3, 4, 5)).mean()
+        assert evening > 2 * night
+
+    def test_uniform_times(self, rng):
+        times = uniform_times(rng, 100, start=50, duration=10)
+        assert (times >= 50).all() and (times < 60).all()
+
+    def test_uniform_times_zero_duration(self, rng):
+        assert (uniform_times(rng, 5, 7, 0) == 7).all()
+
+
+class TestAddressing:
+    def test_routable_space_excludes_bogons(self):
+        space = routable_space()
+        bogons = bogon_prefix_set()
+        assert not (space & bogons)
+        share = space.num_addresses / 2**32
+        assert 0.85 < share < 0.88  # paper: 86.2%
+
+    def test_unrouted_space(self):
+        routed = PrefixSet([Prefix.parse("10.0.0.0/8")])  # bogon; ignored
+        routed = PrefixSet([Prefix.parse("1.0.0.0/8")])
+        space = unrouted_space(routed)
+        assert Prefix.parse("1.0.0.0/8").first not in space
+        assert Prefix.parse("2.0.0.0/8").first in space
+        assert Prefix.parse("10.0.0.0/8").first not in space  # bogon
+
+    def test_unrouted_sampler_avoids_routed_and_bogons(self, rng):
+        routed = PrefixSet([Prefix.parse("1.0.0.0/8"), Prefix.parse("8.0.0.0/8")])
+        sampler = build_unrouted_sampler(routed, rng)
+        addrs = sampler.sample(rng, 3000)
+        assert not routed.contains_many(addrs).any()
+        assert not bogon_prefix_set().contains_many(addrs).any()
+
+    def test_bogon_sampler_all_bogons(self, rng):
+        sampler = BogonSampler()
+        addrs = sampler.sample(rng, 3000)
+        assert bogon_prefix_set().contains_many(addrs).all()
+
+    def test_bogon_sampler_concentrates_private(self, rng):
+        addrs = BogonSampler().sample(rng, 5000)
+        first_octet = (addrs >> np.uint64(24)).astype(int)
+        private = np.isin(first_octet, (10, 192, 172, 100)).mean()
+        assert private > 0.5
+
+    def test_origin_sampler(self, rng):
+        sampler = OriginAddressSampler(
+            {1: [Prefix.parse("9.0.0.0/16")], 2: [Prefix.parse("11.0.0.0/16")]}
+        )
+        addrs = sampler.sample(rng, 1, 200)
+        assert ((addrs >> np.uint64(16)) == (9 << 8)).all()
+        assert sampler.known_origins() == [1, 2]
+        with pytest.raises(KeyError):
+            sampler.sample(rng, 3, 1)

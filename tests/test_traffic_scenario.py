@@ -1,0 +1,112 @@
+"""Integration tests for the assembled traffic scenario."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bogons import bogon_prefix_set
+from repro.ixp.flows import PROTO_ICMP, TruthLabel
+from repro.traffic.behaviors import VENN_DISTRIBUTION, assign_behaviors
+from repro.util.timeconst import MEASUREMENT_SECONDS
+
+
+class TestBehaviors:
+    def test_venn_distribution_sums_to_one(self):
+        assert sum(p for _c, p in VENN_DISTRIBUTION) == pytest.approx(1.0)
+
+    def test_assignment_covers_all_members(self, tiny_world, rng):
+        behaviors = assign_behaviors(rng, tiny_world.ixp)
+        assert set(behaviors) == set(tiny_world.ixp.member_asns)
+
+    def test_rates_only_for_emitters(self, tiny_world, rng):
+        behaviors = assign_behaviors(rng, tiny_world.ixp)
+        for behavior in behaviors.values():
+            if not behavior.emits_bogon:
+                assert behavior.bogon_rate == 0.0
+            else:
+                assert 0 < behavior.bogon_rate <= 0.10
+
+    def test_fully_filtered_flag(self, tiny_world, rng):
+        behaviors = assign_behaviors(rng, tiny_world.ixp)
+        clean = [b for b in behaviors.values() if b.fully_filtered]
+        assert clean  # some members are clean
+
+
+class TestScenario:
+    def test_flows_sorted_by_time(self, tiny_world):
+        times = tiny_world.scenario.flows.time
+        assert (np.diff(times) >= 0).all()
+
+    def test_times_inside_window(self, tiny_world):
+        times = tiny_world.scenario.flows.time
+        assert times.min() >= 0
+        assert times.max() < MEASUREMENT_SECONDS
+
+    def test_members_are_ixp_members(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        members = set(int(m) for m in np.unique(flows.member))
+        assert members <= set(tiny_world.ixp.member_asns)
+
+    def test_every_truth_label_present(self, tiny_world):
+        truths = set(int(t) for t in np.unique(tiny_world.scenario.flows.truth))
+        required = {
+            int(TruthLabel.LEGIT),
+            int(TruthLabel.LEGIT_HIDDEN_REL),
+            int(TruthLabel.STRAY_NAT),
+            int(TruthLabel.STRAY_ROUTER),
+            int(TruthLabel.SPOOF_FLOOD),
+            int(TruthLabel.SPOOF_TRIGGER),
+        }
+        assert required <= truths
+
+    def test_legit_dominates(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        legit = flows.packets[flows.truth == int(TruthLabel.LEGIT)].sum()
+        assert legit / flows.packets.sum() > 0.9
+
+    def test_nat_leaks_use_bogon_sources(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        nat = flows.select(flows.truth == int(TruthLabel.STRAY_NAT))
+        assert len(nat) > 0
+        assert bogon_prefix_set().contains_many(nat.src).all()
+
+    def test_legit_sources_never_bogon(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        legit = flows.select(flows.truth == int(TruthLabel.LEGIT))
+        assert not bogon_prefix_set().contains_many(legit.src).any()
+
+    def test_router_strays_mostly_icmp(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        strays = flows.select(flows.truth == int(TruthLabel.STRAY_ROUTER))
+        assert len(strays) > 0
+        icmp_share = (strays.proto == PROTO_ICMP).mean()
+        assert icmp_share > 0.6
+
+    def test_triggers_spoof_victims(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        triggers = flows.select(flows.truth == int(TruthLabel.SPOOF_TRIGGER))
+        victims = {e.victim_addr for e in tiny_world.scenario.plan.amplifications}
+        assert set(int(s) for s in np.unique(triggers.src)) <= victims
+
+    def test_attack_plan_consistency(self, tiny_world):
+        plan = tiny_world.scenario.plan
+        members = set(tiny_world.ixp.member_asns)
+        for event in plan.floods:
+            assert event.member in members
+            assert event.sampled_packets >= 0
+        for event in plan.amplifications:
+            assert event.member in members
+            assert event.amplifiers.size > 0
+
+    def test_positive_sizes(self, tiny_world):
+        flows = tiny_world.scenario.flows
+        assert (flows.packets > 0).all()
+        assert (flows.bytes >= 40 * flows.packets).all()
+
+    def test_deterministic_given_config(self, tiny_world):
+        from repro.experiments import WorldConfig, build_world
+
+        rebuilt = build_world(WorldConfig.tiny())
+        assert len(rebuilt.scenario.flows) == len(tiny_world.scenario.flows)
+        assert (
+            rebuilt.scenario.flows.src == tiny_world.scenario.flows.src
+        ).all()

@@ -1,0 +1,80 @@
+"""Tests for the scenario validator (and, through it, the generator)."""
+
+import numpy as np
+import pytest
+
+from repro.ixp.flows import TruthLabel
+from repro.traffic.validation import Violation, validate_scenario
+
+
+class TestValidatorOnHealthyWorlds:
+    def test_tiny_world_is_clean(self, tiny_world):
+        violations = validate_scenario(
+            tiny_world.scenario, tiny_world.ixp, tiny_world.topo
+        )
+        assert violations == []
+
+    def test_small_world_is_clean(self, small_world):
+        violations = validate_scenario(
+            small_world.scenario, small_world.ixp, small_world.topo
+        )
+        assert violations == []
+
+
+class TestValidatorCatchesCorruption:
+    def _copy_scenario(self, world):
+        # Shallow copy with an independent flow table.
+        import copy
+
+        scenario = copy.copy(world.scenario)
+        scenario.flows = world.scenario.flows.select(
+            np.arange(len(world.scenario.flows))
+        )
+        return scenario
+
+    def test_detects_stranger_member(self, tiny_world):
+        scenario = self._copy_scenario(tiny_world)
+        scenario.flows.member[0] = 999_999
+        violations = validate_scenario(scenario, tiny_world.ixp, tiny_world.topo)
+        assert any(v.rule == "ingress-membership" for v in violations)
+
+    def test_detects_time_overflow(self, tiny_world):
+        scenario = self._copy_scenario(tiny_world)
+        scenario.flows.time[0] = scenario.config.window_seconds + 1
+        violations = validate_scenario(scenario, tiny_world.ixp, tiny_world.topo)
+        assert any(v.rule == "time-window" for v in violations)
+
+    def test_detects_zero_packets(self, tiny_world):
+        scenario = self._copy_scenario(tiny_world)
+        scenario.flows.packets[0] = 0
+        violations = validate_scenario(scenario, tiny_world.ixp, tiny_world.topo)
+        assert any(v.rule == "counters" for v in violations)
+
+    def test_detects_giant_packets(self, tiny_world):
+        scenario = self._copy_scenario(tiny_world)
+        scenario.flows.bytes[0] = scenario.flows.packets[0] * 9000
+        violations = validate_scenario(scenario, tiny_world.ixp, tiny_world.topo)
+        assert any(v.rule == "packet-sizes" for v in violations)
+
+    def test_detects_bogon_legit_source(self, tiny_world):
+        scenario = self._copy_scenario(tiny_world)
+        legit_rows = np.flatnonzero(
+            scenario.flows.truth == int(TruthLabel.LEGIT)
+        )
+        scenario.flows.src[legit_rows[0]] = (10 << 24) + 1  # 10.0.0.1
+        violations = validate_scenario(scenario, tiny_world.ixp, tiny_world.topo)
+        assert any(v.rule == "legit-sources" for v in violations)
+
+    def test_detects_unplanned_trigger_victim(self, tiny_world):
+        scenario = self._copy_scenario(tiny_world)
+        trigger_rows = np.flatnonzero(
+            scenario.flows.truth == int(TruthLabel.SPOOF_TRIGGER)
+        )
+        assert trigger_rows.size
+        scenario.flows.src[trigger_rows[0]] = (61 << 24) + 12345
+        violations = validate_scenario(scenario, tiny_world.ixp, tiny_world.topo)
+        assert any(v.rule == "trigger-victims" for v in violations)
+
+    def test_violation_str(self):
+        violation = Violation("rule-x", "something broke")
+        assert "rule-x" in str(violation)

@@ -1,0 +1,73 @@
+"""Tests for small shared utilities and BGP message records."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.messages import RouteObservation
+from repro.net.prefix import Prefix
+from repro.util.indexing import AsnIndexer
+from repro.util.timeconst import DAY, HOUR, MEASUREMENT_SECONDS, WEEK
+
+
+class TestAsnIndexer:
+    def test_sorted_dense_indices(self):
+        indexer = AsnIndexer([30, 10, 20, 10])
+        assert len(indexer) == 3
+        assert indexer.asns() == [10, 20, 30]
+        assert indexer.index(10) == 0
+        assert indexer.asn(2) == 30
+
+    def test_roundtrip(self):
+        indexer = AsnIndexer(range(100, 200, 7))
+        for asn in indexer.asns():
+            assert indexer.asn(indexer.index(asn)) == asn
+
+    def test_unknown_asn(self):
+        indexer = AsnIndexer([1, 2])
+        assert indexer.index_or_none(3) is None
+        with pytest.raises(KeyError):
+            indexer.index(3)
+
+    def test_contains(self):
+        indexer = AsnIndexer([5])
+        assert 5 in indexer
+        assert 6 not in indexer
+
+    def test_indices_of_vector(self):
+        indexer = AsnIndexer([10, 20])
+        out = indexer.indices_of([20, 99, 10])
+        assert out.tolist() == [1, -1, 0]
+
+
+class TestTimeConstants:
+    def test_relations(self):
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+        assert MEASUREMENT_SECONDS == 4 * WEEK
+
+
+class TestRouteObservation:
+    def test_origin_and_peer(self):
+        obs = RouteObservation(Prefix.parse("60.0.0.0/16"), (1, 2, 3), "x")
+        assert obs.origin == 3
+        assert obs.monitor_peer == 1
+
+    def test_adjacencies_directed(self):
+        obs = RouteObservation(Prefix.parse("60.0.0.0/16"), (1, 2, 3), "x")
+        assert obs.adjacencies() == [(1, 2), (2, 3)]
+
+    def test_adjacencies_collapse_prepending(self):
+        obs = RouteObservation(
+            Prefix.parse("60.0.0.0/16"), (1, 2, 2, 2, 3, 3), "x"
+        )
+        assert obs.adjacencies() == [(1, 2), (2, 3)]
+
+    def test_single_hop_no_adjacency(self):
+        obs = RouteObservation(Prefix.parse("60.0.0.0/16"), (7,), "x")
+        assert obs.adjacencies() == []
+        assert obs.origin == obs.monitor_peer == 7
+
+    def test_frozen(self):
+        obs = RouteObservation(Prefix.parse("60.0.0.0/16"), (1,), "x")
+        with pytest.raises(AttributeError):
+            obs.source = "y"  # type: ignore[misc]
