@@ -1,13 +1,45 @@
 """Pipeline throughput: classification, LPM, bulk set membership.
 
 Not a paper artefact — harness hygiene: the detector must keep up with
-flow export rates, so its hot paths are benchmarked explicitly.
+flow export rates, so its hot paths are benchmarked explicitly. The
+PERF columns compare three classification paths on the default world:
+
+* ``loop``    — the historical per-member Python loop,
+* ``matrix``  — the packed validity-matrix kernel (one gather for all
+  members and approaches; must be ≥5× the loop),
+* ``stream``  — ``classify_stream`` over bounded chunks with a
+  4-process pool on a ≥4M-row scenario (must beat single-shot
+  wall-clock while producing identical per-approach class counts).
 """
+
+import time
 
 import numpy as np
 
 from repro.core import SpoofingClassifier
 from repro.datasets.bogons import bogon_prefix_set
+from repro.ixp.flows import FlowTable
+
+#: Row floor for the streaming comparison (acceptance: ≥ 4M rows).
+STREAM_SCENARIO_ROWS = 4_000_000
+
+
+def _tile_flows(flows: FlowTable, min_rows: int) -> FlowTable:
+    """Tile a flow table until it holds at least ``min_rows`` rows."""
+    reps = -(-min_rows // len(flows))
+    return FlowTable(
+        src=np.tile(flows.src, reps),
+        dst=np.tile(flows.dst, reps),
+        proto=np.tile(flows.proto, reps),
+        src_port=np.tile(flows.src_port, reps),
+        dst_port=np.tile(flows.dst_port, reps),
+        packets=np.tile(flows.packets, reps),
+        bytes=np.tile(flows.bytes, reps),
+        member=np.tile(flows.member, reps),
+        dst_member=np.tile(flows.dst_member, reps),
+        time=np.tile(flows.time, reps),
+        truth=np.tile(flows.truth, reps),
+    )
 
 
 def bench_classifier_single_approach(benchmark, world):
@@ -21,6 +53,119 @@ def bench_classifier_single_approach(benchmark, world):
     )
     benchmark.extra_info["flows_per_call"] = len(flows)
     assert result.label_vector("full+orgs").size == len(flows)
+
+
+def bench_classifier_all_approaches_matrix(benchmark, world):
+    """All six approaches through the validity-matrix kernel."""
+    classifier = world.classifier
+    flows = world.scenario.flows
+    classifier.classify(flows)  # warm matrices + finalized RIB
+    result = benchmark.pedantic(
+        classifier.classify, args=(flows,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["flows_per_call"] = len(flows)
+    benchmark.extra_info["approaches"] = len(classifier.approach_names)
+    assert result.stats is not None
+
+
+def bench_matrix_vs_loop_speedup(benchmark, world, save_artefact):
+    """The matrix kernel must be ≥5× the seed per-member loop."""
+    classifier = world.classifier
+    flows = world.scenario.flows
+    classifier.classify(flows)  # warm
+
+    loop_s = min(
+        _timed(classifier.classify, flows, engine="loop") for _ in range(2)
+    )
+    matrix_s = min(
+        _timed(classifier.classify, flows, engine="matrix") for _ in range(3)
+    )
+    loop_result = classifier.classify(flows, engine="loop")
+    matrix_result = benchmark.pedantic(
+        classifier.classify, args=(flows,), rounds=3, iterations=1
+    )
+    for name in classifier.approach_names:
+        assert (
+            matrix_result.label_vector(name) == loop_result.label_vector(name)
+        ).all(), name
+
+    speedup = loop_s / matrix_s
+    benchmark.extra_info["loop_seconds"] = round(loop_s, 4)
+    benchmark.extra_info["matrix_seconds"] = round(matrix_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    save_artefact(
+        "perf_matrix_vs_loop",
+        "\n".join(
+            [
+                "classifier invalid-stage engines "
+                f"({len(flows)} flows, {len(classifier.approach_names)} approaches)",
+                f"  loop   {loop_s:8.4f}s  {len(flows) / loop_s:12.0f} rows/s",
+                f"  matrix {matrix_s:8.4f}s  {len(flows) / matrix_s:12.0f} rows/s",
+                f"  speedup {speedup:.2f}x (acceptance: >= 5x)",
+            ]
+        ),
+    )
+    assert speedup >= 5.0, f"matrix kernel only {speedup:.2f}x over loop"
+
+
+def bench_stream_parallel_vs_single(benchmark, world, save_artefact):
+    """4-worker ``classify_stream`` vs single-shot on ≥4M rows.
+
+    The streamed path must win wall-clock and agree exactly on the
+    per-approach class counters.
+    """
+    classifier = world.classifier
+    big = _tile_flows(world.scenario.flows, STREAM_SCENARIO_ROWS)
+    classifier.classify(world.scenario.flows)  # warm
+
+    single_t0 = time.perf_counter()
+    single = classifier.classify(big)
+    single_s = time.perf_counter() - single_t0
+
+    stream_t0 = time.perf_counter()
+    stream = classifier.classify_stream(big, n_workers=4)
+    stream_s = time.perf_counter() - stream_t0
+    benchmark.pedantic(
+        classifier.classify_stream,
+        args=(big,),
+        kwargs={"n_workers": 4},
+        rounds=1,
+        iterations=1,
+    )
+
+    for name in classifier.approach_names:
+        counts = np.bincount(single.label_vector(name), minlength=4)
+        assert (stream.flow_counts[name] == counts).all(), name
+
+    benchmark.extra_info["rows"] = len(big)
+    benchmark.extra_info["single_seconds"] = round(single_s, 2)
+    benchmark.extra_info["stream4_seconds"] = round(stream_s, 2)
+    benchmark.extra_info["speedup"] = round(single_s / stream_s, 2)
+    save_artefact(
+        "perf_stream_parallel",
+        "\n".join(
+            [
+                f"streamed classification ({len(big)} rows, "
+                f"{stream.n_chunks} chunks, 4 workers)",
+                f"  single-shot {single_s:8.2f}s  "
+                f"{len(big) / single_s:12.0f} rows/s",
+                f"  stream x4   {stream_s:8.2f}s  "
+                f"{len(big) / stream_s:12.0f} rows/s",
+                f"  speedup {single_s / stream_s:.2f}x "
+                "(acceptance: stream must win)",
+                "  per-approach class counts identical: yes",
+            ]
+        ),
+    )
+    assert stream_s < single_s, (
+        f"stream ({stream_s:.2f}s) did not beat single-shot ({single_s:.2f}s)"
+    )
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    t0 = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - t0
 
 
 def bench_lpm_lookup_throughput(benchmark, world):

@@ -53,10 +53,13 @@ class GlobalRIB:
     # -- construction -----------------------------------------------------
 
     def add(self, observation: RouteObservation) -> bool:
-        """Ingest one observation; returns False if filtered.
+        """Ingest one observation; returns False if filtered or duplicate.
 
         Withdrawals are counted but never remove state — the window
         RIB is the *union* of everything observed (Section 3.3).
+        Re-observations of an already-known ``(prefix, path)`` route
+        are no-ops: they neither count as accepted nor invalidate the
+        finalized vectorised views.
         """
         if observation.withdrawal:
             self._withdrawals += 1
@@ -65,20 +68,19 @@ class GlobalRIB:
         if not MIN_PLEN <= prefix.length <= MAX_PLEN:
             self._discarded += 1
             return False
+        prefix_id = self._prefix_ids.get(prefix)
+        path = observation.path
+        if prefix_id is not None and (prefix_id, path) in self._seen_routes:
+            return False
         self._finalized = None
         self._accepted += 1
-        prefix_id = self._prefix_ids.get(prefix)
         if prefix_id is None:
             prefix_id = len(self._prefixes)
             self._prefix_ids[prefix] = prefix_id
             self._prefixes.append(prefix)
             self._origins_per_prefix.append(defaultdict(int))
             self._path_members_per_prefix.append(set())
-        path = observation.path
-        route_key = (prefix_id, path)
-        if route_key in self._seen_routes:
-            return True
-        self._seen_routes.add(route_key)
+        self._seen_routes.add((prefix_id, path))
         self._origins_per_prefix[prefix_id][path[-1]] += 1
         members = self._path_member_cache.get(path)
         if members is None:
@@ -115,6 +117,11 @@ class GlobalRIB:
     @property
     def num_paths(self) -> int:
         return len(self._paths)
+
+    @property
+    def num_accepted(self) -> int:
+        """Unique accepted (prefix, path) routes (duplicates excluded)."""
+        return self._accepted
 
     @property
     def num_discarded(self) -> int:

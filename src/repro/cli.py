@@ -37,6 +37,19 @@ def _add_preset(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=42, help="world seed (default: 42)"
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print classifier stage timings (rows/sec per stage)",
+    )
+
+
+def _print_stats(args: argparse.Namespace, world) -> None:
+    if getattr(args, "stats", False) and world.result is not None:
+        stats = world.result.stats
+        if stats is not None:
+            print()
+            print(stats.render())
 
 
 def _build(args: argparse.Namespace, with_traffic: bool = True):
@@ -48,12 +61,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
     world = _build(args)
     report = build_study_report(world)
     print(report.render())
+    _print_stats(args, world)
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     world = _build(args)
     print(compute_table1(world.result, world.ixp.sampling_rate).render())
+    _print_stats(args, world)
     return 0
 
 

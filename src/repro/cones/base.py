@@ -4,13 +4,15 @@ All approaches answer the same question the classifier asks (Figure 3,
 last stage): *may member AS M legitimately source a packet whose
 source address falls in routed prefix p originated by AS o?* The two
 cone approaches answer per origin AS; Naive answers per prefix. Both
-are backed by packed bit rows, so the classifier can test millions of
-flows with a handful of numpy operations.
+are backed by packed bit rows; :meth:`packed_matrix` stacks the rows
+of many member ASes into one member×column bit matrix so the
+classifier can test millions of flows with a single gather.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -26,7 +28,8 @@ class ValidSpaceMap(abc.ABC):
 
     def __init__(self, rib: GlobalRIB) -> None:
         self._rib = rib
-        self._row_cache: dict[int, np.ndarray] = {}
+        self._matrix_cache_key: bytes | None = None
+        self._matrix_cache: np.ndarray | None = None
 
     @property
     def rib(self) -> GlobalRIB:
@@ -49,27 +52,53 @@ class ValidSpaceMap(abc.ABC):
 
     # -- shared queries ------------------------------------------------------
 
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per packed validity row."""
+        return (self._n_columns() + 7) // 8
+
     def row_bits(self, asn: int) -> np.ndarray:
-        """Boolean validity row for ``asn`` (all-False if unknown)."""
-        cached = self._row_cache.get(asn)
-        if cached is not None:
-            return cached
+        """Boolean validity row for ``asn`` (all-False if unknown).
+
+        Unpacks on every call — use :meth:`is_valid` / :meth:`valid_mask`
+        (bit-sliced, no unpacking) on hot paths.
+        """
         packed = self.packed_row(asn)
         n = self._n_columns()
         if packed is None:
-            bits = np.zeros(n, dtype=bool)
-        else:
-            bits = np.unpackbits(packed, bitorder="little")[:n].astype(bool)
-        self._row_cache[asn] = bits
-        return bits
+            return np.zeros(n, dtype=bool)
+        return np.unpackbits(packed, bitorder="little")[:n].astype(bool)
+
+    def packed_matrix(self, member_asns: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Stacked member×column validity matrix for ``member_asns``.
+
+        Row ``i`` is the packed validity row of ``member_asns[i]``
+        (all-zero for ASes unknown to BGP, i.e. everything invalid).
+        The last assembled matrix is memoised so streaming chunks with
+        a stable member population pay assembly once.
+        """
+        members = np.asarray(member_asns, dtype=np.int64)
+        key = members.tobytes()
+        if key == self._matrix_cache_key and self._matrix_cache is not None:
+            return self._matrix_cache
+        matrix = np.zeros((members.size, self.row_bytes), dtype=np.uint8)
+        for i, asn in enumerate(members.tolist()):
+            row = self.packed_row(asn)
+            if row is not None:
+                matrix[i, : row.size] = row
+        self._matrix_cache_key = key
+        self._matrix_cache = matrix
+        return matrix
 
     def is_valid(self, member_asn: int, prefix_id: int, origin_index: int) -> bool:
         """Scalar validity check for one routed source."""
         column = prefix_id if self.column_kind == "prefix" else origin_index
-        if column < 0:
+        if column < 0 or column >= self._n_columns():
             return False
-        bits = self.row_bits(member_asn)
-        return bool(bits[column]) if column < bits.size else False
+        packed = self.packed_row(member_asn)
+        if packed is None:
+            return False
+        return bool((packed[column >> 3] >> (column & 7)) & 1)
 
     def valid_mask(
         self,
@@ -80,10 +109,13 @@ class ValidSpaceMap(abc.ABC):
         """Vectorised validity for many routed sources of one member."""
         columns = prefix_ids if self.column_kind == "prefix" else origin_indices
         columns = np.asarray(columns, dtype=np.int64)
-        bits = self.row_bits(member_asn)
         mask = np.zeros(columns.shape, dtype=bool)
-        in_range = (columns >= 0) & (columns < bits.size)
-        mask[in_range] = bits[columns[in_range]]
+        packed = self.packed_row(member_asn)
+        if packed is None:
+            return mask
+        in_range = (columns >= 0) & (columns < self._n_columns())
+        cols = columns[in_range]
+        mask[in_range] = ((packed[cols >> 3] >> (cols & 7)) & 1) != 0
         return mask
 
     def valid_slash24s(self, asn: int) -> float:
@@ -101,4 +133,5 @@ class ValidSpaceMap(abc.ABC):
         return float(weights[bits[: weights.size]].sum())
 
     def invalidate_cache(self) -> None:
-        self._row_cache.clear()
+        self._matrix_cache_key = None
+        self._matrix_cache = None

@@ -14,8 +14,13 @@ traces could not offer.
 """
 
 from repro.core.classes import TrafficClass
-from repro.core.classifier import SpoofingClassifier
-from repro.core.results import ClassificationResult
+from repro.core.classifier import SpoofingClassifier, default_stream_workers
+from repro.core.results import (
+    ClassificationResult,
+    StreamClassificationResult,
+    summarize_chunk,
+)
+from repro.core.stats import PipelineStats, StageTiming
 from repro.core.evaluation import DetectionQuality, evaluate_against_truth
 from repro.core.filterlists import ACLReport, build_ingress_acl, evaluate_acl
 from repro.core.straydetect import (
@@ -28,12 +33,17 @@ __all__ = [
     "ACLReport",
     "ClassificationResult",
     "DetectionQuality",
+    "PipelineStats",
     "SpoofingClassifier",
+    "StageTiming",
     "StrayDetectionQuality",
+    "StreamClassificationResult",
     "TrafficClass",
     "build_ingress_acl",
     "classify_strays",
+    "default_stream_workers",
     "evaluate_acl",
     "evaluate_against_truth",
     "evaluate_stray_detection",
+    "summarize_chunk",
 ]

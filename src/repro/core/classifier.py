@@ -1,16 +1,78 @@
-"""The sequential classification pipeline of Figure 3."""
+"""The sequential classification pipeline of Figure 3.
+
+Two engines implement the Invalid stage:
+
+* ``"matrix"`` (default) — every approach's per-member validity rows
+  are stacked into one packed member×column bit matrix
+  (:meth:`ValidSpaceMap.packed_matrix`), and the invalid mask for all
+  routed flows of all members falls out of a single gather::
+
+      (matrix[row_idx, col >> 3] >> (col & 7)) & 1
+
+  where ``row_idx`` maps each routed flow to its member's matrix row
+  and ``col`` is the flow's prefix id (naive) or origin index (cones).
+* ``"loop"`` — the historical per-member Python loop, kept for
+  benchmarking and as an equivalence oracle in tests.
+
+For scenarios too large for one :class:`FlowTable`,
+:meth:`SpoofingClassifier.classify_stream` consumes an iterable of
+chunks with bounded memory and can fan the chunks out over a process
+pool, merging per-approach label vectors and class counters.
+"""
 
 from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
 from repro.bgp.rib import GlobalRIB
 from repro.core.classes import TrafficClass
-from repro.core.results import ClassificationResult
+from repro.core.results import (
+    ClassificationResult,
+    StreamClassificationResult,
+    summarize_chunk,
+)
+from repro.core.stats import PipelineStats, StageClock
 from repro.cones.base import ValidSpaceMap
 from repro.datasets.bogons import bogon_prefix_set
 from repro.ixp.flows import FlowTable
 from repro.net.prefixset import PrefixSet
+
+#: Default rows per chunk when ``classify_stream`` is handed a whole
+#: :class:`FlowTable` instead of pre-cut chunks.
+DEFAULT_CHUNK_ROWS = 262_144
+
+#: The classifier (and, for whole-table runs, the flow table) a forked
+#: stream worker operates on — set in the parent right before the pool
+#: forks, inherited copy-on-write so nothing big crosses a pipe.
+_STREAM_CLASSIFIER: "SpoofingClassifier | None" = None
+_STREAM_TABLE: FlowTable | None = None
+
+
+def _stream_init(classifier: "SpoofingClassifier | None") -> None:
+    """Pool initializer: adopt a pickled classifier (spawn start only)."""
+    global _STREAM_CLASSIFIER
+    if classifier is not None:
+        _STREAM_CLASSIFIER = classifier
+
+
+def _stream_worker(payload: tuple[FlowTable, bool]):
+    chunk, keep_labels = payload
+    assert _STREAM_CLASSIFIER is not None
+    result = _STREAM_CLASSIFIER.classify(chunk)
+    return summarize_chunk(result, keep_labels=keep_labels)
+
+
+def _stream_worker_range(payload: tuple[int, int, bool]):
+    """Classify rows [start, stop) of the fork-inherited table."""
+    start, stop, keep_labels = payload
+    assert _STREAM_CLASSIFIER is not None and _STREAM_TABLE is not None
+    chunk = _STREAM_TABLE.select(slice(start, stop))
+    result = _STREAM_CLASSIFIER.classify(chunk)
+    return summarize_chunk(result, keep_labels=keep_labels)
 
 
 class SpoofingClassifier:
@@ -38,24 +100,64 @@ class SpoofingClassifier:
     def approach_names(self) -> list[str]:
         return list(self._approaches)
 
-    def classify(self, flows: FlowTable) -> ClassificationResult:
+    def classify(
+        self,
+        flows: FlowTable,
+        *,
+        engine: str = "matrix",
+        collect_stats: bool = True,
+    ) -> ClassificationResult:
         """Classify every flow; returns per-approach label vectors."""
+        if engine not in ("matrix", "loop"):
+            raise ValueError(f"unknown engine {engine!r}")
         n = len(flows)
+        stats = PipelineStats(n_flows=n, n_chunks=1) if collect_stats else None
         src = flows.src
-        bogon_mask = self._bogons.contains_many(src)
-        prefix_ids, origin_indices = self._rib.lookup_many(src)
+        with StageClock(stats, "bogon", n):
+            bogon_mask = self._bogons.contains_many(src)
+        with StageClock(stats, "lpm", n):
+            prefix_ids, origin_indices = self._rib.lookup_many(src)
         unrouted_mask = ~bogon_mask & (prefix_ids < 0)
         routed_mask = ~bogon_mask & ~unrouted_mask
 
+        # Shared across approaches: which rows are routed, and the
+        # member→matrix-row assignment of each routed flow.
+        routed_idx = np.flatnonzero(routed_mask)
+        routed_members = flows.member[routed_idx]
+        unique_members, member_rows = np.unique(
+            routed_members, return_inverse=True
+        )
+        routed_prefix_ids = prefix_ids[routed_idx]
+        routed_origin_indices = origin_indices[routed_idx]
+
+        base_vector = np.full(n, int(TrafficClass.VALID), dtype=np.uint8)
+        base_vector[bogon_mask] = int(TrafficClass.BOGON)
+        base_vector[unrouted_mask] = int(TrafficClass.UNROUTED)
+
         labels: dict[str, np.ndarray] = {}
         for name, approach in self._approaches.items():
-            class_vector = np.full(n, int(TrafficClass.VALID), dtype=np.uint8)
-            class_vector[bogon_mask] = int(TrafficClass.BOGON)
-            class_vector[unrouted_mask] = int(TrafficClass.UNROUTED)
-            invalid_mask = self._invalid_mask(
-                flows, routed_mask, prefix_ids, origin_indices, approach
-            )
-            class_vector[invalid_mask] = int(TrafficClass.INVALID)
+            class_vector = base_vector.copy()
+            with StageClock(stats, f"invalid[{name}]", n):
+                if engine == "matrix":
+                    invalid_routed = self._invalid_routed_matrix(
+                        approach,
+                        unique_members,
+                        member_rows,
+                        routed_prefix_ids,
+                        routed_origin_indices,
+                    )
+                else:
+                    invalid_routed = self._invalid_routed_loop(
+                        approach,
+                        routed_members,
+                        routed_prefix_ids,
+                        routed_origin_indices,
+                    )
+                class_vector[routed_idx[invalid_routed]] = int(
+                    TrafficClass.INVALID
+                )
+            if stats is not None:
+                stats.count_invalid(name, int(invalid_routed.sum()))
             labels[name] = class_vector
         return ClassificationResult(
             flows=flows,
@@ -63,28 +165,138 @@ class SpoofingClassifier:
             prefix_ids=prefix_ids,
             origin_indices=origin_indices,
             rib=self._rib,
+            stats=stats,
         )
 
-    def _invalid_mask(
-        self,
-        flows: FlowTable,
-        routed_mask: np.ndarray,
+    # -- invalid-stage engines ---------------------------------------------
+
+    @staticmethod
+    def _invalid_routed_matrix(
+        approach: ValidSpaceMap,
+        unique_members: np.ndarray,
+        member_rows: np.ndarray,
         prefix_ids: np.ndarray,
         origin_indices: np.ndarray,
-        approach: ValidSpaceMap,
     ) -> np.ndarray:
-        """Routed flows whose member may not source them, per approach."""
-        invalid = np.zeros(len(flows), dtype=bool)
-        routed_idx = np.flatnonzero(routed_mask)
-        if routed_idx.size == 0:
-            return invalid
-        members = flows.member[routed_idx]
-        for member in np.unique(members):
-            member_rows = routed_idx[members == member]
+        """Invalid mask over routed flows, one gather for all members."""
+        if member_rows.size == 0:
+            return np.zeros(0, dtype=bool)
+        matrix = approach.packed_matrix(unique_members)
+        cols = (
+            prefix_ids
+            if approach.column_kind == "prefix"
+            else origin_indices
+        ).astype(np.int64, copy=False)
+        bits = (matrix[member_rows, cols >> 3] >> (cols & 7).astype(np.uint8)) & 1
+        return bits == 0
+
+    @staticmethod
+    def _invalid_routed_loop(
+        approach: ValidSpaceMap,
+        routed_members: np.ndarray,
+        prefix_ids: np.ndarray,
+        origin_indices: np.ndarray,
+    ) -> np.ndarray:
+        """The seed per-member loop (equivalence oracle / benchmarks)."""
+        invalid = np.zeros(routed_members.size, dtype=bool)
+        for member in np.unique(routed_members):
+            rows = np.flatnonzero(routed_members == member)
             valid = approach.valid_mask(
-                int(member),
-                prefix_ids[member_rows],
-                origin_indices[member_rows],
+                int(member), prefix_ids[rows], origin_indices[rows]
             )
-            invalid[member_rows] = ~valid
+            invalid[rows] = ~valid
         return invalid
+
+    # -- streaming ---------------------------------------------------------
+
+    def classify_stream(
+        self,
+        flow_chunks: Iterable[FlowTable] | FlowTable,
+        *,
+        n_workers: int | None = None,
+        keep_labels: bool = False,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> StreamClassificationResult:
+        """Classify a stream of flow chunks with bounded memory.
+
+        ``flow_chunks`` is an iterable of :class:`FlowTable` chunks (a
+        single table is chunked into ``chunk_rows`` slices first).
+        With ``n_workers`` a process pool classifies chunks in
+        parallel; per-chunk class counters, member sets, stage stats
+        and (when ``keep_labels``) label vectors are merged in chunk
+        order, so the result matches a single-shot :meth:`classify`
+        over the concatenated flows. When a whole table is passed on a
+        fork-capable platform, workers inherit it copy-on-write and
+        receive only row ranges — no flow data is ever pickled.
+        """
+        table = flow_chunks if isinstance(flow_chunks, FlowTable) else None
+        merged = StreamClassificationResult(
+            self.approach_names, keep_labels=keep_labels
+        )
+        if n_workers is None or n_workers <= 1:
+            chunks = (
+                table.iter_chunks(chunk_rows) if table is not None else flow_chunks
+            )
+            for chunk in chunks:
+                merged.absorb(
+                    summarize_chunk(self.classify(chunk), keep_labels=keep_labels)
+                )
+            return merged
+        for summary in self._classify_parallel(
+            flow_chunks, n_workers, keep_labels, chunk_rows
+        ):
+            merged.absorb(summary)
+        return merged
+
+    def _classify_parallel(
+        self,
+        flow_chunks: Iterable[FlowTable] | FlowTable,
+        n_workers: int,
+        keep_labels: bool,
+        chunk_rows: int,
+    ) -> Iterator:
+        """Fan chunks out over a process pool, yield summaries in order."""
+        # Materialise the finalized RIB before the fork so workers
+        # share it copy-on-write instead of each rebuilding it.
+        self._rib.lookup_many(np.zeros(1, dtype=np.uint64))
+        global _STREAM_CLASSIFIER, _STREAM_TABLE
+        table = flow_chunks if isinstance(flow_chunks, FlowTable) else None
+        fork = "fork" in multiprocessing.get_all_start_methods()
+        if fork:
+            ctx = multiprocessing.get_context("fork")
+            initargs: tuple = (None,)
+            previous = (_STREAM_CLASSIFIER, _STREAM_TABLE)
+            _STREAM_CLASSIFIER = self
+            _STREAM_TABLE = table
+        else:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+            initargs = (self,)
+            previous = None
+        try:
+            with ctx.Pool(
+                processes=n_workers,
+                initializer=_stream_init,
+                initargs=initargs,
+            ) as pool:
+                if fork and table is not None:
+                    n = len(table)
+                    payloads = (
+                        (start, min(start + chunk_rows, n), keep_labels)
+                        for start in range(0, n, chunk_rows)
+                    )
+                    yield from pool.imap(_stream_worker_range, payloads)
+                else:
+                    if table is not None:  # pragma: no cover - spawn path
+                        flow_chunks = table.iter_chunks(chunk_rows)
+                    chunk_payloads = (
+                        (chunk, keep_labels) for chunk in flow_chunks
+                    )
+                    yield from pool.imap(_stream_worker, chunk_payloads)
+        finally:
+            if fork:
+                _STREAM_CLASSIFIER, _STREAM_TABLE = previous
+
+
+def default_stream_workers() -> int:
+    """A sensible worker count for ``classify_stream`` (≥1)."""
+    return max(1, (os.cpu_count() or 2) - 1)

@@ -8,7 +8,11 @@ import numpy as np
 
 from repro.bgp.rib import GlobalRIB
 from repro.core.classes import TrafficClass
+from repro.core.stats import PipelineStats
 from repro.ixp.flows import FlowTable
+
+#: Number of traffic classes (label vectors hold values 0..N-1).
+N_CLASSES = len(TrafficClass)
 
 
 @dataclass(slots=True)
@@ -35,12 +39,14 @@ class ClassificationResult:
         prefix_ids: np.ndarray,
         origin_indices: np.ndarray,
         rib: GlobalRIB,
+        stats: PipelineStats | None = None,
     ) -> None:
         self.flows = flows
         self.labels = labels
         self.prefix_ids = prefix_ids
         self.origin_indices = origin_indices
         self.rib = rib
+        self.stats = stats
 
     @property
     def approaches(self) -> list[str]:
@@ -142,4 +148,157 @@ class ClassificationResult:
             prefix_ids=self.prefix_ids,
             origin_indices=self.origin_indices,
             rib=self.rib,
+            stats=self.stats,
+        )
+
+
+# -- streaming ------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ChunkSummary:
+    """Merge-ready digest of one classified chunk (picklable, small)."""
+
+    n_flows: int
+    flow_counts: dict[str, np.ndarray]  # approach → (N_CLASSES,) int64
+    packet_counts: dict[str, np.ndarray]
+    byte_counts: dict[str, np.ndarray]
+    class_members: dict[str, tuple[frozenset, ...]]  # per-class member ASNs
+    labels: dict[str, np.ndarray] | None
+    stats: PipelineStats | None
+
+
+def summarize_chunk(
+    result: ClassificationResult, keep_labels: bool = False
+) -> ChunkSummary:
+    """Collapse a :class:`ClassificationResult` into mergeable counters."""
+    flows = result.flows
+    packets = flows.packets.astype(np.float64)
+    nbytes = flows.bytes.astype(np.float64)
+    flow_counts: dict[str, np.ndarray] = {}
+    packet_counts: dict[str, np.ndarray] = {}
+    byte_counts: dict[str, np.ndarray] = {}
+    class_members: dict[str, tuple[frozenset, ...]] = {}
+    for approach, labels in result.labels.items():
+        flow_counts[approach] = np.bincount(labels, minlength=N_CLASSES).astype(
+            np.int64
+        )
+        packet_counts[approach] = np.bincount(
+            labels, weights=packets, minlength=N_CLASSES
+        ).astype(np.int64)
+        byte_counts[approach] = np.bincount(
+            labels, weights=nbytes, minlength=N_CLASSES
+        ).astype(np.int64)
+        class_members[approach] = tuple(
+            frozenset(np.unique(flows.member[labels == c]).tolist())
+            for c in range(N_CLASSES)
+        )
+    return ChunkSummary(
+        n_flows=len(flows),
+        flow_counts=flow_counts,
+        packet_counts=packet_counts,
+        byte_counts=byte_counts,
+        class_members=class_members,
+        labels=dict(result.labels) if keep_labels else None,
+        stats=result.stats,
+    )
+
+
+class StreamClassificationResult:
+    """Merged output of a chunked / parallel classification run.
+
+    Holds per-approach class counters (flows, sampled packets, bytes),
+    per-class member sets, merged stage-timing stats, and — when
+    requested — the concatenated per-approach label vectors. Counters
+    are identical to what a single-shot :meth:`classify` over the
+    concatenated flows would aggregate to.
+    """
+
+    def __init__(self, approaches: list[str], keep_labels: bool = False) -> None:
+        self.approaches = list(approaches)
+        self.n_flows = 0
+        self.n_chunks = 0
+        self.flow_counts: dict[str, np.ndarray] = {
+            a: np.zeros(N_CLASSES, dtype=np.int64) for a in self.approaches
+        }
+        self.packet_counts: dict[str, np.ndarray] = {
+            a: np.zeros(N_CLASSES, dtype=np.int64) for a in self.approaches
+        }
+        self.byte_counts: dict[str, np.ndarray] = {
+            a: np.zeros(N_CLASSES, dtype=np.int64) for a in self.approaches
+        }
+        self._class_members: dict[str, list[set[int]]] = {
+            a: [set() for _ in range(N_CLASSES)] for a in self.approaches
+        }
+        self.stats = PipelineStats()
+        self._keep_labels = keep_labels
+        self._label_chunks: dict[str, list[np.ndarray]] = (
+            {a: [] for a in self.approaches} if keep_labels else {}
+        )
+
+    def absorb(self, summary: ChunkSummary) -> None:
+        """Fold one chunk digest in (chunk order = flow order)."""
+        self.n_flows += summary.n_flows
+        self.n_chunks += 1
+        for approach in self.approaches:
+            self.flow_counts[approach] += summary.flow_counts[approach]
+            self.packet_counts[approach] += summary.packet_counts[approach]
+            self.byte_counts[approach] += summary.byte_counts[approach]
+            for c in range(N_CLASSES):
+                self._class_members[approach][c] |= summary.class_members[
+                    approach
+                ][c]
+            if self._keep_labels:
+                if summary.labels is None:
+                    raise ValueError("chunk summary carries no labels")
+                self._label_chunks[approach].append(summary.labels[approach])
+        if summary.stats is not None:
+            self.stats.merge(summary.stats)
+
+    def class_counts(self, approach: str) -> dict[TrafficClass, int]:
+        """Flows per traffic class for one approach."""
+        counts = self.flow_counts[approach]
+        return {cls: int(counts[int(cls)]) for cls in TrafficClass}
+
+    def members(self, approach: str, traffic_class: TrafficClass) -> set[int]:
+        """Member ASNs with at least one flow in the class."""
+        return set(self._class_members[approach][int(traffic_class)])
+
+    def label_vector(self, approach: str) -> np.ndarray:
+        """Concatenated labels (requires ``keep_labels=True``)."""
+        if not self._keep_labels:
+            raise ValueError("labels were not kept; pass keep_labels=True")
+        chunks = self._label_chunks[approach]
+        if not chunks:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(chunks)
+
+    def contribution(
+        self, approach: str, traffic_class: TrafficClass
+    ) -> ClassContribution:
+        """A Table 1 cell computed from the merged counters."""
+        c = int(traffic_class)
+        total_members = len(
+            set().union(*self._class_members[approach])
+        ) or 1
+        total_packets = int(self.packet_counts[approach].sum()) or 1
+        total_bytes = int(self.byte_counts[approach].sum()) or 1
+        members = len(self._class_members[approach][c])
+        packets = int(self.packet_counts[approach][c])
+        nbytes = int(self.byte_counts[approach][c])
+        return ClassContribution(
+            traffic_class=traffic_class,
+            approach=approach,
+            members=members,
+            member_share=members / total_members,
+            packets=packets,
+            bytes=nbytes,
+            packet_share=packets / total_packets,
+            byte_share=nbytes / total_bytes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamClassificationResult({self.n_flows} flows, "
+            f"{self.n_chunks} chunks, {len(self.approaches)} approaches)"
         )

@@ -1,0 +1,114 @@
+"""Lightweight pipeline instrumentation (stage timings and counters).
+
+Every :meth:`SpoofingClassifier.classify` call records how long each
+stage of the Figure 3 pipeline took and how many rows it processed:
+the bogon match, the vectorised LPM, and the per-approach invalid
+stage. Streamed runs merge the per-chunk records, so the numbers stay
+meaningful whether a scenario was classified in one shot or through
+``classify_stream`` across a worker pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class StageTiming:
+    """Accumulated wall-clock time and row count of one pipeline stage."""
+
+    name: str
+    seconds: float = 0.0
+    rows: int = 0
+
+    @property
+    def rows_per_sec(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf") if self.rows else 0.0
+        return self.rows / self.seconds
+
+    def add(self, seconds: float, rows: int) -> None:
+        self.seconds += seconds
+        self.rows += rows
+
+
+@dataclass(slots=True)
+class PipelineStats:
+    """Per-stage timings plus per-approach invalid counters.
+
+    ``stages`` preserves insertion order (bogon → lpm → invalid[...]).
+    ``invalid_counts`` holds the number of flows labelled Invalid per
+    approach — the quantity Table 1 is built from and the first thing
+    to compare when two classification paths are meant to agree.
+    """
+
+    n_flows: int = 0
+    n_chunks: int = 0
+    stages: dict[str, StageTiming] = field(default_factory=dict)
+    invalid_counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float, rows: int) -> None:
+        stage = self.stages.get(name)
+        if stage is None:
+            stage = self.stages[name] = StageTiming(name)
+        stage.add(seconds, rows)
+
+    def count_invalid(self, approach: str, count: int) -> None:
+        self.invalid_counts[approach] = (
+            self.invalid_counts.get(approach, 0) + int(count)
+        )
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Fold another record into this one (in place); returns self."""
+        self.n_flows += other.n_flows
+        self.n_chunks += other.n_chunks
+        for stage in other.stages.values():
+            self.record(stage.name, stage.seconds, stage.rows)
+        for approach, count in other.invalid_counts.items():
+            self.count_invalid(approach, count)
+        return self
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages.values())
+
+    def render(self) -> str:
+        """Plain-text stage table (the CLI's ``--stats`` output)."""
+        lines = [
+            f"pipeline stats: {self.n_flows} flows in {self.n_chunks} "
+            f"chunk(s), {self.total_seconds:.3f}s total",
+            f"  {'stage':<18} {'rows':>10} {'seconds':>9} {'rows/sec':>12}",
+        ]
+        for stage in self.stages.values():
+            lines.append(
+                f"  {stage.name:<18} {stage.rows:>10} "
+                f"{stage.seconds:>9.4f} {stage.rows_per_sec:>12.0f}"
+            )
+        if self.invalid_counts:
+            lines.append("  invalid flows per approach:")
+            for approach, count in self.invalid_counts.items():
+                lines.append(f"    {approach:<16} {count}")
+        return "\n".join(lines)
+
+
+class StageClock:
+    """Tiny helper: ``with clock(stats, "lpm", rows):`` records a stage."""
+
+    __slots__ = ("_stats", "_name", "_rows", "_start")
+
+    def __init__(self, stats: PipelineStats | None, name: str, rows: int) -> None:
+        self._stats = stats
+        self._name = name
+        self._rows = rows
+        self._start = 0.0
+
+    def __enter__(self) -> "StageClock":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._stats is not None:
+            self._stats.record(
+                self._name, time.perf_counter() - self._start, self._rows
+            )

@@ -8,6 +8,6 @@ classification. Every benchmark and example builds on a
 """
 
 from repro.experiments.config import WorldConfig
-from repro.experiments.runner import World, build_world
+from repro.experiments.runner import World, build_world, classify_world_stream
 
-__all__ = ["World", "WorldConfig", "build_world"]
+__all__ = ["World", "WorldConfig", "build_world", "classify_world_stream"]

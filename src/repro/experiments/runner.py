@@ -124,4 +124,26 @@ def build_world(
         if classify:
             logger.info("classifying %d flows", len(world.scenario.flows))
             world.result = classifier.classify(world.scenario.flows)
+            if world.result.stats is not None:
+                logger.info("%s", world.result.stats.render())
     return world
+
+
+def classify_world_stream(
+    world: World,
+    n_workers: int | None = None,
+    chunk_rows: int = 262_144,
+):
+    """Re-classify a built world's scenario through the streaming path.
+
+    Multi-week scenarios whose flow tables no longer fit comfortably in
+    one classification pass use this instead of ``world.result``: the
+    flows are cut into ``chunk_rows`` slices and (optionally) fanned
+    out over ``n_workers`` processes. Returns the merged
+    :class:`~repro.core.results.StreamClassificationResult`.
+    """
+    if world.scenario is None:
+        raise ValueError("world was built with with_traffic=False")
+    return world.classifier.classify_stream(
+        world.scenario.flows, n_workers=n_workers, chunk_rows=chunk_rows
+    )

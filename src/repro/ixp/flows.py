@@ -11,7 +11,7 @@ it exists so the reproduction can measure detector precision/recall.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -90,6 +90,25 @@ class FlowTable:
         return FlowTable(
             **{name: getattr(self, name)[mask] for name, _ in _COLUMNS}
         )
+
+    def iter_chunks(self, chunk_rows: int) -> Iterator["FlowTable"]:
+        """Yield row-contiguous chunks of at most ``chunk_rows`` flows.
+
+        Chunks are zero-copy views (numpy slices) in table order, so
+        ``FlowTable.concat(list(t.iter_chunks(k)))`` reproduces ``t``.
+        The streaming classifier consumes these to bound its memory.
+        """
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        n = len(self)
+        for start in range(0, n, chunk_rows):
+            stop = min(start + chunk_rows, n)
+            yield FlowTable(
+                **{
+                    name: getattr(self, name)[start:stop]
+                    for name, _ in _COLUMNS
+                }
+            )
 
     def total_packets(self) -> int:
         return int(self.packets.sum())

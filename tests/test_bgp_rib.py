@@ -57,6 +57,43 @@ class TestAccumulation:
         rib.add(obs("10.0.0.0/16", 100, 200, 300))
         assert rib.num_paths == before
 
+    def test_duplicate_routes_not_accepted(self, rib):
+        # Regression: duplicates used to bump the accepted counter and
+        # return True, so add_all over-reported.
+        before = rib.num_accepted
+        assert not rib.add(obs("10.0.0.0/16", 100, 200, 300))
+        assert rib.num_accepted == before
+        assert rib.add_all([obs("10.0.0.0/16", 100, 200, 300)]) == 0
+
+    def test_duplicate_keeps_finalized_cache(self, rib):
+        # Regression: a duplicate/no-op observation must not clear the
+        # finalized vectorised views (identity, not just equality).
+        rib.lookup(addr_to_int("10.0.1.1"))  # build the finalized view
+        finalized = rib._final()
+        rib.add(obs("10.0.0.0/16", 100, 200, 300))  # duplicate
+        assert rib._final() is finalized
+        rib.add(obs("10.0.0.0/25", 1, 2))  # length-filtered no-op
+        assert rib._final() is finalized
+        rib.add(obs("10.0.0.0/16", 55, 300))  # genuinely new route
+        assert rib._final() is not finalized
+
+    def test_withdrawal_keeps_finalized_cache(self, rib):
+        rib.lookup(addr_to_int("10.0.1.1"))
+        finalized = rib._final()
+        withdrawal = RouteObservation(
+            prefix=Prefix.parse("10.0.0.0/16"),
+            path=(100, 200, 300),
+            source="rrc00",
+            withdrawal=True,
+        )
+        assert not rib.add(withdrawal)
+        assert rib._final() is finalized
+
+    def test_new_path_same_prefix_accepted(self, rib):
+        before = rib.num_accepted
+        assert rib.add(obs("10.0.0.0/16", 102, 200, 300))
+        assert rib.num_accepted == before + 1
+
     def test_origin_majority_vote(self, rib):
         pid = rib.prefix_id(Prefix.parse("10.0.0.0/16"))
         assert rib.origin_of(pid) == 300

@@ -1,0 +1,278 @@
+"""Matrix-kernel equivalence, streaming, and stats tests.
+
+The vectorised validity-matrix engine must be label-identical to the
+historical per-member loop, and the chunked/parallel streaming path
+must aggregate to exactly what a single-shot ``classify`` produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bgp.messages import RouteObservation
+from repro.bgp.rib import GlobalRIB
+from repro.cones.full_cone import FullConeValidSpace
+from repro.cones.naive import NaiveValidSpace
+from repro.core import (
+    SpoofingClassifier,
+    StreamClassificationResult,
+    TrafficClass,
+    summarize_chunk,
+)
+from repro.ixp.flows import PROTO_TCP, FlowTable, TruthLabel
+from repro.net.addr import addr_to_int
+from repro.net.prefix import Prefix
+
+
+def obs(prefix, *path):
+    return RouteObservation(Prefix.parse(prefix), tuple(path), "rrc00")
+
+
+@pytest.fixture()
+def toy():
+    rib = GlobalRIB()
+    rib.add(obs("60.0.0.0/16", 20, 1, 10, 100))
+    rib.add(obs("20.0.0.0/16", 10, 1, 20, 200))
+    classifier = SpoofingClassifier(
+        rib, {"naive": NaiveValidSpace(rib), "full": FullConeValidSpace(rib)}
+    )
+    return rib, classifier
+
+
+def flow_table(rows):
+    """rows: list of (src_text, member)."""
+    n = len(rows)
+    return FlowTable(
+        src=np.array([addr_to_int(r[0]) for r in rows], dtype=np.uint64),
+        dst=np.full(n, addr_to_int("20.0.0.1"), dtype=np.uint64),
+        proto=np.full(n, PROTO_TCP),
+        src_port=np.full(n, 1000),
+        dst_port=np.full(n, 80),
+        packets=np.full(n, 2),
+        bytes=np.full(n, 120),
+        member=np.array([r[1] for r in rows], dtype=np.int64),
+        dst_member=np.full(n, 20, dtype=np.int64),
+        time=np.arange(n, dtype=np.int64),
+        truth=np.full(n, int(TruthLabel.LEGIT), dtype=np.uint8),
+    )
+
+
+class TestEngineEquivalence:
+    def test_loop_and_matrix_identical_on_seeded_world(self, tiny_world):
+        classifier = tiny_world.classifier
+        flows = tiny_world.scenario.flows
+        matrix = classifier.classify(flows, engine="matrix")
+        loop = classifier.classify(flows, engine="loop")
+        for name in classifier.approach_names:
+            assert (
+                matrix.label_vector(name) == loop.label_vector(name)
+            ).all(), name
+
+    def test_unknown_engine_rejected(self, toy):
+        _rib, classifier = toy
+        with pytest.raises(ValueError):
+            classifier.classify(flow_table([("60.0.5.5", 100)]), engine="gpu")
+
+    def test_empty_flow_table(self, toy):
+        _rib, classifier = toy
+        for engine in ("matrix", "loop"):
+            result = classifier.classify(FlowTable.empty(), engine=engine)
+            for name in classifier.approach_names:
+                assert result.label_vector(name).size == 0
+            assert result.stats.n_flows == 0
+
+    def test_member_absent_from_bgp_all_routed_invalid(self, toy):
+        # AS 9999 was never observed in BGP: every routed flow it
+        # injects is Invalid (zero validity row), under both engines.
+        _rib, classifier = toy
+        table = flow_table(
+            [("60.0.5.5", 9999), ("20.0.0.9", 9999), ("9.9.9.9", 9999)]
+        )
+        for engine in ("matrix", "loop"):
+            result = classifier.classify(table, engine=engine)
+            for name in classifier.approach_names:
+                labels = result.label_vector(name)
+                assert labels[0] == int(TrafficClass.INVALID)
+                assert labels[1] == int(TrafficClass.INVALID)
+                assert labels[2] == int(TrafficClass.UNROUTED)
+
+    def test_packed_matrix_matches_row_bits(self, toy):
+        rib, classifier = toy
+        members = [100, 200, 9999, 10]
+        for approach in classifier._approaches.values():
+            matrix = approach.packed_matrix(members)
+            assert matrix.shape == (len(members), approach.row_bytes)
+            for i, asn in enumerate(members):
+                bits = np.unpackbits(matrix[i], bitorder="little")[
+                    : approach._n_columns()
+                ].astype(bool)
+                assert (bits == approach.row_bits(asn)).all()
+
+    def test_packed_matrix_memoised(self, toy):
+        _rib, classifier = toy
+        approach = classifier._approaches["full"]
+        first = approach.packed_matrix(np.array([100, 200]))
+        again = approach.packed_matrix(np.array([100, 200]))
+        assert first is again
+        other = approach.packed_matrix(np.array([200, 100]))
+        assert other is not first
+        approach.invalidate_cache()
+        rebuilt = approach.packed_matrix(np.array([200, 100]))
+        assert rebuilt is not other
+        assert (rebuilt == other).all()
+
+
+class TestStream:
+    def test_stream_equals_single_shot(self, toy):
+        _rib, classifier = toy
+        table = flow_table(
+            [
+                ("60.0.5.5", 100),
+                ("20.0.0.9", 200),
+                ("60.0.5.5", 200),  # invalid under full
+                ("9.9.9.9", 100),  # unrouted
+                ("10.1.2.3", 100),  # bogon
+                ("60.0.7.7", 10),
+                ("20.0.1.1", 9999),  # unknown member → invalid
+            ]
+        )
+        single = classifier.classify(table)
+        stream = classifier.classify_stream(
+            table, chunk_rows=2, keep_labels=True
+        )
+        assert stream.n_chunks == 4
+        assert stream.n_flows == len(table)
+        for name in classifier.approach_names:
+            labels = single.label_vector(name)
+            assert (stream.label_vector(name) == labels).all()
+            for cls in TrafficClass:
+                assert stream.class_counts(name)[cls] == int(
+                    (labels == int(cls)).sum()
+                )
+                assert stream.members(name, cls) == set(
+                    np.unique(table.member[labels == int(cls)]).tolist()
+                )
+
+    def test_stream_accepts_chunk_iterable(self, toy):
+        _rib, classifier = toy
+        table = flow_table([("60.0.5.5", 100), ("20.0.0.9", 200)])
+        stream = classifier.classify_stream(table.iter_chunks(1))
+        assert stream.n_chunks == 2
+        assert stream.n_flows == 2
+
+    def test_stream_empty(self, toy):
+        _rib, classifier = toy
+        stream = classifier.classify_stream(FlowTable.empty())
+        assert stream.n_flows == 0
+        assert stream.n_chunks == 0
+        for name in classifier.approach_names:
+            assert stream.flow_counts[name].sum() == 0
+
+    def test_labels_not_kept_raises(self, toy):
+        _rib, classifier = toy
+        stream = classifier.classify_stream(
+            flow_table([("60.0.5.5", 100)]), keep_labels=False
+        )
+        with pytest.raises(ValueError):
+            stream.label_vector("full")
+
+    def test_contribution_matches_result(self, toy):
+        _rib, classifier = toy
+        table = flow_table(
+            [("60.0.5.5", 100), ("60.0.5.5", 200), ("10.1.2.3", 100)]
+        )
+        result = classifier.classify(table)
+        stream = classifier.classify_stream(table, chunk_rows=2)
+        for cls in (TrafficClass.BOGON, TrafficClass.INVALID):
+            a = result.contribution("full", cls)
+            b = stream.contribution("full", cls)
+            assert a.members == b.members
+            assert a.packets == b.packets
+            assert a.bytes == b.bytes
+            assert a.packet_share == pytest.approx(b.packet_share)
+
+    def test_parallel_stream_equals_single_shot(self, tiny_world):
+        classifier = tiny_world.classifier
+        flows = tiny_world.scenario.flows
+        single = classifier.classify(flows)
+        parallel = classifier.classify_stream(
+            flows, chunk_rows=2000, n_workers=2
+        )
+        assert parallel.n_flows == len(flows)
+        for name in classifier.approach_names:
+            labels = single.label_vector(name)
+            counts = np.bincount(labels, minlength=4)
+            assert (parallel.flow_counts[name] == counts).all()
+            for cls in TrafficClass:
+                assert parallel.members(name, cls) == set(
+                    np.unique(flows.member[labels == int(cls)]).tolist()
+                )
+
+
+class TestStats:
+    def test_classify_records_stage_stats(self, toy):
+        _rib, classifier = toy
+        table = flow_table([("60.0.5.5", 100), ("60.0.5.5", 200)])
+        result = classifier.classify(table)
+        stats = result.stats
+        assert stats is not None
+        assert stats.n_flows == 2
+        assert set(stats.stages) == {
+            "bogon",
+            "lpm",
+            "invalid[naive]",
+            "invalid[full]",
+        }
+        assert stats.invalid_counts["full"] == 1
+        assert all(s.rows == 2 for s in stats.stages.values())
+        assert "rows/sec" in stats.render()
+
+    def test_stats_opt_out(self, toy):
+        _rib, classifier = toy
+        result = classifier.classify(
+            flow_table([("60.0.5.5", 100)]), collect_stats=False
+        )
+        assert result.stats is None
+
+    def test_stream_merges_stats(self, toy):
+        _rib, classifier = toy
+        table = flow_table(
+            [("60.0.5.5", 100), ("60.0.5.5", 200), ("9.9.9.9", 100)]
+        )
+        stream = classifier.classify_stream(table, chunk_rows=1)
+        assert stream.stats.n_flows == 3
+        assert stream.stats.n_chunks == 3
+        assert stream.stats.stages["lpm"].rows == 3
+        assert stream.stats.invalid_counts["full"] == 1
+
+    def test_summary_merge_order_independent_counts(self, toy):
+        _rib, classifier = toy
+        chunks = list(
+            flow_table(
+                [("60.0.5.5", 100), ("60.0.5.5", 200), ("10.1.2.3", 100)]
+            ).iter_chunks(1)
+        )
+        summaries = [summarize_chunk(classifier.classify(c)) for c in chunks]
+        forward = StreamClassificationResult(classifier.approach_names)
+        backward = StreamClassificationResult(classifier.approach_names)
+        for s in summaries:
+            forward.absorb(s)
+        for s in reversed(summaries):
+            backward.absorb(s)
+        for name in classifier.approach_names:
+            assert (forward.flow_counts[name] == backward.flow_counts[name]).all()
+            assert (forward.byte_counts[name] == backward.byte_counts[name]).all()
+
+
+class TestFlowChunking:
+    def test_iter_chunks_roundtrip(self, toy):
+        table = flow_table([("60.0.5.5", 100)] * 7)
+        chunks = list(table.iter_chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        rebuilt = FlowTable.concat(chunks)
+        assert (rebuilt.src == table.src).all()
+        assert (rebuilt.time == table.time).all()
+
+    def test_iter_chunks_rejects_nonpositive(self, toy):
+        table = flow_table([("60.0.5.5", 100)])
+        with pytest.raises(ValueError):
+            list(table.iter_chunks(0))
