@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from repro.core import SpoofingClassifier
+from repro.core import FailurePolicy, SpoofingClassifier
 from repro.datasets.bogons import bogon_prefix_set
 from repro.ixp.flows import FlowTable
 
@@ -159,6 +159,62 @@ def bench_stream_parallel_vs_single(benchmark, world, save_artefact):
     )
     assert stream_s < single_s, (
         f"stream ({stream_s:.2f}s) did not beat single-shot ({single_s:.2f}s)"
+    )
+
+
+def bench_supervised_overhead(benchmark, world, save_artefact):
+    """Supervision tax: ``policy="retry"`` vs the unsupervised path.
+
+    The windowed apply_async scheduler (deadlines, ordered emission,
+    retry bookkeeping) must cost ≤5% wall-clock over the legacy
+    ``pool.imap`` path on a fault-free ≥4M-row run.
+    """
+    classifier = world.classifier
+    big = _tile_flows(world.scenario.flows, STREAM_SCENARIO_ROWS)
+    classifier.classify(world.scenario.flows)  # warm
+    policy = FailurePolicy(mode="retry", chunk_timeout=300.0)
+    # One throwaway run of each path first so pool start-up noise and
+    # page-cache effects do not land on either side of the comparison.
+    classifier.classify_stream(big, n_workers=4)
+    classifier.classify_stream(big, n_workers=4, policy=policy)
+
+    plain_s = min(
+        _timed(classifier.classify_stream, big, n_workers=4)
+        for _ in range(2)
+    )
+    supervised_s = min(
+        _timed(classifier.classify_stream, big, n_workers=4, policy=policy)
+        for _ in range(2)
+    )
+    stream = benchmark.pedantic(
+        classifier.classify_stream,
+        args=(big,),
+        kwargs={"n_workers": 4, "policy": policy},
+        rounds=1,
+        iterations=1,
+    )
+    assert stream.complete and not stream.failures
+
+    overhead = supervised_s / plain_s - 1.0
+    benchmark.extra_info["unsupervised_seconds"] = round(plain_s, 2)
+    benchmark.extra_info["supervised_seconds"] = round(supervised_s, 2)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    save_artefact(
+        "perf_supervised_overhead",
+        "\n".join(
+            [
+                f"supervised streaming overhead ({len(big)} rows, "
+                f"{stream.n_chunks} chunks, 4 workers, policy=retry)",
+                f"  unsupervised {plain_s:8.2f}s  "
+                f"{len(big) / plain_s:12.0f} rows/s",
+                f"  supervised   {supervised_s:8.2f}s  "
+                f"{len(big) / supervised_s:12.0f} rows/s",
+                f"  overhead {overhead * 100:+.2f}% (acceptance: <= 5%)",
+            ]
+        ),
+    )
+    assert overhead <= 0.05, (
+        f"supervision costs {overhead * 100:.2f}% (> 5%) over imap"
     )
 
 

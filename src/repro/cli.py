@@ -8,11 +8,16 @@ Commands:
 * ``survey``  — tabulate the Section 2.2 operator survey.
 * ``cones``   — print the Figure 2 valid-space percentiles.
 * ``acl``     — emit a per-peer ingress filter list for one member.
+* ``classify`` — classify a flow-table file (``.npz`` or CSV) through
+  the resilient streaming pipeline: ``--policy`` picks the failure
+  policy (fail_fast/retry/degrade), ``--on-error quarantine`` loads
+  dirty CSVs leniently and reports the quarantined records.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 import numpy as np
@@ -20,8 +25,11 @@ import numpy as np
 from repro.analysis.fig2_cone_sizes import compute_cone_size_curves
 from repro.analysis.report import build_study_report
 from repro.analysis.table1 import compute_table1
-from repro.core import build_ingress_acl, evaluate_acl
+from repro.core import TrafficClass, build_ingress_acl, evaluate_acl
+from repro.core.classifier import DEFAULT_CHUNK_ROWS
+from repro.errors import IngestError, Quarantine
 from repro.experiments import WorldConfig, build_world
+from repro.io import load_flows_csv, load_flows_npz
 from repro.survey import generate_survey_responses, tabulate
 
 _PRESETS = ("tiny", "small", "default", "paper_scale")
@@ -111,6 +119,59 @@ def _cmd_acl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_classify(args: argparse.Namespace) -> int:
+    path = pathlib.Path(args.flows)
+    quarantine = None
+    try:
+        if path.suffix == ".npz":
+            flows = load_flows_npz(path)
+        else:
+            if args.on_error == "quarantine":
+                quarantine = Quarantine(source=str(path))
+            flows = load_flows_csv(
+                path, on_error=args.on_error, quarantine=quarantine
+            )
+    except (OSError, IngestError) as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return 2
+    if quarantine:
+        print(quarantine.render(), file=sys.stderr)
+
+    world = _build(args, with_traffic=False)
+    stream = world.classifier.classify_stream(
+        flows,
+        n_workers=args.workers,
+        chunk_rows=args.chunk_rows,
+        policy=args.policy,
+    )
+    print(
+        f"classified {stream.n_flows} flows in {stream.n_chunks} chunk(s)"
+    )
+    header = f"{'approach':<14}" + "".join(
+        f"{cls.name.lower():>10}" for cls in TrafficClass
+    )
+    print(header)
+    for name in stream.approaches:
+        counts = stream.class_counts(name)
+        print(
+            f"{name:<14}"
+            + "".join(f"{counts[cls]:>10}" for cls in TrafficClass)
+        )
+    if stream.failures:
+        print(stream.failures.render(), file=sys.stderr)
+    if getattr(args, "stats", False):
+        print()
+        print(stream.stats.render())
+    if not stream.complete:
+        print(
+            f"WARNING: partial result — {stream.failures.rows_dropped} "
+            "rows dropped",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +206,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("naive", "cc", "full", "naive+orgs", "cc+orgs", "full+orgs"),
     )
     acl.set_defaults(func=_cmd_acl)
+
+    classify = sub.add_parser(
+        "classify",
+        help="classify a flow-table file through the resilient "
+        "streaming pipeline",
+    )
+    _add_preset(classify)
+    classify.add_argument("flows", help="flow table (.npz or .csv)")
+    classify.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: in-process streaming)",
+    )
+    classify.add_argument(
+        "--policy",
+        choices=("fail_fast", "retry", "degrade"),
+        default=None,
+        help="failure policy for the supervised parallel path "
+        "(default: unsupervised)",
+    )
+    classify.add_argument(
+        "--on-error",
+        dest="on_error",
+        choices=("raise", "quarantine"),
+        default="raise",
+        help="CSV ingest mode: abort on the first bad row, or "
+        "quarantine bad rows and keep loading",
+    )
+    classify.add_argument(
+        "--chunk-rows",
+        dest="chunk_rows",
+        type=int,
+        default=DEFAULT_CHUNK_ROWS,
+        help="rows per streaming chunk",
+    )
+    classify.set_defaults(func=_cmd_classify)
     return parser
 
 

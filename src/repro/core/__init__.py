@@ -14,9 +14,15 @@ traces could not offer.
 """
 
 from repro.core.classes import TrafficClass
-from repro.core.classifier import SpoofingClassifier, default_stream_workers
+from repro.core.classifier import (
+    FailurePolicy,
+    SpoofingClassifier,
+    default_stream_workers,
+)
 from repro.core.results import (
+    ChunkFailure,
     ClassificationResult,
+    FailureLog,
     StreamClassificationResult,
     summarize_chunk,
 )
@@ -31,8 +37,11 @@ from repro.core.straydetect import (
 
 __all__ = [
     "ACLReport",
+    "ChunkFailure",
     "ClassificationResult",
     "DetectionQuality",
+    "FailureLog",
+    "FailurePolicy",
     "PipelineStats",
     "SpoofingClassifier",
     "StageTiming",

@@ -18,26 +18,41 @@ For scenarios too large for one :class:`FlowTable`,
 :meth:`SpoofingClassifier.classify_stream` consumes an iterable of
 chunks with bounded memory and can fan the chunks out over a process
 pool, merging per-approach label vectors and class counters.
+
+Passing a :class:`FailurePolicy` (or its mode string) engages the
+*supervised* parallel path: every chunk gets a wall-clock deadline,
+workers that crash or hang are detected, failed chunks are retried
+with exponential backoff and ultimately re-classified in the parent
+process, and everything the supervisor had to do lands in the
+result's ``failures`` record. Without a policy the historical
+unsupervised ``pool.imap`` path runs unchanged (zero overhead — and
+zero protection: a dead worker blocks it forever).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from collections.abc import Iterable, Iterator
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.bgp.rib import GlobalRIB
 from repro.core.classes import TrafficClass
 from repro.core.results import (
+    ChunkSummary,
     ClassificationResult,
+    FailureLog,
     StreamClassificationResult,
     summarize_chunk,
 )
 from repro.core.stats import PipelineStats, StageClock
 from repro.cones.base import ValidSpaceMap
 from repro.datasets.bogons import bogon_prefix_set
+from repro.errors import ClassificationError, WorkerError
 from repro.ixp.flows import FlowTable
 from repro.net.prefixset import PrefixSet
 
@@ -45,34 +60,132 @@ from repro.net.prefixset import PrefixSet
 #: :class:`FlowTable` instead of pre-cut chunks.
 DEFAULT_CHUNK_ROWS = 262_144
 
-#: The classifier (and, for whole-table runs, the flow table) a forked
-#: stream worker operates on — set in the parent right before the pool
-#: forks, inherited copy-on-write so nothing big crosses a pipe.
+#: Environment override for the multiprocessing start method used by
+#: ``classify_stream`` (e.g. ``MP_START_METHOD=spawn`` in CI exercises
+#: the non-fork fallback on fork-capable hosts).
+MP_START_METHOD_ENV = "MP_START_METHOD"
+
+#: A fault-injection hook: ``hook(chunk_index, attempt, in_worker)``.
+#: Called right before a chunk is classified — in the worker process
+#: (``in_worker=True``) and before in-process fallbacks/serial chunks
+#: (``in_worker=False``). See :mod:`repro.testing.faults`.
+FaultInjector = Callable[[int, int, bool], None]
+
+#: The classifier (and, for whole-table runs, the flow table and fault
+#: hook) a forked stream worker operates on — set in the parent right
+#: before the pool forks, inherited copy-on-write so nothing big
+#: crosses a pipe. Spawn-based pools receive the same state through
+#: the pool initializer instead.
 _STREAM_CLASSIFIER: "SpoofingClassifier | None" = None
 _STREAM_TABLE: FlowTable | None = None
+_STREAM_INJECTOR: FaultInjector | None = None
 
 
-def _stream_init(classifier: "SpoofingClassifier | None") -> None:
-    """Pool initializer: adopt a pickled classifier (spawn start only)."""
-    global _STREAM_CLASSIFIER
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How the supervised streaming path reacts to chunk failures.
+
+    ``mode`` is one of:
+
+    * ``"fail_fast"`` — the first worker failure raises a
+      :class:`~repro.errors.WorkerError` naming the chunk.
+    * ``"retry"`` — the chunk is resubmitted to the pool up to
+      ``max_retries`` times with exponential backoff
+      (``backoff_base * backoff_factor**(attempt-1)`` seconds), then
+      falls back to in-process classification; the result is complete
+      or an error is raised — rows are never silently lost.
+    * ``"degrade"`` — a failed chunk goes straight to the in-process
+      fallback; if even that fails the chunk's rows are dropped and
+      recorded (``failures.rows_dropped``), and the run continues.
+
+    ``chunk_timeout`` is the per-chunk wall-clock budget; a worker
+    that exceeds it (hung, or killed so its task can never complete)
+    is reclaimed by terminating and rebuilding the pool. ``None``
+    disables the deadline (crashes are still caught, hangs are not).
+    """
+
+    mode: str = "retry"
+    max_retries: int = 2
+    chunk_timeout: float | None = 30.0
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+
+    MODES = ("fail_fast", "retry", "degrade")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ValueError(
+                f"unknown failure mode {self.mode!r}; expected one of "
+                f"{self.MODES}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive or None")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before resubmitting after the ``attempt``-th failure."""
+        return self.backoff_base * self.backoff_factor ** max(attempt - 1, 0)
+
+    @classmethod
+    def coerce(
+        cls, value: "FailurePolicy | str | None"
+    ) -> "FailurePolicy | None":
+        """Accept a policy, a mode string, or ``None`` (unsupervised)."""
+        if value is None or isinstance(value, FailurePolicy):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(
+            f"policy must be a FailurePolicy, mode string, or None; "
+            f"got {type(value).__name__}"
+        )
+
+
+def _stream_init(
+    classifier: "SpoofingClassifier | None",
+    injector: FaultInjector | None,
+) -> None:
+    """Pool initializer: adopt pickled state (spawn start only)."""
+    global _STREAM_CLASSIFIER, _STREAM_INJECTOR
     if classifier is not None:
         _STREAM_CLASSIFIER = classifier
+    if injector is not None:
+        _STREAM_INJECTOR = injector
 
 
-def _stream_worker(payload: tuple[FlowTable, bool]):
-    chunk, keep_labels = payload
+def _inject(chunk_index: int, attempt: int) -> None:
+    if _STREAM_INJECTOR is not None:
+        _STREAM_INJECTOR(chunk_index, attempt, True)
+
+
+def _stream_worker(payload: tuple[FlowTable, bool, int, int]):
+    chunk, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None
+    _inject(chunk_index, attempt)
     result = _STREAM_CLASSIFIER.classify(chunk)
     return summarize_chunk(result, keep_labels=keep_labels)
 
 
-def _stream_worker_range(payload: tuple[int, int, bool]):
+def _stream_worker_range(payload: tuple[int, int, bool, int, int]):
     """Classify rows [start, stop) of the fork-inherited table."""
-    start, stop, keep_labels = payload
+    start, stop, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None and _STREAM_TABLE is not None
+    _inject(chunk_index, attempt)
     chunk = _STREAM_TABLE.select(slice(start, stop))
     result = _STREAM_CLASSIFIER.classify(chunk)
     return summarize_chunk(result, keep_labels=keep_labels)
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """One chunk submitted to the pool and not yet resolved."""
+
+    index: int
+    job: object  # (start, stop) range or the FlowTable chunk itself
+    attempt: int
+    result: object  # multiprocessing AsyncResult
+    deadline: float | None
 
 
 class SpoofingClassifier:
@@ -216,6 +329,8 @@ class SpoofingClassifier:
         n_workers: int | None = None,
         keep_labels: bool = False,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        policy: FailurePolicy | str | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> StreamClassificationResult:
         """Classify a stream of flow chunks with bounded memory.
 
@@ -228,7 +343,15 @@ class SpoofingClassifier:
         over the concatenated flows. When a whole table is passed on a
         fork-capable platform, workers inherit it copy-on-write and
         receive only row ranges — no flow data is ever pickled.
+
+        ``policy`` (a :class:`FailurePolicy` or one of its mode
+        strings) engages worker supervision: per-chunk timeouts,
+        dead/hung-worker reclamation, bounded retries with backoff and
+        in-process fallback. Everything the supervisor did is recorded
+        in the result's ``failures``. ``fault_injector`` is the
+        deterministic testing seam (:mod:`repro.testing.faults`).
         """
+        policy = FailurePolicy.coerce(policy)
         table = flow_chunks if isinstance(flow_chunks, FlowTable) else None
         merged = StreamClassificationResult(
             self.approach_names, keep_labels=keep_labels
@@ -237,16 +360,50 @@ class SpoofingClassifier:
             chunks = (
                 table.iter_chunks(chunk_rows) if table is not None else flow_chunks
             )
-            for chunk in chunks:
-                merged.absorb(
-                    summarize_chunk(self.classify(chunk), keep_labels=keep_labels)
-                )
-            return merged
-        for summary in self._classify_parallel(
-            flow_chunks, n_workers, keep_labels, chunk_rows
-        ):
-            merged.absorb(summary)
+            for index, chunk in enumerate(chunks):
+                try:
+                    merged.absorb(
+                        self._inline_summary(
+                            chunk, keep_labels, index, 1, fault_injector
+                        )
+                    )
+                except Exception as exc:
+                    if policy is None:
+                        raise
+                    if policy.mode == "degrade":
+                        merged.failures.record_dropped(
+                            index, len(chunk), 1, repr(exc)
+                        )
+                        continue
+                    raise ClassificationError(
+                        f"chunk failed in-process: {exc}", chunk_index=index
+                    ) from exc
+        else:
+            for summary in self._classify_parallel(
+                flow_chunks,
+                n_workers,
+                keep_labels,
+                chunk_rows,
+                policy=policy,
+                injector=fault_injector,
+                failures=merged.failures,
+            ):
+                merged.absorb(summary)
+        merged.stats.rows_dropped = merged.failures.rows_dropped
         return merged
+
+    def _inline_summary(
+        self,
+        chunk: FlowTable,
+        keep_labels: bool,
+        index: int,
+        attempt: int,
+        injector: FaultInjector | None,
+    ) -> ChunkSummary:
+        """Classify one chunk in the current process."""
+        if injector is not None:
+            injector(index, attempt, False)
+        return summarize_chunk(self.classify(chunk), keep_labels=keep_labels)
 
     def _classify_parallel(
         self,
@@ -254,47 +411,271 @@ class SpoofingClassifier:
         n_workers: int,
         keep_labels: bool,
         chunk_rows: int,
-    ) -> Iterator:
+        policy: FailurePolicy | None = None,
+        injector: FaultInjector | None = None,
+        failures: FailureLog | None = None,
+    ) -> Iterator[ChunkSummary]:
         """Fan chunks out over a process pool, yield summaries in order."""
         # Materialise the finalized RIB before the fork so workers
         # share it copy-on-write instead of each rebuilding it.
         self._rib.lookup_many(np.zeros(1, dtype=np.uint64))
-        global _STREAM_CLASSIFIER, _STREAM_TABLE
+        global _STREAM_CLASSIFIER, _STREAM_TABLE, _STREAM_INJECTOR
         table = flow_chunks if isinstance(flow_chunks, FlowTable) else None
-        fork = "fork" in multiprocessing.get_all_start_methods()
+        method = os.environ.get(MP_START_METHOD_ENV, "").strip() or None
+        if method is None:
+            fork = "fork" in multiprocessing.get_all_start_methods()
+            method = "fork" if fork else None
+        else:
+            fork = method == "fork"
+        ctx = multiprocessing.get_context(method)
+        # Save/restore is unconditional and symmetric across start
+        # methods: fork workers inherit the globals set here, spawn
+        # workers receive the same state through the initializer, and
+        # the parent's globals always return to their previous values
+        # so repeated streamed runs can't observe stale state.
+        previous = (_STREAM_CLASSIFIER, _STREAM_TABLE, _STREAM_INJECTOR)
         if fork:
-            ctx = multiprocessing.get_context("fork")
-            initargs: tuple = (None,)
-            previous = (_STREAM_CLASSIFIER, _STREAM_TABLE)
             _STREAM_CLASSIFIER = self
             _STREAM_TABLE = table
-        else:  # pragma: no cover - non-fork platforms
-            ctx = multiprocessing.get_context()
-            initargs = (self,)
-            previous = None
+            _STREAM_INJECTOR = injector
+            initargs: tuple = (None, None)
+        else:
+            initargs = (self, injector)
+        use_ranges = fork and table is not None
         try:
-            with ctx.Pool(
+            if policy is None:
+                yield from self._stream_unsupervised(
+                    ctx, n_workers, initargs, table, flow_chunks,
+                    chunk_rows, keep_labels, use_ranges,
+                )
+            else:
+                if failures is None:
+                    failures = FailureLog()
+                yield from self._stream_supervised(
+                    ctx, n_workers, initargs, table, flow_chunks,
+                    chunk_rows, keep_labels, use_ranges, policy,
+                    injector, failures,
+                )
+        finally:
+            _STREAM_CLASSIFIER, _STREAM_TABLE, _STREAM_INJECTOR = previous
+
+    def _stream_unsupervised(
+        self,
+        ctx,
+        n_workers: int,
+        initargs: tuple,
+        table: FlowTable | None,
+        flow_chunks: Iterable[FlowTable] | FlowTable,
+        chunk_rows: int,
+        keep_labels: bool,
+        use_ranges: bool,
+    ) -> Iterator[ChunkSummary]:
+        """The historical ``pool.imap`` path (no timeouts, no retries)."""
+        with ctx.Pool(
+            processes=n_workers,
+            initializer=_stream_init,
+            initargs=initargs,
+        ) as pool:
+            if use_ranges:
+                assert table is not None
+                n = len(table)
+                payloads = (
+                    (start, min(start + chunk_rows, n), keep_labels, i, 1)
+                    for i, start in enumerate(range(0, n, chunk_rows))
+                )
+                yield from pool.imap(_stream_worker_range, payloads)
+            else:
+                if table is not None:  # pragma: no cover - spawn path
+                    flow_chunks = table.iter_chunks(chunk_rows)
+                chunk_payloads = (
+                    (chunk, keep_labels, i, 1)
+                    for i, chunk in enumerate(flow_chunks)
+                )
+                yield from pool.imap(_stream_worker, chunk_payloads)
+
+    def _stream_supervised(
+        self,
+        ctx,
+        n_workers: int,
+        initargs: tuple,
+        table: FlowTable | None,
+        flow_chunks: Iterable[FlowTable] | FlowTable,
+        chunk_rows: int,
+        keep_labels: bool,
+        use_ranges: bool,
+        policy: FailurePolicy,
+        injector: FaultInjector | None,
+        failures: FailureLog,
+    ) -> Iterator[ChunkSummary]:
+        """Windowed ``apply_async`` scheduler with worker supervision.
+
+        Chunks are submitted with a bounded in-flight window and their
+        summaries yielded strictly in chunk order (so merged label
+        vectors match the unsupervised path bit for bit). The oldest
+        in-flight chunk is awaited under its deadline; a worker
+        exception resolves just that chunk, while a deadline expiry
+        (hung or killed worker — its task can never complete) tears
+        the whole pool down, rebuilds it, and resubmits the collateral
+        in-flight chunks.
+        """
+        if use_ranges:
+            assert table is not None
+            n = len(table)
+            jobs_iter: Iterator[object] = (
+                (start, min(start + chunk_rows, n))
+                for start in range(0, n, chunk_rows)
+            )
+        else:
+            if table is not None:
+                jobs_iter = table.iter_chunks(chunk_rows)
+            else:
+                jobs_iter = iter(flow_chunks)
+        jobs = enumerate(jobs_iter)
+
+        def make_pool():
+            return ctx.Pool(
                 processes=n_workers,
                 initializer=_stream_init,
                 initargs=initargs,
-            ) as pool:
-                if fork and table is not None:
-                    n = len(table)
-                    payloads = (
-                        (start, min(start + chunk_rows, n), keep_labels)
-                        for start in range(0, n, chunk_rows)
+            )
+
+        def submit(pool, index: int, job, attempt: int) -> _InFlight:
+            if use_ranges:
+                start, stop = job
+                payload = (start, stop, keep_labels, index, attempt)
+                result = pool.apply_async(_stream_worker_range, (payload,))
+            else:
+                payload = (job, keep_labels, index, attempt)
+                result = pool.apply_async(_stream_worker, (payload,))
+            deadline = (
+                None
+                if policy.chunk_timeout is None
+                else time.monotonic() + policy.chunk_timeout
+            )
+            return _InFlight(index, job, attempt, result, deadline)
+
+        def inline_chunk(job) -> FlowTable:
+            if use_ranges:
+                assert table is not None
+                start, stop = job
+                return table.select(slice(start, stop))
+            return job
+
+        def resolve_failure(pool, failed: _InFlight, exc: BaseException):
+            """Apply the policy to one failed chunk.
+
+            Returns ``("resubmitted", entry)``, ``("summary", s)``, or
+            ``("dropped", None)``; raises under ``fail_fast`` or when
+            recovery is impossible.
+            """
+            reason = f"{type(exc).__name__}: {exc}"
+            if policy.mode == "fail_fast":
+                raise WorkerError(
+                    f"chunk {failed.index} failed "
+                    f"(attempt {failed.attempt}): {reason}",
+                    chunk_index=failed.index,
+                    attempts=failed.attempt,
+                ) from exc
+            if policy.mode == "retry" and failed.attempt <= policy.max_retries:
+                delay = policy.backoff(failed.attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                failures.record_retry(failed.index, failed.attempt, reason)
+                return (
+                    "resubmitted",
+                    submit(pool, failed.index, failed.job, failed.attempt + 1),
+                )
+            # Retry budget exhausted (retry) or first failure (degrade):
+            # reclassify in the parent process.
+            chunk = inline_chunk(failed.job)
+            next_attempt = failed.attempt + 1
+            try:
+                summary = self._inline_summary(
+                    chunk, keep_labels, failed.index, next_attempt, injector
+                )
+            except Exception as inline_exc:
+                if policy.mode == "degrade":
+                    failures.record_dropped(
+                        failed.index,
+                        len(chunk),
+                        next_attempt,
+                        f"{type(inline_exc).__name__}: {inline_exc}",
                     )
-                    yield from pool.imap(_stream_worker_range, payloads)
-                else:
-                    if table is not None:  # pragma: no cover - spawn path
-                        flow_chunks = table.iter_chunks(chunk_rows)
-                    chunk_payloads = (
-                        (chunk, keep_labels) for chunk in flow_chunks
+                    return ("dropped", None)
+                raise WorkerError(
+                    f"chunk {failed.index} failed after {failed.attempt} "
+                    f"pool attempt(s) and the in-process fallback: "
+                    f"{inline_exc}",
+                    chunk_index=failed.index,
+                    attempts=next_attempt,
+                ) from inline_exc
+            failures.record_degraded(failed.index, failed.attempt, reason)
+            return ("summary", summary)
+
+        window = max(2, 2 * n_workers)
+        inflight: deque[_InFlight] = deque()
+        exhausted = False
+        pool = make_pool()
+        try:
+            while True:
+                while not exhausted and len(inflight) < window:
+                    item = next(jobs, None)
+                    if item is None:
+                        exhausted = True
+                        break
+                    inflight.append(submit(pool, item[0], item[1], 1))
+                if not inflight:
+                    break
+                head = inflight[0]
+                timeout = (
+                    None
+                    if head.deadline is None
+                    else max(head.deadline - time.monotonic(), 0.0)
+                )
+                try:
+                    summary = head.result.get(timeout)
+                except multiprocessing.TimeoutError:
+                    # Hung or killed worker: its task can never
+                    # complete and the pool's internal state can't be
+                    # trusted — reclaim everything and resubmit.
+                    pool.terminate()
+                    pool.join()
+                    pool = make_pool()
+                    failed = inflight.popleft()
+                    collateral = list(inflight)
+                    inflight.clear()
+                    outcome, value = resolve_failure(
+                        pool,
+                        failed,
+                        TimeoutError(
+                            f"no result within {policy.chunk_timeout}s "
+                            "(worker hung or died)"
+                        ),
                     )
-                    yield from pool.imap(_stream_worker, chunk_payloads)
+                    for entry in collateral:
+                        inflight.append(
+                            submit(pool, entry.index, entry.job, entry.attempt)
+                        )
+                    if outcome == "resubmitted":
+                        inflight.appendleft(value)
+                    elif outcome == "summary":
+                        yield value
+                    continue
+                except Exception as exc:
+                    # The worker raised: the pool itself is healthy,
+                    # only this chunk needs policy treatment.
+                    failed = inflight.popleft()
+                    outcome, value = resolve_failure(pool, failed, exc)
+                    if outcome == "resubmitted":
+                        inflight.appendleft(value)
+                    elif outcome == "summary":
+                        yield value
+                    continue
+                inflight.popleft()
+                yield summary
         finally:
-            if fork:
-                _STREAM_CLASSIFIER, _STREAM_TABLE = previous
+            pool.terminate()
+            pool.join()
 
 
 def default_stream_workers() -> int:

@@ -156,6 +156,98 @@ class ClassificationResult:
 
 
 @dataclass(slots=True)
+class ChunkFailure:
+    """One supervision event on one chunk of a streamed run."""
+
+    chunk_index: int
+    attempt: int
+    action: str  # "retried" | "degraded" | "dropped"
+    reason: str
+
+
+class FailureLog:
+    """What went wrong (and how it was handled) during a streamed run.
+
+    ``chunks_retried`` counts chunks that needed at least one pool
+    retry before succeeding, ``chunks_degraded`` counts chunks that
+    fell back to in-process classification, and ``rows_dropped`` counts
+    flow rows lost to chunks that failed even the in-process fallback
+    under ``policy="degrade"``. The ``events`` list records every
+    individual action. A result with ``rows_dropped > 0`` is partial —
+    ``complete`` is the one flag downstream code must check before
+    presenting counters as exact.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ChunkFailure] = []
+        self.rows_dropped = 0
+        self._retried: set[int] = set()
+        self._degraded: set[int] = set()
+        self._dropped: set[int] = set()
+
+    @property
+    def chunks_retried(self) -> int:
+        return len(self._retried)
+
+    @property
+    def chunks_degraded(self) -> int:
+        return len(self._degraded)
+
+    @property
+    def chunks_dropped(self) -> int:
+        return len(self._dropped)
+
+    @property
+    def complete(self) -> bool:
+        """True when no rows were lost (counters are exact)."""
+        return self.rows_dropped == 0
+
+    def record_retry(self, chunk_index: int, attempt: int, reason: str) -> None:
+        self._retried.add(chunk_index)
+        self.events.append(ChunkFailure(chunk_index, attempt, "retried", reason))
+
+    def record_degraded(
+        self, chunk_index: int, attempt: int, reason: str
+    ) -> None:
+        self._degraded.add(chunk_index)
+        self.events.append(
+            ChunkFailure(chunk_index, attempt, "degraded", reason)
+        )
+
+    def record_dropped(
+        self, chunk_index: int, rows: int, attempt: int, reason: str
+    ) -> None:
+        self._dropped.add(chunk_index)
+        self.rows_dropped += int(rows)
+        self.events.append(ChunkFailure(chunk_index, attempt, "dropped", reason))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def render(self) -> str:
+        """Plain-text supervision report (the CLI's stderr summary)."""
+        lines = [
+            "stream failures: "
+            f"{self.chunks_retried} chunk(s) retried, "
+            f"{self.chunks_degraded} degraded in-process, "
+            f"{self.chunks_dropped} dropped ({self.rows_dropped} rows lost)"
+        ]
+        for event in self.events:
+            lines.append(
+                f"  chunk {event.chunk_index} attempt {event.attempt}: "
+                f"{event.action} — {event.reason}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureLog(retried={self.chunks_retried}, "
+            f"degraded={self.chunks_degraded}, "
+            f"rows_dropped={self.rows_dropped})"
+        )
+
+
+@dataclass(slots=True)
 class ChunkSummary:
     """Merge-ready digest of one classified chunk (picklable, small)."""
 
@@ -212,6 +304,12 @@ class StreamClassificationResult:
     requested — the concatenated per-approach label vectors. Counters
     are identical to what a single-shot :meth:`classify` over the
     concatenated flows would aggregate to.
+
+    ``failures`` records what the supervised streaming path had to do
+    to finish (retries, in-process fallbacks, dropped chunks); check
+    ``complete`` before presenting the counters as exact — a run that
+    dropped rows under ``policy="degrade"`` is partial, never silently
+    complete.
     """
 
     def __init__(self, approaches: list[str], keep_labels: bool = False) -> None:
@@ -231,6 +329,7 @@ class StreamClassificationResult:
             a: [set() for _ in range(N_CLASSES)] for a in self.approaches
         }
         self.stats = PipelineStats()
+        self.failures = FailureLog()
         self._keep_labels = keep_labels
         self._label_chunks: dict[str, list[np.ndarray]] = (
             {a: [] for a in self.approaches} if keep_labels else {}
@@ -297,8 +396,15 @@ class StreamClassificationResult:
             byte_share=nbytes / total_bytes,
         )
 
+    @property
+    def complete(self) -> bool:
+        """True when no rows were dropped by the failure policy."""
+        return self.failures.complete
+
     def __repr__(self) -> str:
+        suffix = "" if self.failures.complete else ", PARTIAL"
         return (
             f"StreamClassificationResult({self.n_flows} flows, "
-            f"{self.n_chunks} chunks, {len(self.approaches)} approaches)"
+            f"{self.n_chunks} chunks, {len(self.approaches)} approaches"
+            f"{suffix})"
         )

@@ -47,6 +47,9 @@ class PipelineStats:
     n_chunks: int = 0
     stages: dict[str, StageTiming] = field(default_factory=dict)
     invalid_counts: dict[str, int] = field(default_factory=dict)
+    #: Rows lost to chunks dropped under ``FailurePolicy("degrade")`` —
+    #: non-zero means every counter above describes a partial run.
+    rows_dropped: int = 0
 
     def record(self, name: str, seconds: float, rows: int) -> None:
         stage = self.stages.get(name)
@@ -63,6 +66,7 @@ class PipelineStats:
         """Fold another record into this one (in place); returns self."""
         self.n_flows += other.n_flows
         self.n_chunks += other.n_chunks
+        self.rows_dropped += other.rows_dropped
         for stage in other.stages.values():
             self.record(stage.name, stage.seconds, stage.rows)
         for approach, count in other.invalid_counts.items():
@@ -89,6 +93,11 @@ class PipelineStats:
             lines.append("  invalid flows per approach:")
             for approach, count in self.invalid_counts.items():
                 lines.append(f"    {approach:<16} {count}")
+        if self.rows_dropped:
+            lines.append(
+                f"  WARNING: {self.rows_dropped} rows dropped — "
+                "counters describe a partial run"
+            )
         return "\n".join(lines)
 
 

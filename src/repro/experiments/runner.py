@@ -47,8 +47,8 @@ class World:
     as2org: As2OrgDataset
     approaches: dict[str, ValidSpaceMap]
     classifier: SpoofingClassifier
-    scenario: TrafficScenario = None  # type: ignore[assignment]
-    result: ClassificationResult = None  # type: ignore[assignment]
+    scenario: TrafficScenario | None = None
+    result: ClassificationResult | None = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -133,17 +133,25 @@ def classify_world_stream(
     world: World,
     n_workers: int | None = None,
     chunk_rows: int = 262_144,
+    policy=None,
 ):
     """Re-classify a built world's scenario through the streaming path.
 
     Multi-week scenarios whose flow tables no longer fit comfortably in
     one classification pass use this instead of ``world.result``: the
     flows are cut into ``chunk_rows`` slices and (optionally) fanned
-    out over ``n_workers`` processes. Returns the merged
+    out over ``n_workers`` processes. ``policy`` (a
+    :class:`~repro.core.FailurePolicy` or mode string such as
+    ``"degrade"``) engages worker supervision for runs long enough
+    that a single dead worker must not cost the whole capture.
+    Returns the merged
     :class:`~repro.core.results.StreamClassificationResult`.
     """
     if world.scenario is None:
         raise ValueError("world was built with with_traffic=False")
     return world.classifier.classify_stream(
-        world.scenario.flows, n_workers=n_workers, chunk_rows=chunk_rows
+        world.scenario.flows,
+        n_workers=n_workers,
+        chunk_rows=chunk_rows,
+        policy=policy,
     )

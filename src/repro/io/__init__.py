@@ -12,8 +12,15 @@ with external tooling:
 * :mod:`repro.io.bogonfmt` — the Team Cymru plain-text bogon format.
 * :mod:`repro.io.filters` — prefix filter lists in router-style
   ``permit``-line syntax.
+
+The flow-CSV and route-dump readers accept
+``on_error="raise"|"quarantine"``: strict loading raises a structured
+:class:`~repro.errors.IngestError`, lenient loading collects bad
+records into a :class:`~repro.errors.Quarantine` (re-exported here)
+and keeps going.
 """
 
+from repro.errors import IngestError, Quarantine
 from repro.io.bogonfmt import load_bogon_file, write_bogon_file
 from repro.io.filters import load_filter_list, write_filter_list
 from repro.io.flows import (
@@ -25,6 +32,8 @@ from repro.io.flows import (
 from repro.io.routes import load_route_dump, write_route_dump
 
 __all__ = [
+    "IngestError",
+    "Quarantine",
     "load_bogon_file",
     "load_filter_list",
     "load_flows_csv",

@@ -9,6 +9,13 @@ where ``B`` marks a table-dump entry, ``A`` an update announcement
 (our ``from_update`` flag) and ``W`` a withdrawal. The AS path is
 space-separated, monitor-first, origin-last — exactly the in-memory
 convention of :class:`repro.bgp.messages.RouteObservation`.
+
+Real archived dumps accumulate damage (truncated transfers, encoding
+glitches, collector bugs), so the reader supports the same two
+failure modes as the flow CSV reader: ``on_error="raise"`` aborts on
+the first malformed record with a structured
+:class:`~repro.errors.IngestError`, ``on_error="quarantine"`` skips
+and records bad lines in a :class:`~repro.errors.Quarantine`.
 """
 
 from __future__ import annotations
@@ -17,9 +24,12 @@ import pathlib
 from collections.abc import Iterable, Iterator
 
 from repro.bgp.messages import RouteObservation
+from repro.errors import IngestError, Quarantine
 from repro.net.prefix import Prefix
 
 _RECORD = "TABLE_DUMP2"
+
+_ON_ERROR = ("raise", "quarantine")
 
 
 def write_route_dump(
@@ -45,36 +55,65 @@ def write_route_dump(
     return count
 
 
-def load_route_dump(path: str | pathlib.Path) -> Iterator[RouteObservation]:
+def _parse_record(line: str) -> RouteObservation:
+    """One dump line → observation; raises ValueError on any defect."""
+    fields = line.split("|")
+    if len(fields) != 7 or fields[0] != _RECORD:
+        raise ValueError("malformed record")
+    _record, timestamp, kind, source, peer, prefix_text, path_text = fields
+    as_path = tuple(int(asn) for asn in path_text.split())
+    if not as_path:
+        raise ValueError("empty AS path")
+    if int(peer) != as_path[0]:
+        raise ValueError(
+            f"peer {peer} does not match path head {as_path[0]}"
+        )
+    if kind not in ("A", "B", "W"):
+        raise ValueError(f"bad kind {kind!r}")
+    return RouteObservation(
+        prefix=Prefix.parse(prefix_text),
+        path=as_path,
+        source=source,
+        timestamp=int(timestamp),
+        from_update=kind in ("A", "W"),
+        withdrawal=kind == "W",
+    )
+
+
+def load_route_dump(
+    path: str | pathlib.Path,
+    *,
+    on_error: str = "raise",
+    quarantine: Quarantine | None = None,
+) -> Iterator[RouteObservation]:
     """Stream observations back from a dump file.
 
-    Malformed lines raise ``ValueError`` with the line number — dumps
-    are machine-written, so silence would hide corruption.
+    Dumps are machine-written, so by default malformed lines raise an
+    :class:`~repro.errors.IngestError` carrying the line number —
+    silence would hide corruption. ``on_error="quarantine"`` instead
+    skips bad lines and records them (line number, reason, capped raw
+    sample) in ``quarantine``, which the caller should inspect after
+    the stream is consumed.
     """
+    if on_error not in _ON_ERROR:
+        raise ValueError(f"on_error must be one of {_ON_ERROR}")
+    if on_error == "quarantine" and quarantine is None:
+        quarantine = Quarantine(source=str(path))
     with open(path) as handle:
         for line_number, line in enumerate(handle, 1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            fields = line.split("|")
-            if len(fields) != 7 or fields[0] != _RECORD:
-                raise ValueError(f"{path}:{line_number}: malformed record")
-            _record, timestamp, kind, source, peer, prefix_text, path_text = fields
-            as_path = tuple(int(asn) for asn in path_text.split())
-            if not as_path:
-                raise ValueError(f"{path}:{line_number}: empty AS path")
-            if int(peer) != as_path[0]:
-                raise ValueError(
-                    f"{path}:{line_number}: peer {peer} does not match "
-                    f"path head {as_path[0]}"
-                )
-            if kind not in ("A", "B", "W"):
-                raise ValueError(f"{path}:{line_number}: bad kind {kind!r}")
-            yield RouteObservation(
-                prefix=Prefix.parse(prefix_text),
-                path=as_path,
-                source=source,
-                timestamp=int(timestamp),
-                from_update=kind in ("A", "W"),
-                withdrawal=kind == "W",
-            )
+            try:
+                observation = _parse_record(line)
+            except ValueError as exc:
+                if on_error == "raise":
+                    raise IngestError(
+                        f"{path}:{line_number}: {exc}",
+                        path=str(path),
+                        line_number=line_number,
+                    ) from exc
+                assert quarantine is not None
+                quarantine.add(line_number, str(exc), line)
+                continue
+            yield observation

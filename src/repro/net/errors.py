@@ -1,9 +1,17 @@
-"""Exceptions raised by the :mod:`repro.net` package."""
+"""Exceptions raised by the :mod:`repro.net` package.
+
+Both are re-based onto the library-wide taxonomy
+(:class:`repro.errors.ReproError`) while staying ``ValueError``
+subclasses, so ``except ValueError`` call sites and the structured
+``context`` machinery work simultaneously.
+"""
+
+from repro.errors import ReproError
 
 
-class AddressError(ValueError):
+class AddressError(ReproError, ValueError):
     """An IPv4 address literal or integer is malformed or out of range."""
 
 
-class PrefixError(ValueError):
+class PrefixError(ReproError, ValueError):
     """A prefix is malformed (bad length, host bits set, bad syntax)."""

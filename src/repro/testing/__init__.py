@@ -1,0 +1,25 @@
+"""Deterministic test harnesses (fault injection, ingest corruption).
+
+Nothing here runs in production paths unless explicitly wired in via
+``classify_stream(..., fault_injector=...)`` or applied to a file on
+disk — the modules exist so resilience behaviour is testable with
+seeded, reproducible failure plans instead of flaky randomness.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCorruption,
+    InjectedCrash,
+    InjectedFault,
+    corrupt_file,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCorruption",
+    "InjectedCrash",
+    "InjectedFault",
+    "corrupt_file",
+]

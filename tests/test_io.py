@@ -6,6 +6,8 @@ import pytest
 from repro.bgp.messages import RouteObservation
 from repro.datasets.bogons import BOGON_PREFIXES
 from repro.io import (
+    IngestError,
+    Quarantine,
     load_bogon_file,
     load_filter_list,
     load_flows_csv,
@@ -60,6 +62,78 @@ class TestFlowIO:
             load_flows_csv(path)
 
 
+class TestFlowIngestModes:
+    """Strict vs quarantine loading of damaged flow CSVs."""
+
+    def _dirty_csv(self, tiny_world, tmp_path):
+        """A 10-row CSV with three distinct defects injected.
+
+        Data lines are 2..11 (line 1 is the header); we damage lines
+        4, 7 and 10.
+        """
+        flows = tiny_world.scenario.flows.select(np.arange(10))
+        path = tmp_path / "flows.csv"
+        save_flows_csv(flows, path)
+        lines = path.read_text().splitlines()
+        lines[3] = lines[3].split(",", 1)[1]  # truncated row (10 fields)
+        fields = lines[6].split(",")
+        fields[0] = "300.1.2.999"  # bad dotted quad
+        lines[6] = ",".join(fields)
+        fields = lines[9].split(",")
+        fields[5] = "not-a-number"  # non-integer packets column
+        lines[9] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_strict_raises_with_line_number(self, tiny_world, tmp_path):
+        path = self._dirty_csv(tiny_world, tmp_path)
+        with pytest.raises(IngestError) as excinfo:
+            load_flows_csv(path)
+        assert excinfo.value.line_number == 4
+        assert excinfo.value.path == str(path)
+
+    def test_quarantine_reports_every_bad_line(self, tiny_world, tmp_path):
+        path = self._dirty_csv(tiny_world, tmp_path)
+        quarantine = Quarantine(source=str(path))
+        flows = load_flows_csv(
+            path, on_error="quarantine", quarantine=quarantine
+        )
+        assert len(flows) == 7
+        assert quarantine.line_numbers == [4, 7, 10]
+        assert quarantine.count == 3
+        rendered = quarantine.render()
+        assert "line 4" in rendered
+        assert "line 10" in rendered
+
+    def test_quarantine_auto_created_when_omitted(
+        self, tiny_world, tmp_path, caplog
+    ):
+        path = self._dirty_csv(tiny_world, tmp_path)
+        with caplog.at_level("WARNING", logger="repro.io.flows"):
+            flows = load_flows_csv(path, on_error="quarantine")
+        assert len(flows) == 7
+        assert any("quarantin" in r.message for r in caplog.records)
+
+    def test_wrong_header_fatal_even_in_quarantine(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,header\n1,2\n")
+        with pytest.raises(IngestError) as excinfo:
+            load_flows_csv(path, on_error="quarantine")
+        assert excinfo.value.line_number == 1
+
+    def test_empty_file_fatal(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(IngestError):
+            load_flows_csv(path, on_error="quarantine")
+
+    def test_bad_mode_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("h\n")
+        with pytest.raises(ValueError):
+            load_flows_csv(path, on_error="ignore")
+
+
 class TestRouteDumpIO:
     def _observations(self):
         return [
@@ -95,6 +169,36 @@ class TestRouteDumpIO:
         text = path.read_text()
         path.write_text("# header\n\n" + text)
         assert len(list(load_route_dump(path))) == 2
+
+    def test_strict_error_names_line(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        write_route_dump(self._observations(), path)
+        with open(path, "a") as handle:
+            handle.write("TABLE_DUMP2|0|B|rrc00|10|60.0.0.0/16|\n")
+        with pytest.raises(IngestError) as excinfo:
+            list(load_route_dump(path))
+        assert excinfo.value.line_number == 3
+        assert "empty AS path" in str(excinfo.value)
+
+    def test_quarantine_collects_all_defects(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        write_route_dump(self._observations(), path)
+        with open(path, "a") as handle:
+            # empty AS path, bad record kind, truncated record
+            handle.write("TABLE_DUMP2|0|B|rrc00|10|60.0.0.0/16|\n")
+            handle.write("TABLE_DUMP2|0|X|rrc00|10|62.0.0.0/16|10 30\n")
+            handle.write("TABLE_DUMP2|0|B|rrc00\n")
+        quarantine = Quarantine(source=str(path))
+        loaded = list(
+            load_route_dump(
+                path, on_error="quarantine", quarantine=quarantine
+            )
+        )
+        assert loaded == self._observations()
+        assert quarantine.line_numbers == [3, 4, 5]
+        assert "empty AS path" in quarantine.reasons
+        assert "bad kind 'X'" in quarantine.reasons
+        assert "malformed record" in quarantine.reasons
 
     def test_world_scale_roundtrip(self, bgp_only_world, tmp_path):
         from repro.bgp.rib import GlobalRIB
