@@ -19,6 +19,7 @@ import numpy as np
 from repro.core import FailurePolicy, SpoofingClassifier
 from repro.datasets.bogons import bogon_prefix_set
 from repro.ixp.flows import FlowTable
+from repro.obs import current_tracer, enable_tracing, span_totals
 
 #: Row floor for the streaming comparison (acceptance: ≥ 4M rows).
 STREAM_SCENARIO_ROWS = 4_000_000
@@ -222,6 +223,60 @@ def _timed(fn, *args, **kwargs) -> float:
     t0 = time.perf_counter()
     fn(*args, **kwargs)
     return time.perf_counter() - t0
+
+
+def bench_trace_overhead(benchmark, world, save_artefact):
+    """Observability tax: tracing off (default) vs on, ≥4M rows.
+
+    The spans are per-stage, not per-row, so even *enabled* tracing
+    must stay within 2% of the untraced run — which bounds the
+    disabled-by-default cost (a single attribute check per stage)
+    from above. Acceptance: <2% on the 4M-row single-shot path.
+    """
+    classifier = world.classifier
+    big = _tile_flows(world.scenario.flows, STREAM_SCENARIO_ROWS)
+    classifier.classify(world.scenario.flows)  # warm matrices + RIB
+
+    assert not current_tracer().enabled  # default state: off
+    off_s = min(_timed(classifier.classify, big) for _ in range(3))
+    enable_tracing()
+    try:
+        on_s = min(_timed(classifier.classify, big) for _ in range(3))
+        current_tracer().drain()  # only the measured call's spans below
+        result = benchmark.pedantic(
+            classifier.classify, args=(big,), rounds=1, iterations=1
+        )
+        spans = current_tracer().drain()
+    finally:
+        enable_tracing(False)
+
+    # The span ledger of the traced run agrees with the stage table.
+    totals = span_totals(spans)
+    for name, stage in result.stats.stages.items():
+        assert totals[f"classify.{name}"].rows == stage.rows, name
+
+    overhead = on_s / off_s - 1.0
+    benchmark.extra_info["untraced_seconds"] = round(off_s, 3)
+    benchmark.extra_info["traced_seconds"] = round(on_s, 3)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    save_artefact(
+        "perf_trace_overhead",
+        "\n".join(
+            [
+                f"tracing overhead ({len(big)} rows, single-shot, "
+                f"{len(classifier.approach_names)} approaches)",
+                f"  tracing off {off_s:8.3f}s  "
+                f"{len(big) / off_s:12.0f} rows/s",
+                f"  tracing on  {on_s:8.3f}s  "
+                f"{len(big) / on_s:12.0f} rows/s",
+                f"  overhead {overhead * 100:+.2f}% "
+                "(acceptance: < 2%; bounds the disabled-default cost)",
+            ]
+        ),
+    )
+    assert overhead < 0.02, (
+        f"tracing costs {overhead * 100:.2f}% (>= 2%) on the 4M-row path"
+    )
 
 
 def bench_lpm_lookup_throughput(benchmark, world):

@@ -4,11 +4,16 @@ Each benchmark regenerates one of the paper's tables or figures on the
 default-preset world and times the analysis. The rendered artefact is
 written to ``benchmarks/output/<name>.txt`` so the reproduced numbers
 survive the run (pytest captures stdout); EXPERIMENTS.md records the
-paper-vs-measured comparison.
+paper-vs-measured comparison. Next to every artefact,
+``save_artefact`` also writes a ``<name>.manifest.json``
+(:class:`repro.obs.RunManifest`) recording the seed, config, git SHA
+and stage timings that produced it, so a number in
+``benchmarks/output/`` can always be traced to its exact run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import pathlib
 
 import numpy as np
@@ -19,6 +24,7 @@ from repro.datasets.peeringdb import build_peeringdb
 from repro.datasets.spoofer import run_spoofer_campaign
 from repro.datasets.whois import build_whois
 from repro.experiments import WorldConfig, build_world
+from repro.obs import RunManifest, manifest_path_for
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -57,10 +63,27 @@ def artefact_dir():
 
 
 @pytest.fixture()
-def save_artefact(artefact_dir):
-    """Write a rendered table/figure to benchmarks/output/."""
+def save_artefact(artefact_dir, world, request):
+    """Write a rendered table/figure to benchmarks/output/.
+
+    Every artefact also gets a run manifest
+    (``<name>.manifest.json``) next to it: the world seed and full
+    config, the repository SHA, versions, and the classifier stage
+    timings of the shared world — enough to re-run (or distrust)
+    the artefact years later.
+    """
 
     def _save(name: str, text: str) -> None:
-        (artefact_dir / f"{name}.txt").write_text(text + "\n")
+        out = artefact_dir / f"{name}.txt"
+        out.write_text(text + "\n")
+        manifest = RunManifest.create(
+            f"bench:{request.node.name}",
+            seed=world.config.seed,
+            preset="default",
+            config=dataclasses.asdict(world.config),
+        )
+        stats = world.result.stats if world.result is not None else None
+        manifest.finish(stats=stats, extra={"artefact": str(out)})
+        manifest.write(manifest_path_for(out))
 
     return _save

@@ -11,12 +11,22 @@ Commands:
 * ``classify`` — classify a flow-table file (``.npz`` or CSV) through
   the resilient streaming pipeline: ``--policy`` picks the failure
   policy (fail_fast/retry/degrade), ``--on-error quarantine`` loads
-  dirty CSVs leniently and reports the quarantined records.
+  dirty CSVs leniently and reports the quarantined records. Exits 3
+  when ``--policy degrade`` had to drop rows (partial result).
+* ``trace show <manifest>`` — render a recorded run manifest back as
+  a stage/span/metrics report.
+
+Every world-building command also takes the observability flags:
+``--trace`` (record spans), ``--metrics-out FILE`` (export the
+metrics registry as JSON lines) and ``--manifest-out FILE`` (write
+the run manifest; implied by the other two). See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 
@@ -30,6 +40,14 @@ from repro.core.classifier import DEFAULT_CHUNK_ROWS
 from repro.errors import IngestError, Quarantine
 from repro.experiments import WorldConfig, build_world
 from repro.io import load_flows_csv, load_flows_npz
+from repro.obs import (
+    RunManifest,
+    current_metrics,
+    current_tracer,
+    enable_tracing,
+    manifest_path_for,
+    peak_rss_bytes,
+)
 from repro.survey import generate_survey_responses, tabulate
 
 _PRESETS = ("tiny", "small", "default", "paper_scale")
@@ -50,6 +68,92 @@ def _add_preset(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also print classifier stage timings (rows/sec per stage)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record tracing spans and write a run manifest",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        default=None,
+        metavar="FILE",
+        help="export the metrics registry as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        dest="manifest_out",
+        default=None,
+        metavar="FILE",
+        help="write the run manifest to FILE (default: next to the "
+        "input for `classify`, repro_<command>.manifest.json otherwise)",
+    )
+
+
+def _obs_wanted(args: argparse.Namespace) -> bool:
+    """Whether any observability output was requested for this run."""
+    return bool(
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "manifest_out", None)
+    )
+
+
+def _obs_begin(args: argparse.Namespace, command: str) -> RunManifest | None:
+    """Arm tracing/metrics and open a manifest when requested."""
+    if not _obs_wanted(args):
+        return None
+    current_metrics().clear()
+    current_tracer().drain()
+    if args.trace:
+        enable_tracing()
+    preset = getattr(args, "preset", None)
+    config = None
+    if preset is not None:
+        config = dataclasses.asdict(
+            getattr(WorldConfig, preset)(seed=args.seed)
+        )
+    return RunManifest.create(
+        command,
+        argv=getattr(args, "_argv", None),
+        seed=getattr(args, "seed", None),
+        preset=preset,
+        config=config,
+    )
+
+
+def _obs_finish(
+    args: argparse.Namespace,
+    manifest: RunManifest | None,
+    *,
+    stats=None,
+    extra_spans=(),
+    exit_code: int = 0,
+    complete: bool = True,
+    default_path: str | pathlib.Path | None = None,
+) -> None:
+    """Seal and write the manifest + metrics for one CLI run."""
+    if manifest is None:
+        return
+    if args.trace:
+        enable_tracing(False)
+    spans = current_tracer().drain() + list(extra_spans)
+    registry = current_metrics()
+    registry.gauge("peak_rss_bytes").set(peak_rss_bytes())
+    if args.metrics_out:
+        registry.export_jsonl(args.metrics_out)
+    manifest.finish(
+        stats=stats,
+        spans=spans,
+        metrics=registry,
+        exit_code=exit_code,
+        complete=complete,
+    )
+    path = args.manifest_out or default_path
+    if path is None:
+        path = f"repro_{manifest.data['command']}.manifest.json"
+    manifest.write(path)
+    print(f"run manifest: {path}", file=sys.stderr)
 
 
 def _print_stats(args: argparse.Namespace, world) -> None:
@@ -65,18 +169,27 @@ def _build(args: argparse.Namespace, with_traffic: bool = True):
     return build_world(config, with_traffic=with_traffic)
 
 
+def _world_stats(world) -> object | None:
+    """The classifier stats of a built world (None without traffic)."""
+    return world.result.stats if world.result is not None else None
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
+    manifest = _obs_begin(args, "study")
     world = _build(args)
     report = build_study_report(world)
     print(report.render())
     _print_stats(args, world)
+    _obs_finish(args, manifest, stats=_world_stats(world))
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    manifest = _obs_begin(args, "table1")
     world = _build(args)
     print(compute_table1(world.result, world.ixp.sampling_rate).render())
     _print_stats(args, world)
+    _obs_finish(args, manifest, stats=_world_stats(world))
     return 0
 
 
@@ -88,6 +201,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 
 
 def _cmd_cones(args: argparse.Namespace) -> int:
+    manifest = _obs_begin(args, "cones")
     world = _build(args, with_traffic=False)
     names = ("naive", "cc", "cc+orgs", "full", "full+orgs")
     asns = world.rib.indexer.asns()
@@ -99,16 +213,19 @@ def _cmd_cones(args: argparse.Namespace) -> int:
         {name: world.approaches[name] for name in names}, asns
     )
     print(curves.render())
+    _obs_finish(args, manifest)
     return 0
 
 
 def _cmd_acl(args: argparse.Namespace) -> int:
+    manifest = _obs_begin(args, "acl")
     world = _build(args)
     peer = args.peer
     if peer is None:
         peer = int(world.ixp.member_asns[0])
     if peer not in world.ixp.members:
         print(f"AS{peer} is not an IXP member in this world", file=sys.stderr)
+        _obs_finish(args, manifest, exit_code=2, complete=False)
         return 2
     acl = build_ingress_acl(world.approaches[args.approach], peer)
     report = evaluate_acl(acl, peer, world.scenario.flows)
@@ -116,10 +233,12 @@ def _cmd_acl(args: argparse.Namespace) -> int:
     for prefix in acl.prefixes():
         print(prefix)
     print(f"# {report.render()}", file=sys.stderr)
+    _obs_finish(args, manifest, stats=_world_stats(world))
     return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
+    manifest = _obs_begin(args, "classify")
     path = pathlib.Path(args.flows)
     quarantine = None
     try:
@@ -136,6 +255,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         return 2
     if quarantine:
         print(quarantine.render(), file=sys.stderr)
+    if manifest is not None:
+        manifest.add_input("flows", path)
 
     world = _build(args, with_traffic=False)
     stream = world.classifier.classify_stream(
@@ -162,13 +283,33 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if getattr(args, "stats", False):
         print()
         print(stream.stats.render())
+    exit_code = 0
     if not stream.complete:
         print(
             f"WARNING: partial result — {stream.failures.rows_dropped} "
             "rows dropped",
             file=sys.stderr,
         )
-        return 3
+        exit_code = 3
+    _obs_finish(
+        args,
+        manifest,
+        stats=stream.stats,
+        extra_spans=stream.spans,
+        exit_code=exit_code,
+        complete=stream.complete,
+        default_path=manifest_path_for(path),
+    )
+    return exit_code
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    print(manifest.render())
     return 0
 
 
@@ -243,12 +384,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per streaming chunk",
     )
     classify.set_defaults(func=_cmd_classify)
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect recorded run manifests"
+    )
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_show = trace_sub.add_parser(
+        "show", help="render a run manifest as a stage/span/metrics report"
+    )
+    trace_show.add_argument("manifest", help="path to a *.manifest.json")
+    trace_show.set_defaults(func=_cmd_trace_show)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.func(args)
     except BrokenPipeError:  # e.g. `python -m repro study | head`

@@ -33,6 +33,7 @@ class ValidSpaceMap(abc.ABC):
 
     @property
     def rib(self) -> GlobalRIB:
+        """The global RIB this valid-space map was derived from."""
         return self._rib
 
     # -- subclass surface --------------------------------------------------
@@ -133,5 +134,6 @@ class ValidSpaceMap(abc.ABC):
         return float(weights[bits[: weights.size]].sum())
 
     def invalidate_cache(self) -> None:
+        """Drop the packed validity-matrix cache (after RIB mutation)."""
         self._matrix_cache_key = None
         self._matrix_cache = None

@@ -52,6 +52,7 @@ class ReachabilityClosure:
 
     @property
     def n(self) -> int:
+        """Number of nodes (ASes) the closure matrix covers."""
         return self._n
 
     def reaches(self, src: int, dst: int) -> bool:

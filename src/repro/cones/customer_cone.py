@@ -55,16 +55,19 @@ class CustomerConeValidSpace(ValidSpaceMap):
 
     @property
     def column_kind(self) -> str:
+        """Validity rows are indexed by origin-AS column (not prefix)."""
         return "origin"
 
     @property
     def closure(self) -> ReachabilityClosure:
+        """The customer-to-provider reachability closure backing the map."""
         return self._closure
 
     def _n_columns(self) -> int:
         return len(self._rib.indexer)
 
     def packed_row(self, asn: int) -> np.ndarray | None:
+        """Packed origin-validity bitmap for one AS (None if unknown)."""
         index = self._rib.indexer.index_or_none(asn)
         if index is None:
             return None

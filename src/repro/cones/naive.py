@@ -35,12 +35,14 @@ class NaiveValidSpace(ValidSpaceMap):
 
     @property
     def column_kind(self) -> str:
+        """Validity rows are indexed by announced-prefix column."""
         return "prefix"
 
     def _n_columns(self) -> int:
         return self._rib.num_prefixes
 
     def packed_row(self, asn: int) -> np.ndarray | None:
+        """Packed prefix-validity bitmap for one AS (None if unknown)."""
         index = self._rib.indexer.index_or_none(asn)
         if index is None:
             return None

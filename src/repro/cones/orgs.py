@@ -37,16 +37,19 @@ class OrgMergedValidSpace(ValidSpaceMap):
 
     @property
     def base(self) -> ValidSpaceMap:
+        """The unmerged valid-space map the org merge wraps."""
         return self._base
 
     @property
     def column_kind(self) -> str:
+        """Same column indexing as the wrapped base map."""
         return self._base.column_kind
 
     def _n_columns(self) -> int:
         return self._base._n_columns()
 
     def packed_row(self, asn: int) -> np.ndarray | None:
+        """Bitwise OR of the packed rows of every sibling in the org."""
         group = self._siblings.get(asn)
         if group is None:
             return self._base.packed_row(asn)

@@ -62,22 +62,26 @@ class PrunedFullCone(ValidSpaceMap):
 
     @property
     def column_kind(self) -> str:
+        """Validity rows are indexed by origin-AS column (not prefix)."""
         return "origin"
 
     @property
     def closure(self) -> ReachabilityClosure:
+        """The pruned reachability closure backing the map."""
         return self._closure
 
     def _n_columns(self) -> int:
         return len(self._rib.indexer)
 
     def packed_row(self, asn: int) -> np.ndarray | None:
+        """Packed origin-validity bitmap for one AS (None if unknown)."""
         index = self._rib.indexer.index_or_none(asn)
         if index is None:
             return None
         return self._closure.row(index)
 
     def cone_asns(self, asn: int) -> set[int]:
+        """ASNs in the pruned cone of ``asn`` (itself included)."""
         index = self._rib.indexer.index_or_none(asn)
         if index is None:
             return set()

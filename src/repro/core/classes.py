@@ -20,4 +20,5 @@ class TrafficClass(enum.IntEnum):
 
     @property
     def is_illegitimate(self) -> bool:
+        """True for every class but Valid (the filtering candidates)."""
         return self is not TrafficClass.VALID

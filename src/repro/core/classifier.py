@@ -55,6 +55,8 @@ from repro.datasets.bogons import bogon_prefix_set
 from repro.errors import ClassificationError, WorkerError
 from repro.ixp.flows import FlowTable
 from repro.net.prefixset import PrefixSet
+from repro.obs.metrics import current_metrics, peak_rss_bytes
+from repro.obs.trace import current_tracer, enable_tracing
 
 #: Default rows per chunk when ``classify_stream`` is handed a whole
 #: :class:`FlowTable` instead of pre-cut chunks.
@@ -145,13 +147,22 @@ class FailurePolicy:
 def _stream_init(
     classifier: "SpoofingClassifier | None",
     injector: FaultInjector | None,
+    tracing: bool = False,
 ) -> None:
-    """Pool initializer: adopt pickled state (spawn start only)."""
+    """Pool initializer: adopt pickled state (spawn start only).
+
+    ``tracing`` re-arms the worker's ambient tracer under spawn, where
+    the parent's enabled flag is not inherited the way fork inherits
+    it; fork pools pass ``False`` (the flag is already in the globals
+    the child inherited).
+    """
     global _STREAM_CLASSIFIER, _STREAM_INJECTOR
     if classifier is not None:
         _STREAM_CLASSIFIER = classifier
     if injector is not None:
         _STREAM_INJECTOR = injector
+    if tracing:
+        enable_tracing()
 
 
 def _inject(chunk_index: int, attempt: int) -> None:
@@ -159,12 +170,28 @@ def _inject(chunk_index: int, attempt: int) -> None:
         _STREAM_INJECTOR(chunk_index, attempt, True)
 
 
+def _classify_and_summarize(chunk: FlowTable, keep_labels: bool):
+    """Worker-side classify that captures the chunk's span records.
+
+    The captured records travel back to the supervisor inside the
+    summary; the worker's ambient tracer is left empty so long-lived
+    pool workers do not accumulate span ledgers across chunks.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        result = _STREAM_CLASSIFIER.classify(chunk)
+        return summarize_chunk(result, keep_labels=keep_labels)
+    with tracer.capture() as spans:
+        result = _STREAM_CLASSIFIER.classify(chunk)
+    return summarize_chunk(result, keep_labels=keep_labels, spans=spans)
+
+
 def _stream_worker(payload: tuple[FlowTable, bool, int, int]):
+    """Classify one pickled chunk (spawn pools / explicit chunk iterables)."""
     chunk, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None
     _inject(chunk_index, attempt)
-    result = _STREAM_CLASSIFIER.classify(chunk)
-    return summarize_chunk(result, keep_labels=keep_labels)
+    return _classify_and_summarize(chunk, keep_labels)
 
 
 def _stream_worker_range(payload: tuple[int, int, bool, int, int]):
@@ -173,8 +200,7 @@ def _stream_worker_range(payload: tuple[int, int, bool, int, int]):
     assert _STREAM_CLASSIFIER is not None and _STREAM_TABLE is not None
     _inject(chunk_index, attempt)
     chunk = _STREAM_TABLE.select(slice(start, stop))
-    result = _STREAM_CLASSIFIER.classify(chunk)
-    return summarize_chunk(result, keep_labels=keep_labels)
+    return _classify_and_summarize(chunk, keep_labels)
 
 
 @dataclass(slots=True)
@@ -211,6 +237,7 @@ class SpoofingClassifier:
 
     @property
     def approach_names(self) -> list[str]:
+        """Configured valid-space approach names, in Table 1 order."""
         return list(self._approaches)
 
     def classify(
@@ -225,6 +252,17 @@ class SpoofingClassifier:
             raise ValueError(f"unknown engine {engine!r}")
         n = len(flows)
         stats = PipelineStats(n_flows=n, n_chunks=1) if collect_stats else None
+        with current_tracer().span("classify", rows=n, engine=engine):
+            return self._classify_traced(flows, engine, stats)
+
+    def _classify_traced(
+        self,
+        flows: FlowTable,
+        engine: str,
+        stats: PipelineStats | None,
+    ) -> ClassificationResult:
+        """The classify body, run inside the ``classify`` span."""
+        n = len(flows)
         src = flows.src
         with StageClock(stats, "bogon", n):
             bogon_mask = self._bogons.contains_many(src)
@@ -356,13 +394,21 @@ class SpoofingClassifier:
         merged = StreamClassificationResult(
             self.approach_names, keep_labels=keep_labels
         )
+        stream_start = time.perf_counter()
+        latency = current_metrics().histogram("stream.chunk_seconds")
+
+        def absorb(summary: ChunkSummary) -> None:
+            if summary.stats is not None:
+                latency.observe(summary.stats.total_seconds)
+            merged.absorb(summary)
+
         if n_workers is None or n_workers <= 1:
             chunks = (
                 table.iter_chunks(chunk_rows) if table is not None else flow_chunks
             )
             for index, chunk in enumerate(chunks):
                 try:
-                    merged.absorb(
+                    absorb(
                         self._inline_summary(
                             chunk, keep_labels, index, 1, fault_injector
                         )
@@ -388,9 +434,47 @@ class SpoofingClassifier:
                 injector=fault_injector,
                 failures=merged.failures,
             ):
-                merged.absorb(summary)
+                absorb(summary)
         merged.stats.rows_dropped = merged.failures.rows_dropped
+        self._observe_stream(merged, time.perf_counter() - stream_start)
         return merged
+
+    @staticmethod
+    def _observe_stream(
+        merged: StreamClassificationResult, elapsed: float
+    ) -> None:
+        """Record a streamed run into the ambient tracer and metrics.
+
+        Emits the enclosing ``classify.stream`` span, per-class row
+        counters, supervision counters, the per-chunk compute-latency
+        histogram (from each chunk's own stage timings) and the peak
+        RSS gauge. Runs once per streamed call — far off the per-row
+        hot path.
+        """
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record(
+                "classify.stream",
+                elapsed,
+                rows=merged.n_flows,
+                chunks=merged.n_chunks,
+            )
+        registry = current_metrics()
+        registry.counter("stream.chunks").inc(merged.n_chunks)
+        registry.counter("stream.rows").inc(merged.n_flows)
+        for approach in merged.approaches:
+            counts = merged.flow_counts[approach]
+            for cls in TrafficClass:
+                registry.counter(
+                    f"rows.{approach}.{cls.name.lower()}"
+                ).inc(int(counts[int(cls)]))
+        failures = merged.failures
+        registry.counter("stream.chunks_retried").inc(failures.chunks_retried)
+        registry.counter("stream.chunks_degraded").inc(
+            failures.chunks_degraded
+        )
+        registry.counter("stream.rows_dropped").inc(failures.rows_dropped)
+        registry.gauge("peak_rss_bytes").set(peak_rss_bytes())
 
     def _inline_summary(
         self,
@@ -403,7 +487,12 @@ class SpoofingClassifier:
         """Classify one chunk in the current process."""
         if injector is not None:
             injector(index, attempt, False)
-        return summarize_chunk(self.classify(chunk), keep_labels=keep_labels)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return summarize_chunk(self.classify(chunk), keep_labels=keep_labels)
+        with tracer.capture() as spans:
+            result = self.classify(chunk)
+        return summarize_chunk(result, keep_labels=keep_labels, spans=spans)
 
     def _classify_parallel(
         self,
@@ -438,9 +527,9 @@ class SpoofingClassifier:
             _STREAM_CLASSIFIER = self
             _STREAM_TABLE = table
             _STREAM_INJECTOR = injector
-            initargs: tuple = (None, None)
+            initargs: tuple = (None, None, False)
         else:
-            initargs = (self, injector)
+            initargs = (self, injector, current_tracer().enabled)
         use_ranges = fork and table is not None
         try:
             if policy is None:

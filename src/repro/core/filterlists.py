@@ -66,6 +66,7 @@ class ACLReport:
     hidden_legit_dropped: float
 
     def render(self) -> str:
+        """One-line drop-rate summary of the evaluated ACL."""
         return (
             f"AS{self.peer_asn}: ACL {self.acl_prefixes} prefixes "
             f"({self.acl_slash24s:,.0f} /24s) over {self.flows_seen} flows — "

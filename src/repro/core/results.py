@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -10,6 +10,7 @@ from repro.bgp.rib import GlobalRIB
 from repro.core.classes import TrafficClass
 from repro.core.stats import PipelineStats
 from repro.ixp.flows import FlowTable
+from repro.obs.trace import SpanRecord
 
 #: Number of traffic classes (label vectors hold values 0..N-1).
 N_CLASSES = len(TrafficClass)
@@ -50,12 +51,15 @@ class ClassificationResult:
 
     @property
     def approaches(self) -> list[str]:
+        """Configured approach names, in classification order."""
         return list(self.labels)
 
     def label_vector(self, approach: str) -> np.ndarray:
+        """Per-flow class labels (uint8) under one approach."""
         return self.labels[approach]
 
     def class_mask(self, approach: str, traffic_class: TrafficClass) -> np.ndarray:
+        """Boolean row mask of flows in one class under one approach."""
         return self.labels[approach] == int(traffic_class)
 
     def select_class(
@@ -187,14 +191,17 @@ class FailureLog:
 
     @property
     def chunks_retried(self) -> int:
+        """Distinct chunks that needed at least one pool retry."""
         return len(self._retried)
 
     @property
     def chunks_degraded(self) -> int:
+        """Distinct chunks that fell back to in-process classification."""
         return len(self._degraded)
 
     @property
     def chunks_dropped(self) -> int:
+        """Distinct chunks abandoned entirely (their rows are lost)."""
         return len(self._dropped)
 
     @property
@@ -203,12 +210,14 @@ class FailureLog:
         return self.rows_dropped == 0
 
     def record_retry(self, chunk_index: int, attempt: int, reason: str) -> None:
+        """Log one failed attempt that will be re-dispatched to the pool."""
         self._retried.add(chunk_index)
         self.events.append(ChunkFailure(chunk_index, attempt, "retried", reason))
 
     def record_degraded(
         self, chunk_index: int, attempt: int, reason: str
     ) -> None:
+        """Log a chunk falling back to in-process classification."""
         self._degraded.add(chunk_index)
         self.events.append(
             ChunkFailure(chunk_index, attempt, "degraded", reason)
@@ -217,6 +226,7 @@ class FailureLog:
     def record_dropped(
         self, chunk_index: int, rows: int, attempt: int, reason: str
     ) -> None:
+        """Log a chunk abandoned for good; ``rows`` are lost (partial run)."""
         self._dropped.add(chunk_index)
         self.rows_dropped += int(rows)
         self.events.append(ChunkFailure(chunk_index, attempt, "dropped", reason))
@@ -249,7 +259,13 @@ class FailureLog:
 
 @dataclass(slots=True)
 class ChunkSummary:
-    """Merge-ready digest of one classified chunk (picklable, small)."""
+    """Merge-ready digest of one classified chunk (picklable, small).
+
+    ``spans`` carries the chunk's completed
+    :class:`~repro.obs.trace.SpanRecord` s when tracing is enabled —
+    the vehicle that moves span ledgers from pool workers back to the
+    supervisor (records are plain dataclasses, so they pickle).
+    """
 
     n_flows: int
     flow_counts: dict[str, np.ndarray]  # approach → (N_CLASSES,) int64
@@ -258,10 +274,13 @@ class ChunkSummary:
     class_members: dict[str, tuple[frozenset, ...]]  # per-class member ASNs
     labels: dict[str, np.ndarray] | None
     stats: PipelineStats | None
+    spans: list[SpanRecord] = field(default_factory=list)
 
 
 def summarize_chunk(
-    result: ClassificationResult, keep_labels: bool = False
+    result: ClassificationResult,
+    keep_labels: bool = False,
+    spans: list[SpanRecord] | None = None,
 ) -> ChunkSummary:
     """Collapse a :class:`ClassificationResult` into mergeable counters."""
     flows = result.flows
@@ -293,6 +312,7 @@ def summarize_chunk(
         class_members=class_members,
         labels=dict(result.labels) if keep_labels else None,
         stats=result.stats,
+        spans=list(spans) if spans else [],
     )
 
 
@@ -330,6 +350,9 @@ class StreamClassificationResult:
         }
         self.stats = PipelineStats()
         self.failures = FailureLog()
+        #: Span records merged from every chunk (worker or in-process)
+        #: when tracing was enabled — empty otherwise.
+        self.spans: list[SpanRecord] = []
         self._keep_labels = keep_labels
         self._label_chunks: dict[str, list[np.ndarray]] = (
             {a: [] for a in self.approaches} if keep_labels else {}
@@ -353,6 +376,8 @@ class StreamClassificationResult:
                 self._label_chunks[approach].append(summary.labels[approach])
         if summary.stats is not None:
             self.stats.merge(summary.stats)
+        if summary.spans:
+            self.spans.extend(summary.spans)
 
     def class_counts(self, approach: str) -> dict[TrafficClass, int]:
         """Flows per traffic class for one approach."""

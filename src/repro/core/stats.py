@@ -6,12 +6,21 @@ the bogon match, the vectorised LPM, and the per-approach invalid
 stage. Streamed runs merge the per-chunk records, so the numbers stay
 meaningful whether a scenario was classified in one shot or through
 ``classify_stream`` across a worker pool.
+
+Since the :mod:`repro.obs` layer landed, this module is the
+compatibility surface on top of the tracer: :class:`StageClock`
+measures each stage once and feeds the *same* elapsed value to the
+:class:`PipelineStats` record and (when tracing is enabled) to the
+ambient :class:`repro.obs.trace.Tracer` as a ``classify.<stage>``
+span — so the legacy stage table and the span ledger agree exactly.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+from repro.obs.trace import current_tracer
 
 
 @dataclass(slots=True)
@@ -24,11 +33,13 @@ class StageTiming:
 
     @property
     def rows_per_sec(self) -> float:
+        """Accumulated throughput: total rows over total seconds."""
         if self.seconds <= 0.0:
             return float("inf") if self.rows else 0.0
         return self.rows / self.seconds
 
     def add(self, seconds: float, rows: int) -> None:
+        """Accumulate one more measurement of this stage."""
         self.seconds += seconds
         self.rows += rows
 
@@ -52,12 +63,14 @@ class PipelineStats:
     rows_dropped: int = 0
 
     def record(self, name: str, seconds: float, rows: int) -> None:
+        """Accumulate one stage measurement (created on first use)."""
         stage = self.stages.get(name)
         if stage is None:
             stage = self.stages[name] = StageTiming(name)
         stage.add(seconds, rows)
 
     def count_invalid(self, approach: str, count: int) -> None:
+        """Add to the Invalid-flow counter of one approach."""
         self.invalid_counts[approach] = (
             self.invalid_counts.get(approach, 0) + int(count)
         )
@@ -75,6 +88,7 @@ class PipelineStats:
 
     @property
     def total_seconds(self) -> float:
+        """Wall-clock summed over every recorded stage."""
         return sum(stage.seconds for stage in self.stages.values())
 
     def render(self) -> str:
@@ -102,7 +116,17 @@ class PipelineStats:
 
 
 class StageClock:
-    """Tiny helper: ``with clock(stats, "lpm", rows):`` records a stage."""
+    """Tiny helper: ``with clock(stats, "lpm", rows):`` records a stage.
+
+    One measurement feeds two ledgers: the :class:`PipelineStats`
+    stage table (when ``stats`` is not ``None``) and the ambient
+    tracer (when tracing is enabled) as a ``classify.<name>`` span
+    with the identical elapsed value — keeping span totals and stage
+    timings numerically equal by construction.
+    """
+
+    #: Span-name prefix for stage spans emitted into the tracer.
+    SPAN_PREFIX = "classify."
 
     __slots__ = ("_stats", "_name", "_rows", "_start")
 
@@ -117,7 +141,11 @@ class StageClock:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
         if self._stats is not None:
-            self._stats.record(
-                self._name, time.perf_counter() - self._start, self._rows
+            self._stats.record(self._name, elapsed, self._rows)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record(
+                self.SPAN_PREFIX + self._name, elapsed, rows=self._rows
             )

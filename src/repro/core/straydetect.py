@@ -81,6 +81,7 @@ class StrayDetectionQuality:
     flagged_packets: int
 
     def render(self) -> str:
+        """One-line recall/precision summary of stray recognition."""
         return (
             "Stray recognition: "
             f"recall={self.stray_recall:.1%} "

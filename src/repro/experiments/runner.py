@@ -20,6 +20,7 @@ from repro.cones.orgs import apply_org_merge
 from repro.datasets.as2org import As2OrgDataset, build_as2org
 from repro.experiments.config import WorldConfig
 from repro.ixp.model import IXP, select_members
+from repro.obs.trace import trace
 from repro.topology.generator import generate_topology
 from repro.topology.model import ASTopology
 from repro.topology.policies import AnnouncementPolicy, build_policies
@@ -85,22 +86,26 @@ def build_world(
     rng = np.random.default_rng(config.seed)
 
     logger.info("generating topology (%d ASes)", config.topology.n_ases)
-    topo = generate_topology(config.topology)
-    policies = build_policies(
-        topo, rng, config.selective_fraction, config.deagg_fraction
-    )
-    collectors = CollectorSystem(topo, config.collectors, rng)
-    ixp = select_members(
-        topo, rng, config.n_members, rs_participation=config.rs_participation
-    )
+    with trace("world.topology", n_ases=config.topology.n_ases):
+        topo = generate_topology(config.topology)
+        policies = build_policies(
+            topo, rng, config.selective_fraction, config.deagg_fraction
+        )
+        collectors = CollectorSystem(topo, config.collectors, rng)
+        ixp = select_members(
+            topo, rng, config.n_members,
+            rs_participation=config.rs_participation,
+        )
 
     logger.info("propagating BGP and building the RIB")
-    rib = GlobalRIB.from_observations(
-        simulate_bgp(topo, policies, collectors, ixp.route_server, rng)
-    )
-    as2org = build_as2org(topo)
+    with trace("world.bgp"):
+        rib = GlobalRIB.from_observations(
+            simulate_bgp(topo, policies, collectors, ixp.route_server, rng)
+        )
+        as2org = build_as2org(topo)
     logger.info("computing valid-space maps (%d prefixes)", rib.num_prefixes)
-    approaches = build_valid_space_maps(rib, as2org)
+    with trace("world.cones", rows=rib.num_prefixes):
+        approaches = build_valid_space_maps(rib, as2org)
     classifier = SpoofingClassifier(rib, approaches)
 
     world = World(
@@ -117,10 +122,11 @@ def build_world(
     if with_traffic:
         logger.info("generating traffic (%d regular rows)",
                     config.scenario.total_regular_rows)
-        world.scenario = generate_traffic(
-            topo, ixp, rib, config.scenario, policies=policies,
-            collector_peer_asns=collectors.all_peer_asns,
-        )
+        with trace("world.traffic"):
+            world.scenario = generate_traffic(
+                topo, ixp, rib, config.scenario, policies=policies,
+                collector_peer_asns=collectors.all_peer_asns,
+            )
         if classify:
             logger.info("classifying %d flows", len(world.scenario.flows))
             world.result = classifier.classify(world.scenario.flows)

@@ -28,6 +28,8 @@ import numpy as np
 from repro.errors import IngestError, Quarantine
 from repro.ixp.flows import FlowTable
 from repro.net.addr import addr_to_int, int_to_addr
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import trace
 
 logger = logging.getLogger(__name__)
 
@@ -41,16 +43,18 @@ _ON_ERROR = ("raise", "quarantine")
 
 def save_flows_npz(flows: FlowTable, path: str | pathlib.Path) -> None:
     """Write a flow table to a compressed ``.npz`` file."""
-    np.savez_compressed(
-        path,
-        **{name: getattr(flows, name) for name in _CSV_HEADER},
-    )
+    with trace("io.save_flows_npz", rows=len(flows), path=str(path)):
+        np.savez_compressed(
+            path,
+            **{name: getattr(flows, name) for name in _CSV_HEADER},
+        )
 
 
 def load_flows_npz(path: str | pathlib.Path) -> FlowTable:
     """Read a flow table written by :func:`save_flows_npz`."""
-    with np.load(path) as archive:
-        return FlowTable(**{name: archive[name] for name in _CSV_HEADER})
+    with trace("io.load_flows_npz", path=str(path)):
+        with np.load(path) as archive:
+            return FlowTable(**{name: archive[name] for name in _CSV_HEADER})
 
 
 def save_flows_csv(flows: FlowTable, path: str | pathlib.Path) -> None:
@@ -108,8 +112,10 @@ def load_flows_csv(
     own_quarantine = on_error == "quarantine" and quarantine is None
     if own_quarantine:
         quarantine = Quarantine(source=str(path))
+    bad_before = quarantine.count if quarantine is not None else 0
     columns: dict[str, list[int]] = {name: [] for name in _CSV_HEADER}
-    with open(path, newline="") as handle:
+    with trace("io.load_flows_csv", path=str(path)), \
+            open(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header is None:
@@ -139,6 +145,10 @@ def load_flows_csv(
                 continue
             for name, value in zip(_CSV_HEADER, values):
                 columns[name].append(value)
+    if quarantine is not None and quarantine.count > bad_before:
+        current_metrics().counter("ingest.quarantined_rows").inc(
+            quarantine.count - bad_before
+        )
     if own_quarantine and quarantine:
         logger.warning("%s", quarantine.render())
     return FlowTable(

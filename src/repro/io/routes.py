@@ -21,11 +21,14 @@ and records bad lines in a :class:`~repro.errors.Quarantine`.
 from __future__ import annotations
 
 import pathlib
+import time
 from collections.abc import Iterable, Iterator
 
 from repro.bgp.messages import RouteObservation
 from repro.errors import IngestError, Quarantine
 from repro.net.prefix import Prefix
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import current_tracer
 
 _RECORD = "TABLE_DUMP2"
 
@@ -99,21 +102,42 @@ def load_route_dump(
         raise ValueError(f"on_error must be one of {_ON_ERROR}")
     if on_error == "quarantine" and quarantine is None:
         quarantine = Quarantine(source=str(path))
-    with open(path) as handle:
-        for line_number, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                observation = _parse_record(line)
-            except ValueError as exc:
-                if on_error == "raise":
-                    raise IngestError(
-                        f"{path}:{line_number}: {exc}",
-                        path=str(path),
-                        line_number=line_number,
-                    ) from exc
-                assert quarantine is not None
-                quarantine.add(line_number, str(exc), line)
-                continue
-            yield observation
+    start = time.perf_counter()
+    yielded = 0
+    quarantined = 0
+    try:
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    observation = _parse_record(line)
+                except ValueError as exc:
+                    if on_error == "raise":
+                        raise IngestError(
+                            f"{path}:{line_number}: {exc}",
+                            path=str(path),
+                            line_number=line_number,
+                        ) from exc
+                    assert quarantine is not None
+                    quarantine.add(line_number, str(exc), line)
+                    quarantined += 1
+                    continue
+                yielded += 1
+                yield observation
+    finally:
+        # Record the span when the consumer finishes (or abandons)
+        # the stream — a generator has no other natural exit point.
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record(
+                "io.load_route_dump",
+                time.perf_counter() - start,
+                rows=yielded,
+                path=str(path),
+            )
+        if quarantined:
+            current_metrics().counter("ingest.quarantined_rows").inc(
+                quarantined
+            )

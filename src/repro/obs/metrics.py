@@ -1,0 +1,214 @@
+"""Counters, gauges and histograms with JSON-lines export.
+
+One :class:`MetricsRegistry` per process collects the run-level
+numbers the span ledger does not carry: rows classified per traffic
+class, chunk retries, quarantined ingest lines, peak RSS, per-chunk
+latency percentiles. Instruments are created on first use
+(``registry.counter("stream.rows").inc(n)``), are cheap enough for
+always-on recording at chunk granularity, and export as one JSON
+object per line so ``jq``/spreadsheet tooling can consume a run
+without a parser.
+
+The module keeps an ambient registry (:func:`current_metrics`) used by
+library instrumentation; the CLI's ``--metrics-out`` drains it to a
+``.jsonl`` file next to the run manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing count (retries, quarantined rows)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += int(amount)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready export record."""
+        return {"name": self.name, "kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that tracks its maximum (peak RSS)."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.max: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value (the running ``max`` is kept)."""
+        self.value = float(value)
+        if self.value > self.max:
+            self.max = self.value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready export record."""
+        return {
+            "name": self.name,
+            "kind": "gauge",
+            "value": self.value,
+            "max": self.max,
+        }
+
+
+class Histogram:
+    """A bounded-reservoir distribution (chunk latency percentiles).
+
+    Observations are kept verbatim up to ``max_samples``; beyond that
+    the reservoir is deterministically decimated (every other sample
+    dropped, stride doubled) so memory stays bounded without random
+    state. Percentiles are computed over the retained samples.
+    """
+
+    __slots__ = ("name", "samples", "count", "total", "_stride", "_skip",
+                 "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self._stride = 1
+        self._skip = 0
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        """Record one observation (subject to reservoir decimation)."""
+        self.count += 1
+        self.total += value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.samples.append(float(value))
+        if len(self.samples) >= self._max_samples:
+            self.samples = self.samples[::2]
+            self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over *all* observations (not the reservoir)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready export record with the standard percentiles."""
+        return {
+            "name": self.name,
+            "kind": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported as JSONL."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = kind(name)
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Every instrument's export record, keyed by metric name."""
+        return {name: inst.to_dict() for name, inst in self._instruments.items()}
+
+    def export_jsonl(self, path: str | pathlib.Path) -> int:
+        """Write one JSON object per instrument; returns the line count."""
+        records = [inst.to_dict() for inst in self._instruments.values()]
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    def clear(self) -> None:
+        """Drop every instrument (test isolation between runs)."""
+        self._instruments.clear()
+
+
+#: The process-wide ambient registry library instrumentation records
+#: into; drained by the CLI's ``--metrics-out``.
+_REGISTRY = MetricsRegistry()
+
+
+def current_metrics() -> MetricsRegistry:
+    """The ambient metrics registry."""
+    return _REGISTRY
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the ambient registry; returns the previous one (tests)."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes; normalise to bytes.
+    import sys
+
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024

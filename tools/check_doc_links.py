@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Markdown link checker (no third-party deps; stands in for lychee).
+
+Scans every ``*.md`` file in the repository for:
+
+* relative links — ``[text](path)`` and ``[text](path#anchor)`` must
+  point at an existing file or directory (anchors are checked against
+  the target's headings when the target is markdown);
+* bare intra-document anchors — ``[text](#section)`` must match a
+  heading in the same file;
+* fenced code references — `` `path/to/file.py` `` spans that look
+  like repo paths are verified to exist (set ``--no-code-refs`` off).
+
+External links (http/https/mailto) are recorded but not fetched — CI
+has no network — so typos in schemes are still caught. Exit status is
+non-zero when any broken reference is found:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md|yml|toml|txt|json))`")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             ".benchmarks"}
+
+
+def _anchor(text: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    text = re.sub(r"[`*_]", "", text.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text)
+
+
+def _headings(path: pathlib.Path) -> set[str]:
+    return {_anchor(m.group(1)) for m in HEADING.finditer(path.read_text())}
+
+
+def check_file(
+    path: pathlib.Path, root: pathlib.Path, check_code_refs: bool
+) -> list[str]:
+    """All broken references in one markdown file."""
+    text = path.read_text()
+    # Strip fenced code blocks: their brackets are code, not links.
+    prose = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    errors: list[str] = []
+
+    for match in LINK.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if _anchor(target[1:]) not in _headings(path):
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        ref, _, anchor = target.partition("#")
+        resolved = (path.parent / ref).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _anchor(anchor) not in _headings(resolved):
+                errors.append(
+                    f"{path}: broken anchor {target} "
+                    f"(no such heading in {ref})"
+                )
+
+    if check_code_refs:
+        for match in CODE_PATH.finditer(prose):
+            ref = match.group(1)
+            # Only treat it as a repo path if it contains a separator —
+            # bare filenames like `config.py` are prose, not paths.
+            if "/" not in ref:
+                continue
+            # Prose refers to modules package-relative (`core/stats.py`
+            # means src/repro/core/stats.py), so try the package root too.
+            candidates = (root / ref, path.parent / ref,
+                          root / "src" / "repro" / ref)
+            if not any(c.exists() for c in candidates):
+                errors.append(f"{path}: dangling code reference `{ref}`")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root", nargs="?", default=".", help="repository root to scan"
+    )
+    parser.add_argument(
+        "--no-code-refs",
+        action="store_true",
+        help="skip existence checks on `path/like.py` code spans",
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    files = [
+        path
+        for path in sorted(root.rglob("*.md"))
+        if not any(part in SKIP_DIRS for part in path.parts)
+    ]
+    if not files:
+        print(f"link check: no markdown files under {root}", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, root, not args.no_code_refs))
+
+    print(f"link check: {len(files)} markdown files scanned")
+    if errors:
+        for error in errors:
+            print(f"  {error}")
+        print(f"link check: {len(errors)} broken reference(s)")
+        return 1
+    print("link check: all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Docstring coverage gate (no third-party deps; stands in for interrogate).
+
+Walks the given packages with :mod:`ast` and counts, per module, which
+public (exported) definitions carry a docstring: the module itself,
+every public class, every public function/method, and public methods of
+public classes. Names are public unless they start with ``_``; if a
+module defines ``__all__`` as a literal list/tuple, only those names
+(plus the module docstring and the public methods of exported classes)
+are counted.
+
+Exit status is non-zero when overall coverage falls below the
+threshold (default 90%, the CI gate) or ``--require-all`` is given and
+any name is missing. Run it from the repo root:
+
+    python tools/docstring_gate.py --threshold 90 \\
+        src/repro/core src/repro/io src/repro/cones src/repro/obs
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+
+def _exported_names(tree: ast.Module) -> set[str] | None:
+    """The module's literal ``__all__`` entries, or None if undefined."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    names = set()
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.add(element.value)
+                    return names
+    return None
+
+
+def _is_public(name: str, exported: set[str] | None) -> bool:
+    if name.startswith("_"):
+        return False
+    return exported is None or name in exported
+
+
+def audit_module(path: pathlib.Path) -> tuple[list[str], list[str]]:
+    """Return (documented, missing) dotted names for one module."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    exported = _exported_names(tree)
+    documented: list[str] = []
+    missing: list[str] = []
+
+    def mark(name: str, node: ast.AST) -> None:
+        (documented if ast.get_docstring(node) else missing).append(name)
+
+    mark(f"{path}::<module>", tree)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name, exported):
+                mark(f"{path}::{node.name}", node)
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name, exported):
+                continue
+            mark(f"{path}::{node.name}", node)
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and (
+                    not member.name.startswith("_")
+                    or member.name == "__init__"
+                ):
+                    # __init__ is exempt when the class docstring covers
+                    # construction (the numpy/pandas convention).
+                    if member.name == "__init__":
+                        continue
+                    mark(f"{path}::{node.name}.{member.name}", member)
+    return documented, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="package directories")
+    parser.add_argument("--threshold", type=float, default=90.0)
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail on any missing docstring, regardless of threshold",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    documented: list[str] = []
+    missing: list[str] = []
+    for root in args.paths:
+        root = pathlib.Path(root)
+        files = (
+            sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        )
+        if not files:
+            print(f"docstring gate: no python files under {root}",
+                  file=sys.stderr)
+            return 2
+        for path in files:
+            good, bad = audit_module(path)
+            documented.extend(good)
+            missing.extend(bad)
+
+    total = len(documented) + len(missing)
+    coverage = 100.0 * len(documented) / total if total else 100.0
+    print(
+        f"docstring coverage: {len(documented)}/{total} public names "
+        f"({coverage:.1f}%, threshold {args.threshold:.0f}%)"
+    )
+    if missing and (args.verbose or coverage < args.threshold
+                    or args.require_all):
+        print("missing docstrings:")
+        for name in missing:
+            print(f"  {name}")
+    if coverage < args.threshold or (args.require_all and missing):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
