@@ -80,7 +80,9 @@ class ReachabilityClosure:
 
     def counts(self) -> np.ndarray:
         """Vector of reach counts for every node."""
-        return self.weighted_counts(np.ones(self._n)).astype(np.int64)
+        return self.weighted_counts(
+            np.ones(self._n, dtype=np.float64)
+        ).astype(np.int64)
 
     def weighted_counts(self, weights: np.ndarray) -> np.ndarray:
         """Per-node sum of ``weights`` over the reachable set.

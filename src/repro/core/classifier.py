@@ -37,6 +37,11 @@ import time
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+    from multiprocessing.pool import Pool
 
 import numpy as np
 
@@ -81,6 +86,14 @@ FaultInjector = Callable[[int, int, bool], None]
 _STREAM_CLASSIFIER: "SpoofingClassifier | None" = None
 _STREAM_TABLE: FlowTable | None = None
 _STREAM_INJECTOR: FaultInjector | None = None
+
+#: The save/restore registry: every mutable module global a pool
+#: worker reads MUST be listed here — ``_classify_parallel`` snapshots
+#: and restores exactly these names, and reprolint rule RL002 rejects
+#: any worker that reads an unregistered global. Extending the worker
+#: protocol means extending this tuple, which is what keeps fork and
+#: spawn behaviour symmetric by construction.
+_STREAM_GLOBALS = ("_STREAM_CLASSIFIER", "_STREAM_TABLE", "_STREAM_INJECTOR")
 
 
 @dataclass(frozen=True)
@@ -170,7 +183,7 @@ def _inject(chunk_index: int, attempt: int) -> None:
         _STREAM_INJECTOR(chunk_index, attempt, True)
 
 
-def _classify_and_summarize(chunk: FlowTable, keep_labels: bool):
+def _classify_and_summarize(chunk: FlowTable, keep_labels: bool) -> ChunkSummary:
     """Worker-side classify that captures the chunk's span records.
 
     The captured records travel back to the supervisor inside the
@@ -186,7 +199,7 @@ def _classify_and_summarize(chunk: FlowTable, keep_labels: bool):
     return summarize_chunk(result, keep_labels=keep_labels, spans=spans)
 
 
-def _stream_worker(payload: tuple[FlowTable, bool, int, int]):
+def _stream_worker(payload: tuple[FlowTable, bool, int, int]) -> ChunkSummary:
     """Classify one pickled chunk (spawn pools / explicit chunk iterables)."""
     chunk, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None
@@ -194,7 +207,9 @@ def _stream_worker(payload: tuple[FlowTable, bool, int, int]):
     return _classify_and_summarize(chunk, keep_labels)
 
 
-def _stream_worker_range(payload: tuple[int, int, bool, int, int]):
+def _stream_worker_range(
+    payload: tuple[int, int, bool, int, int]
+) -> ChunkSummary:
     """Classify rows [start, stop) of the fork-inherited table."""
     start, stop, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None and _STREAM_TABLE is not None
@@ -521,8 +536,10 @@ class SpoofingClassifier:
         # methods: fork workers inherit the globals set here, spawn
         # workers receive the same state through the initializer, and
         # the parent's globals always return to their previous values
-        # so repeated streamed runs can't observe stale state.
-        previous = (_STREAM_CLASSIFIER, _STREAM_TABLE, _STREAM_INJECTOR)
+        # so repeated streamed runs can't observe stale state. The
+        # snapshot is driven by the _STREAM_GLOBALS registry so a new
+        # worker global cannot be wired in without joining it.
+        previous = {name: globals()[name] for name in _STREAM_GLOBALS}
         if fork:
             _STREAM_CLASSIFIER = self
             _STREAM_TABLE = table
@@ -546,11 +563,11 @@ class SpoofingClassifier:
                     injector, failures,
                 )
         finally:
-            _STREAM_CLASSIFIER, _STREAM_TABLE, _STREAM_INJECTOR = previous
+            globals().update(previous)
 
     def _stream_unsupervised(
         self,
-        ctx,
+        ctx: BaseContext,
         n_workers: int,
         initargs: tuple,
         table: FlowTable | None,
@@ -584,7 +601,7 @@ class SpoofingClassifier:
 
     def _stream_supervised(
         self,
-        ctx,
+        ctx: BaseContext,
         n_workers: int,
         initargs: tuple,
         table: FlowTable | None,
@@ -621,14 +638,14 @@ class SpoofingClassifier:
                 jobs_iter = iter(flow_chunks)
         jobs = enumerate(jobs_iter)
 
-        def make_pool():
+        def make_pool() -> Pool:
             return ctx.Pool(
                 processes=n_workers,
                 initializer=_stream_init,
                 initargs=initargs,
             )
 
-        def submit(pool, index: int, job, attempt: int) -> _InFlight:
+        def submit(pool: Pool, index: int, job: Any, attempt: int) -> _InFlight:
             if use_ranges:
                 start, stop = job
                 payload = (start, stop, keep_labels, index, attempt)
@@ -643,14 +660,16 @@ class SpoofingClassifier:
             )
             return _InFlight(index, job, attempt, result, deadline)
 
-        def inline_chunk(job) -> FlowTable:
+        def inline_chunk(job: Any) -> FlowTable:
             if use_ranges:
                 assert table is not None
                 start, stop = job
                 return table.select(slice(start, stop))
             return job
 
-        def resolve_failure(pool, failed: _InFlight, exc: BaseException):
+        def resolve_failure(
+            pool: Pool, failed: _InFlight, exc: BaseException
+        ) -> tuple[str, Any]:
             """Apply the policy to one failed chunk.
 
             Returns ``("resubmitted", entry)``, ``("summary", s)``, or

@@ -123,8 +123,8 @@ class ClassificationResult:
         members = self.flows.member
         mask = self.class_mask(approach, traffic_class)
         unique_members, inverse = np.unique(members, return_inverse=True)
-        totals = np.zeros(unique_members.size)
-        in_class = np.zeros(unique_members.size)
+        totals = np.zeros(unique_members.size, dtype=np.float64)
+        in_class = np.zeros(unique_members.size, dtype=np.float64)
         np.add.at(totals, inverse, weights)
         np.add.at(in_class, inverse, np.where(mask, weights, 0.0))
         shares = np.divide(

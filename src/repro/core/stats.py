@@ -140,7 +140,7 @@ class StageClock:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         elapsed = time.perf_counter() - self._start
         if self._stats is not None:
             self._stats.record(self._name, elapsed, self._rows)

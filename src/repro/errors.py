@@ -32,7 +32,7 @@ class ReproError(Exception):
     pass through optional fields unconditionally.
     """
 
-    def __init__(self, message: str = "", **context) -> None:
+    def __init__(self, message: str = "", **context: object) -> None:
         super().__init__(message)
         self.context = {k: v for k, v in context.items() if v is not None}
 
@@ -53,7 +53,7 @@ class IngestError(ReproError, ValueError):
         *,
         path: str | None = None,
         line_number: int | None = None,
-        **context,
+        **context: object,
     ) -> None:
         super().__init__(
             message, path=path, line_number=line_number, **context
@@ -77,7 +77,7 @@ class ClassificationError(ReproError):
         *,
         chunk_index: int | None = None,
         member_asn: int | None = None,
-        **context,
+        **context: object,
     ) -> None:
         super().__init__(
             message, chunk_index=chunk_index, member_asn=member_asn, **context
@@ -97,7 +97,7 @@ class WorkerError(ClassificationError):
         *,
         chunk_index: int | None = None,
         attempts: int | None = None,
-        **context,
+        **context: object,
     ) -> None:
         super().__init__(
             message, chunk_index=chunk_index, attempts=attempts, **context

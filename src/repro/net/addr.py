@@ -6,7 +6,12 @@ conversions exist for I/O and debugging; all hot paths stay on ints.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.net.errors import AddressError
+
+if TYPE_CHECKING:
+    import numpy as np
 
 MAX_IPV4 = 2**32 - 1
 
@@ -71,7 +76,9 @@ def parse_prefix(text: str) -> tuple[int, int]:
     return network, length
 
 
-def random_addr_in_prefix(rng, network: int, length: int) -> int:
+def random_addr_in_prefix(
+    rng: np.random.Generator, network: int, length: int
+) -> int:
     """Draw a uniform random address inside ``network/length``.
 
     ``rng`` is a :class:`numpy.random.Generator`.

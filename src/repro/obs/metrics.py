@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Iterator
+from typing import Any, Iterator, TypeVar, cast
+
+_InstrumentT = TypeVar("_InstrumentT", bound="Counter | Gauge | Histogram")
 
 
 class Counter:
@@ -138,7 +140,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, kind: type):
+    def _get(self, name: str, kind: type[_InstrumentT]) -> _InstrumentT:
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = self._instruments[name] = kind(name)
@@ -147,7 +149,7 @@ class MetricsRegistry:
                 f"metric {name!r} is a {type(instrument).__name__}, "
                 f"not a {kind.__name__}"
             )
-        return instrument
+        return cast(_InstrumentT, instrument)
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name`` (created on first use)."""

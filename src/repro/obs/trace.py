@@ -25,7 +25,7 @@ run's spans agrees with the stage table exactly (asserted in
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
@@ -110,7 +110,9 @@ class Tracer:
         self._stack: list[str] = []
 
     @contextmanager
-    def span(self, name: str, *, rows: int = 0, **attrs) -> Iterator[None]:
+    def span(
+        self, name: str, *, rows: int = 0, **attrs: object
+    ) -> Iterator[None]:
         """Open a nested span; the record is appended on exit."""
         if not self.enabled:
             yield
@@ -136,7 +138,7 @@ class Tracer:
             )
 
     def record(
-        self, name: str, seconds: float, *, rows: int = 0, **attrs
+        self, name: str, seconds: float, *, rows: int = 0, **attrs: object
     ) -> None:
         """Append an already-measured span (no nesting side effects).
 
@@ -210,7 +212,9 @@ def tracing_enabled() -> bool:
     return _TRACER.enabled
 
 
-def trace(name: str, *, rows: int = 0, **attrs):
+def trace(
+    name: str, *, rows: int = 0, **attrs: object
+) -> AbstractContextManager[None]:
     """``with trace("classify.invalid", rows=n):`` on the ambient tracer."""
     return _TRACER.span(name, rows=rows, **attrs)
 

@@ -1,0 +1,828 @@
+"""reprolint rule fixtures: every rule fires on the bad shape, stays
+quiet on the repaired shape, and respects both suppression layers.
+
+Each test builds a miniature repo under ``tmp_path`` (the rules are
+path-sensitive: ``src/`` scoping, the classifier allowlist, hot-path
+directories) and runs the real driver with ``--select`` narrowed to
+the rule under test so fixtures never trip neighbouring rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from tools import check_doc_links, docstring_gate, type_coverage
+from tools.reprolint.baseline import Baseline, write_baseline
+from tools.reprolint.checks._astutil import import_map, resolve_call_name
+from tools.reprolint.context import LintConfig
+from tools.reprolint.findings import Finding, apply_inline, inline_disables
+from tools.reprolint.registry import all_rules
+from tools.reprolint.runner import main as reprolint_main
+from tools.reprolint.runner import run
+
+
+def lint(
+    root,
+    files,
+    inputs=("src",),
+    *,
+    select=None,
+    config=None,
+    use_baseline=False,
+    baseline_path=None,
+):
+    """Write the fixture tree and run the real driver over it."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    findings, meta = run(
+        root,
+        list(inputs),
+        config=config,
+        select=frozenset(select) if select else None,
+        use_baseline=use_baseline,
+        baseline_path=baseline_path,
+        jobs=1,
+    )
+    return findings, meta
+
+
+def active(findings):
+    return [f for f in findings if f.active]
+
+
+# ---------------------------------------------------------------- RL001
+
+
+POOL_FIXTURE = """\
+    import multiprocessing
+
+    def build():
+        return multiprocessing.Pool(4)
+    """
+
+
+def test_rl001_fires_on_raw_pool_in_src(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/util/pools.py": POOL_FIXTURE},
+        select={"RL001"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL001"
+    assert finding.path == "src/repro/util/pools.py"
+    assert finding.line == 4
+    assert "multiprocessing.Pool" in finding.message
+
+
+def test_rl001_fires_on_executor_and_context_pool(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/exec.py": """\
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            def build():
+                ctx = mp.get_context("spawn")
+                return ProcessPoolExecutor(2), ctx.Pool(2)
+            """,
+        },
+        select={"RL001"},
+    )
+    assert len(active(findings)) == 2
+
+
+def test_rl001_quiet_in_allowlisted_file_and_outside_src(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/classifier.py": POOL_FIXTURE,
+            "tools/helper.py": POOL_FIXTURE,
+        },
+        inputs=("src", "tools"),
+        select={"RL001"},
+    )
+    assert active(findings) == []
+
+
+def test_rl001_inline_disable_records_suppression(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/pools.py": """\
+            import multiprocessing
+
+            def build():
+                return multiprocessing.Pool(4)  # reprolint: disable=RL001
+            """,
+        },
+        select={"RL001"},
+    )
+    (finding,) = findings
+    assert finding.suppressed == "inline"
+    assert not finding.active
+
+
+# ---------------------------------------------------------------- RL002
+
+
+RL002_BAD = """\
+    _CACHE = None
+
+    def _worker(item):
+        return (_CACHE, item)
+
+    def fan_out(pool, items):
+        global _CACHE
+        _CACHE = {}
+        return pool.imap(_worker, items)
+    """
+
+
+def test_rl002_fires_without_registry(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/util/stream.py": RL002_BAD},
+        select={"RL002"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL002"
+    assert "_CACHE" in finding.message
+    assert "defines no _STREAM_GLOBALS" in finding.message
+
+
+def test_rl002_quiet_when_global_registered(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/stream.py": '_STREAM_GLOBALS = ("_CACHE",)\n'
+            + textwrap.dedent(RL002_BAD),
+        },
+        select={"RL002"},
+    )
+    assert active(findings) == []
+
+
+def test_rl002_fires_when_registry_incomplete(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/stream.py": '_STREAM_GLOBALS = ("_OTHER",)\n'
+            + textwrap.dedent(RL002_BAD),
+        },
+        select={"RL002"},
+    )
+    (finding,) = active(findings)
+    assert "not listed in _STREAM_GLOBALS" in finding.message
+
+
+# ---------------------------------------------------------------- RL003
+
+
+RL003_BAD = """\
+    from repro.obs.trace import current_tracer
+
+    def _worker(item):
+        tracer = current_tracer()
+        return item
+
+    def fan_out(ctx, items):
+        with ctx.Pool(2) as pool:
+            return pool.map(_worker, items)
+    """
+
+
+def test_rl003_fires_when_tracing_worker_has_no_initializer(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/util/traced.py": RL003_BAD},
+        select={"RL003"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL003"
+    assert "_worker" in finding.message
+    assert "enable_tracing" in finding.message
+
+
+def test_rl003_quiet_when_initializer_rearms(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/traced.py": """\
+            from repro.obs.trace import current_tracer, enable_tracing
+
+            def _init(enabled):
+                enable_tracing(enabled)
+
+            def _worker(item):
+                tracer = current_tracer()
+                return item
+
+            def fan_out(ctx, items):
+                with ctx.Pool(2, initializer=_init, initargs=(True,)) as pool:
+                    return pool.map(_worker, items)
+            """,
+        },
+        select={"RL003"},
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL004
+
+
+RL004_BAD = """\
+    import numpy as np
+
+    def build(values):
+        widened = np.zeros(4)
+        copied = values.astype(copy=False)
+        boxed = np.asarray(values, dtype=object)
+        out = []
+        for item in widened:
+            out.append(item)
+        return widened, copied, boxed, out
+    """
+
+
+def test_rl004_fires_on_hot_path_dtype_indiscipline(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/core/hot.py": RL004_BAD},
+        select={"RL004"},
+    )
+    messages = [f.message for f in active(findings)]
+    assert len(messages) == 4
+    assert any("np.zeros()" in m for m in messages)
+    assert any(".astype()" in m for m in messages)
+    assert any("dtype=object" in m for m in messages)
+    assert any("list-append loop" in m for m in messages)
+
+
+def test_rl004_quiet_outside_hot_path_and_when_repaired(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/io/cold.py": RL004_BAD,
+            "src/repro/core/hot.py": """\
+            import numpy as np
+
+            def build(values):
+                widened = np.zeros(4, dtype=np.float64)
+                copied = values.astype(np.int64, copy=False)
+                packed = np.asarray(values, dtype=np.uint32)
+                return widened, copied, packed, widened.tolist()
+            """,
+        },
+        select={"RL004"},
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL005
+
+
+def test_rl005_fires_on_bare_except_raise_exception_and_rogue_class(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/errors.py": """\
+            class CustomError(Exception):
+                pass
+
+            def f():
+                try:
+                    return 1
+                except:
+                    raise Exception("boom")
+            """,
+        },
+        select={"RL005"},
+    )
+    messages = sorted(f.message for f in active(findings))
+    assert len(messages) == 3
+    assert any("bare except" in m for m in messages)
+    assert any("raise Exception" in m for m in messages)
+    assert any("CustomError" in m for m in messages)
+
+
+def test_rl005_quiet_when_taxonomy_is_used(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/errors.py": """\
+            from repro.errors import ReproError
+
+            class CustomError(ReproError):
+                pass
+
+            class DerivedError(CustomError):
+                pass
+
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    raise DerivedError("boom")
+            """,
+        },
+        select={"RL005"},
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL006
+
+
+def test_rl006_fires_on_wallclock_in_core(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/timing.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        },
+        select={"RL006"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL006"
+    assert "time.time() in core/" in finding.message
+
+
+def test_rl006_fires_only_in_worker_closure_outside_core(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/traffic/gen.py": """\
+            import time
+
+            def _worker(item):
+                return time.time()
+
+            def supervisor():
+                return time.time()
+
+            def fan_out(pool, items):
+                return pool.map(_worker, items)
+            """,
+        },
+        select={"RL006"},
+    )
+    (finding,) = active(findings)
+    assert "in a pool worker" in finding.message
+
+
+def test_rl006_quiet_for_monotonic_timers(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/timing.py": """\
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+        },
+        select={"RL006"},
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL007
+
+
+def test_rl007_fires_on_mutable_defaults(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/defaults.py": """\
+            def f(items=[], *, lookup=dict()):
+                return items, lookup
+            """,
+        },
+        select={"RL007"},
+    )
+    assert len(active(findings)) == 2
+
+
+def test_rl007_quiet_with_none_sentinel(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/defaults.py": """\
+            def f(items=None, *, lookup=None):
+                return items or [], lookup or {}
+            """,
+        },
+        select={"RL007"},
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL008
+
+
+def test_rl008_fires_on_unreferenced_public_symbol(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/analysis/extra.py": """\
+            def orphan_helper():
+                return 1
+            """,
+        },
+        select={"RL008"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL008"
+    assert "orphan_helper" in finding.message
+
+
+def test_rl008_quiet_when_imported_elsewhere(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/analysis/extra.py": """\
+            def orphan_helper():
+                return 1
+            """,
+            "src/repro/analysis/user.py": """\
+            from repro.analysis.extra import orphan_helper
+
+            def _use():
+                return orphan_helper()
+            """,
+        },
+        select={"RL008"},
+    )
+    assert active(findings) == []
+
+
+def test_rl008_quiet_when_markdown_corpus_mentions_symbol(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/analysis/extra.py": """\
+            def orphan_helper():
+                return 1
+            """,
+            "docs/API.md": "Call `orphan_helper` to do the thing.\n",
+        },
+        select={"RL008"},
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL101
+
+
+def test_rl101_fires_below_docstring_threshold(tmp_path):
+    config = LintConfig(docstring_packages=("src/repro/bare",))
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/bare/__init__.py": """\
+            def alpha():
+                return 1
+
+            def beta():
+                return 2
+            """,
+        },
+        select={"RL101"},
+        config=config,
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL101"
+    assert finding.path == "src/repro/bare/__init__.py"
+    assert "docstring coverage" in finding.message
+
+
+def test_rl101_quiet_when_documented(tmp_path):
+    config = LintConfig(docstring_packages=("src/repro/bare",))
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/bare/__init__.py": '''\
+            """Package docstring."""
+
+            def alpha():
+                """Documented."""
+                return 1
+            ''',
+        },
+        select={"RL101"},
+        config=config,
+    )
+    assert active(findings) == []
+
+
+# ---------------------------------------------------------------- RL102
+
+
+def test_rl102_fires_on_broken_markdown_reference(tmp_path):
+    (tmp_path / "README.md").write_text("# Title\n")
+    findings, _ = lint(
+        tmp_path,
+        {
+            "docs/GUIDE.md": textwrap.dedent(
+                """\
+                # Guide
+
+                See [the readme](../README.md) and [nothing](missing.md).
+                """
+            ),
+        },
+        inputs=("docs",),
+        select={"RL102"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL102"
+    assert finding.path == "docs/GUIDE.md"
+    assert finding.line == 3
+    assert "missing.md" in finding.message
+    assert "[link]" in finding.message
+
+
+def test_rl102_quiet_when_references_resolve(tmp_path):
+    (tmp_path / "README.md").write_text("# Title\n")
+    findings, _ = lint(
+        tmp_path,
+        {
+            "docs/GUIDE.md": "# Guide\n\nSee [the readme](../README.md).\n",
+        },
+        inputs=("docs",),
+        select={"RL102"},
+    )
+    assert active(findings) == []
+
+
+# ------------------------------------------------------- parse failures
+
+
+def test_rl000_reports_syntax_errors(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/util/broken.py": "def f(:\n    pass\n"},
+    )
+    assert [f.rule for f in active(findings)] == ["RL000"]
+
+
+# ------------------------------------------------------------- baseline
+
+
+def test_baseline_suppresses_by_code_even_after_line_drift(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "RL007",
+                        "path": "src/repro/util/defaults.py",
+                        "line": 999,
+                        "code": "def f(items=[]):",
+                        "justification": "fixture keeps the defect",
+                    }
+                ],
+            }
+        )
+    )
+    findings, meta = lint(
+        tmp_path,
+        {
+            "src/repro/util/defaults.py": """\
+            # a comment that shifts every line number
+
+
+            def f(items=[]):
+                return items
+            """,
+        },
+        select={"RL007"},
+        use_baseline=True,
+        baseline_path=baseline_path,
+    )
+    (finding,) = findings
+    assert finding.suppressed == "baseline"
+    assert finding.justification == "fixture keeps the defect"
+    assert meta["stale_baseline"] == []
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "RL007",
+                        "path": "src/repro/util/gone.py",
+                        "code": "def f(items=[]):",
+                        "justification": "file was deleted",
+                    }
+                ],
+            }
+        )
+    )
+    findings, meta = lint(
+        tmp_path,
+        {"src/repro/util/clean.py": "def f(items=None):\n    return items\n"},
+        select={"RL007"},
+        use_baseline=True,
+        baseline_path=baseline_path,
+    )
+    assert active(findings) == []
+    assert len(meta["stale_baseline"]) == 1
+    assert meta["stale_baseline"][0]["path"] == "src/repro/util/gone.py"
+
+
+def test_write_baseline_round_trip_silences_the_run(tmp_path):
+    files = {
+        "src/repro/util/defaults.py": "def f(items=[]):\n    return items\n"
+    }
+    findings, meta = lint(tmp_path, files, select={"RL007"})
+    assert len(active(findings)) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    count = write_baseline(baseline_path, findings, meta["lines_of"])
+    assert count == 1
+    entry = json.loads(baseline_path.read_text())["entries"][0]
+    assert entry["code"] == "def f(items=[]):"
+    assert entry["justification"] == "TODO: justify or fix"
+
+    findings, _ = lint(
+        tmp_path,
+        files,
+        select={"RL007"},
+        use_baseline=True,
+        baseline_path=baseline_path,
+    )
+    assert active(findings) == []
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        Baseline.load(bad)
+
+
+# ------------------------------------------------- inline-disable parsing
+
+
+def test_inline_disable_parses_lists_and_all():
+    lines = [
+        "x = 1  # reprolint: disable=RL001,RL004",
+        "y = 2",
+        "z = 3  # reprolint: disable=all",
+    ]
+    disabled = inline_disables(lines)
+    assert disabled == {1: {"RL001", "RL004"}, 3: {"all"}}
+
+    findings = [
+        Finding("m.py", 1, 1, "RL004", "a"),
+        Finding("m.py", 2, 1, "RL004", "b"),
+        Finding("m.py", 3, 1, "RL008", "c"),
+    ]
+    marked = apply_inline(findings, disabled)
+    assert [f.suppressed for f in marked] == ["inline", None, "inline"]
+
+
+# --------------------------------------------------------------- driver
+
+
+def test_main_exit_codes_and_json_artifact(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "util"
+    src.mkdir(parents=True)
+    (src / "defaults.py").write_text("def f(items=[]):\n    return items\n")
+    report_path = tmp_path / "report.json"
+
+    rc = reprolint_main(
+        [
+            "src",
+            "--root",
+            str(tmp_path),
+            "--select",
+            "RL007",
+            "--jobs",
+            "1",
+            "--json-out",
+            str(report_path),
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "src/repro/util/defaults.py:1:" in out
+    report = json.loads(report_path.read_text())
+    assert report["active"] == 1
+    assert report["findings"][0]["rule"] == "RL007"
+
+    (src / "defaults.py").write_text("def f(items=None):\n    return items\n")
+    rc = reprolint_main(
+        ["src", "--root", str(tmp_path), "--select", "RL007", "--jobs", "1"]
+    )
+    assert rc == 0
+
+    rc = reprolint_main(["no/such/dir", "--root", str(tmp_path)])
+    assert rc == 2
+
+
+def test_rule_inventory_is_complete():
+    rules = {rule for rule, _ in all_rules()}
+    assert rules == {
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+        "RL101",
+        "RL102",
+    }
+
+
+def test_resolve_call_name_traces_context_pools():
+    tree = ast.parse(
+        "import multiprocessing as mp\n"
+        'pool = mp.get_context("fork").Pool(2)\n'
+    )
+    imports = import_map(tree)
+    call = tree.body[1].value
+    assert (
+        resolve_call_name(call.func, imports)
+        == "multiprocessing.get_context().Pool"
+    )
+
+
+# ------------------------------------------- companion tools' exit codes
+
+
+def test_doc_link_exit_codes_are_distinct_per_category(tmp_path):
+    def issue(category):
+        return check_doc_links.LinkIssue(category, tmp_path, 1, "x")
+
+    assert check_doc_links.exit_code_for([]) == 0
+    assert check_doc_links.exit_code_for(
+        [issue(check_doc_links.CATEGORY_LINK)]
+    ) == check_doc_links.EXIT_BROKEN_LINKS
+    assert check_doc_links.exit_code_for(
+        [issue(check_doc_links.CATEGORY_ANCHOR)]
+    ) == check_doc_links.EXIT_BROKEN_ANCHORS
+    assert check_doc_links.exit_code_for(
+        [issue(check_doc_links.CATEGORY_CODE_REF)]
+    ) == check_doc_links.EXIT_DANGLING_CODE_REFS
+    assert check_doc_links.exit_code_for(
+        [
+            issue(check_doc_links.CATEGORY_LINK),
+            issue(check_doc_links.CATEGORY_ANCHOR),
+        ]
+    ) == check_doc_links.EXIT_MULTIPLE
+
+
+def test_docstring_gate_exit_codes_are_distinct():
+    codes = {
+        docstring_gate.EXIT_OK,
+        docstring_gate.EXIT_NO_FILES,
+        docstring_gate.EXIT_BELOW_THRESHOLD,
+        docstring_gate.EXIT_MISSING_REQUIRED,
+    }
+    assert codes == {0, 2, 3, 4}
+
+
+def test_type_coverage_counts_and_gates(tmp_path):
+    module = tmp_path / "mod.py"
+    module.write_text(
+        textwrap.dedent(
+            """\
+            def typed(x: int) -> int:
+                return x
+
+            def untyped(x):
+                return x
+            """
+        )
+    )
+    tally = type_coverage.audit_module(module)
+    assert (tally.annotated, tally.total) == (2, 4)
+    assert any("untyped(x)" in slot for slot in tally.missing)
+
+    assert type_coverage.main([str(module), "--require", "100"]) == 3
+    assert type_coverage.main([str(module), "--require", "50"]) == 0
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert type_coverage.main([str(empty)]) == 2

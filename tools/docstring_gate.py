@@ -9,12 +9,24 @@ module defines ``__all__`` as a literal list/tuple, only those names
 (plus the module docstring and the public methods of exported classes)
 are counted.
 
-Exit status is non-zero when overall coverage falls below the
-threshold (default 90%, the CI gate) or ``--require-all`` is given and
-any name is missing. Run it from the repo root:
+Exit codes are distinct per failure category so CI logs identify which
+gate tripped:
+
+* 0 — coverage at or above the threshold (and nothing missing under
+  ``--require-all``);
+* 2 — usage error (a given path holds no python files);
+* 3 — overall coverage below the threshold (default 90%, the CI gate);
+* 4 — coverage met the threshold but ``--require-all`` was given and
+  at least one name is missing.
+
+Run it from the repo root:
 
     python tools/docstring_gate.py --threshold 90 \\
         src/repro/core src/repro/io src/repro/cones src/repro/obs
+
+The module is also imported by ``tools.reprolint`` (rule RL101), which
+runs :func:`audit_package` over the configured package roots inside
+the one static gate.
 """
 
 from __future__ import annotations
@@ -23,6 +35,11 @@ import argparse
 import ast
 import pathlib
 import sys
+
+EXIT_OK = 0
+EXIT_NO_FILES = 2
+EXIT_BELOW_THRESHOLD = 3
+EXIT_MISSING_REQUIRED = 4
 
 
 def _exported_names(tree: ast.Module) -> set[str] | None:
@@ -83,6 +100,24 @@ def audit_module(path: pathlib.Path) -> tuple[list[str], list[str]]:
     return documented, missing
 
 
+def audit_package(root: pathlib.Path) -> tuple[list[str], list[str]]:
+    """Aggregate :func:`audit_module` over one package directory.
+
+    Returns ``(documented, missing)`` dotted names across every
+    ``*.py`` under ``root`` (or just ``root`` when it is a file). The
+    ``tools.reprolint`` RL101 plugin consumes this to compute the same
+    coverage number the standalone gate prints.
+    """
+    files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+    documented: list[str] = []
+    missing: list[str] = []
+    for path in files:
+        good, bad = audit_module(path)
+        documented.extend(good)
+        missing.extend(bad)
+    return documented, missing
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="+", help="package directories")
@@ -99,17 +134,13 @@ def main(argv: list[str] | None = None) -> int:
     missing: list[str] = []
     for root in args.paths:
         root = pathlib.Path(root)
-        files = (
-            sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        )
-        if not files:
+        if root.is_dir() and not any(root.rglob("*.py")):
             print(f"docstring gate: no python files under {root}",
                   file=sys.stderr)
-            return 2
-        for path in files:
-            good, bad = audit_module(path)
-            documented.extend(good)
-            missing.extend(bad)
+            return EXIT_NO_FILES
+        good, bad = audit_package(root)
+        documented.extend(good)
+        missing.extend(bad)
 
     total = len(documented) + len(missing)
     coverage = 100.0 * len(documented) / total if total else 100.0
@@ -122,9 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         print("missing docstrings:")
         for name in missing:
             print(f"  {name}")
-    if coverage < args.threshold or (args.require_all and missing):
-        return 1
-    return 0
+    if coverage < args.threshold:
+        return EXIT_BELOW_THRESHOLD
+    if args.require_all and missing:
+        return EXIT_MISSING_REQUIRED
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,38 @@
+"""reprolint — this repo's static-analysis framework.
+
+A plugin-based linter on stdlib :mod:`ast` that machine-checks the
+invariants reviewer vigilance used to carry: pool discipline, the
+fork/spawn worker-global registry, span re-arm, hot-path numpy dtype
+discipline, the exception taxonomy, wall-clock discipline, plus
+generic hygiene and the documentation gates. See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and
+``python -m tools.reprolint --list-rules`` for the live registry.
+
+Public surface:
+
+* :func:`tools.reprolint.runner.main` / ``python -m tools.reprolint``;
+* :class:`tools.reprolint.findings.Finding`;
+* :class:`tools.reprolint.context.LintConfig` (policy as data — tests
+  rewrite it per fixture);
+* :func:`tools.reprolint.registry.register` for new checkers.
+"""
+
+from tools.reprolint.context import LintConfig
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import (
+    Checker,
+    ProjectChecker,
+    all_rules,
+    register,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "ProjectChecker",
+    "all_rules",
+    "register",
+]
+
+__version__ = "1.0"

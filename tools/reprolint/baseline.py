@@ -1,0 +1,158 @@
+"""The committed baseline: known findings carried with a justification.
+
+``tools/reprolint_baseline.json`` records findings that are understood
+and intentionally kept — each entry pairs the firing with a one-line
+justification, which is the review contract: adding an entry means
+explaining why the invariant does not apply there.
+
+Entries match on ``(rule, path, code)`` where ``code`` is the stripped
+source line text — stable across unrelated edits that shift line
+numbers (the stored ``line`` is informational). Identical lines in one
+file consume one entry per firing, count-based. Stale entries (nothing
+matched them) are reported as warnings so the baseline shrinks as code
+is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from tools.reprolint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding and why it is acceptable."""
+
+    rule: str
+    path: str
+    code: str
+    line: int = 0
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+
+@dataclass
+class Baseline:
+    """The loaded baseline plus match bookkeeping for one run."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    _pool: dict[tuple[str, str, str], list[BaselineEntry]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for entry in self.entries:
+            self._pool.setdefault(entry.key(), []).append(entry)
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Read a baseline file (missing file → empty baseline)."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                code=item["code"],
+                line=int(item.get("line", 0)),
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def apply(
+        self, findings: list[Finding], lines_of: dict[str, list[str]]
+    ) -> list[Finding]:
+        """Mark findings covered by an entry as baseline-suppressed."""
+        out: list[Finding] = []
+        for finding in findings:
+            if not finding.active:
+                out.append(finding)
+                continue
+            lines = lines_of.get(finding.path, [])
+            code = (
+                lines[finding.line - 1].strip()
+                if 0 < finding.line <= len(lines)
+                else ""
+            )
+            matches = self._pool.get((finding.rule, finding.path, code))
+            if matches:
+                entry = matches.pop(0)
+                out.append(
+                    Finding(
+                        finding.path,
+                        finding.line,
+                        finding.col,
+                        finding.rule,
+                        finding.message,
+                        suppressed="baseline",
+                        justification=entry.justification,
+                    )
+                )
+            else:
+                out.append(finding)
+        return out
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries no finding consumed this run (candidates for removal)."""
+        return [entry for bucket in self._pool.values() for entry in bucket]
+
+
+def write_baseline(
+    path: pathlib.Path,
+    findings: list[Finding],
+    lines_of: dict[str, list[str]],
+    previous: Baseline | None = None,
+) -> int:
+    """Write every *active* finding as a baseline entry; returns count.
+
+    Justifications from a previous baseline are carried over when the
+    ``(rule, path, code)`` key still matches; new entries get a TODO
+    marker so review can insist on a real justification.
+    """
+    carried: dict[tuple[str, str, str], list[str]] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            carried.setdefault(entry.key(), []).append(entry.justification)
+    entries = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        if not finding.active:
+            continue
+        lines = lines_of.get(finding.path, [])
+        code = (
+            lines[finding.line - 1].strip()
+            if 0 < finding.line <= len(lines)
+            else ""
+        )
+        key = (finding.rule, finding.path, code)
+        justifications = carried.get(key)
+        justification = (
+            justifications.pop(0)
+            if justifications
+            else "TODO: justify or fix"
+        )
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "code": code,
+                "justification": justification,
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return len(entries)

@@ -1,0 +1,26 @@
+"""The shipped ruleset — importing this package registers every rule.
+
+File rules (run per module, possibly in parallel workers):
+
+* RL001 pool discipline, RL002 worker-global registry, RL003 span
+  re-arm (:mod:`tools.reprolint.checks.concurrency`);
+* RL004 hot-path numpy (:mod:`tools.reprolint.checks.hotpath`);
+* RL005 exception taxonomy (:mod:`tools.reprolint.checks.taxonomy`);
+* RL006 wall-clock discipline (:mod:`tools.reprolint.checks.wallclock`);
+* RL007 mutable defaults (:mod:`tools.reprolint.checks.generic`).
+
+Project rules (run once over the merged summaries):
+
+* RL008 dead public symbols (:mod:`tools.reprolint.checks.generic`);
+* RL101 docstring coverage, RL102 doc links
+  (:mod:`tools.reprolint.checks.docs`).
+"""
+
+from tools.reprolint.checks import (  # noqa: F401  (import = registration)
+    concurrency,
+    docs,
+    generic,
+    hotpath,
+    taxonomy,
+    wallclock,
+)

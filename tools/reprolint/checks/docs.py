@@ -1,0 +1,92 @@
+"""Documentation gates as reprolint plugins: RL101 and RL102.
+
+The standalone ``tools/docstring_gate.py`` and
+``tools/check_doc_links.py`` stay runnable on their own (CI-friendly,
+distinct exit codes), but folding them into the runner makes
+``python -m tools.reprolint src tests docs`` the one static gate:
+
+* RL101 — per configured package root, overall docstring coverage of
+  the public API must meet the threshold (one finding per failing
+  package, anchored at its ``__init__.py``);
+* RL102 — every broken markdown reference becomes one finding at its
+  exact ``file:line``, categorised exactly as the standalone tool
+  categorises its exit codes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterable
+
+from tools import check_doc_links, docstring_gate
+from tools.reprolint.context import ProjectContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import ProjectChecker, register
+
+
+@register
+class DocstringCoverage(ProjectChecker):
+    """RL101 — public-API docstring coverage per gated package."""
+
+    rule = "RL101"
+    title = (
+        "docstring coverage of gated packages must meet the threshold"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        scanned = {summary.path for summary in ctx.summaries}
+        for package in ctx.config.docstring_packages:
+            root = ctx.root / package
+            if not root.exists():
+                continue
+            # Only gate packages the invocation actually scanned, so
+            # ``reprolint tests`` does not quietly re-audit src/.
+            if not any(path.startswith(package) for path in scanned):
+                continue
+            documented, missing = docstring_gate.audit_package(root)
+            total = len(documented) + len(missing)
+            coverage = 100.0 * len(documented) / total if total else 100.0
+            if coverage < ctx.config.docstring_threshold:
+                anchor = package + "/__init__.py"
+                if not (ctx.root / anchor).exists():
+                    anchor = package
+                yield Finding(
+                    anchor,
+                    1,
+                    1,
+                    self.rule,
+                    f"docstring coverage of {package} is "
+                    f"{coverage:.1f}% (< "
+                    f"{ctx.config.docstring_threshold:.0f}% gate); "
+                    f"{len(missing)} public name(s) undocumented — "
+                    "run tools/docstring_gate.py -v for the list",
+                )
+
+
+@register
+class DocLinks(ProjectChecker):
+    """RL102 — markdown links, anchors, and code refs must resolve."""
+
+    rule = "RL102"
+    title = "markdown links/anchors/code references must resolve"
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        for path in ctx.markdown:
+            for issue in check_doc_links.check_file(
+                path, ctx.root, check_code_refs=True
+            ):
+                rel = _rel(path, ctx.root)
+                yield Finding(
+                    rel,
+                    issue.line,
+                    1,
+                    self.rule,
+                    f"{issue.message} [{issue.category}]",
+                )
+
+
+def _rel(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -1,0 +1,96 @@
+"""Generic hygiene rules: RL007 mutable default arguments and RL008
+dead public symbols.
+
+RL007 is the classic shared-state trap — a ``def f(x, cache={})``
+default is created once and mutated forever, which in a forked worker
+also silently diverges between parent and children.
+
+RL008 keeps the public surface honest: a module-level public function
+or class in ``src/`` that no other scanned file (nor the reference
+corpus: benchmarks, examples, docs) ever names is either dead code or
+an API nobody can discover — both worth a deliberate decision, so the
+finding is baselined, not ignored, when the symbol is kept.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.reprolint.context import FileContext, ProjectContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import (
+    Checker,
+    ProjectChecker,
+    register,
+)
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+)
+
+
+@register
+class MutableDefaultArgs(Checker):
+    """RL007 — no mutable default argument values."""
+
+    rule = "RL007"
+    title = "mutable default argument values are shared across calls"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, _MUTABLE_DISPLAYS) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_FACTORIES
+                ):
+                    yield Finding(
+                        ctx.rel,
+                        default.lineno,
+                        default.col_offset + 1,
+                        self.rule,
+                        f"mutable default in {node.name}() is created "
+                        "once and shared across calls (and across "
+                        "forked workers); default to None and build "
+                        "inside the body",
+                    )
+
+
+@register
+class DeadPublicSymbols(ProjectChecker):
+    """RL008 — public src/ symbols nobody references."""
+
+    rule = "RL008"
+    title = (
+        "module-level public symbols in src/ must be referenced "
+        "somewhere in the repo"
+    )
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        references: set[str] = set(ctx.extra_references)
+        for summary in ctx.summaries:
+            references |= summary.references
+            references.update(summary.dunder_all)
+        for summary in ctx.summaries:
+            if not ctx.config.in_src(summary.path):
+                continue
+            for name, line in summary.public_defs:
+                if name not in references:
+                    yield Finding(
+                        summary.path,
+                        line,
+                        1,
+                        self.rule,
+                        f"public symbol {name} is never referenced "
+                        "anywhere in the scanned tree or reference "
+                        "corpus — remove it or baseline it as "
+                        "deliberate API",
+                    )

@@ -1,0 +1,218 @@
+"""RL004 — numpy dtype/copy discipline on the hot paths.
+
+The packed validity matrix (PR 1) made classification throughput a
+function of dtype discipline: an accidental ``float64`` widening or an
+object array in ``core/``, ``net/`` or ``cones/`` silently multiplies
+memory traffic and can flip bit-exact results. The rule flags, in hot
+path directories only:
+
+* ``.astype()`` with no explicit dtype (copy-only calls hide a dtype
+  decision that should be visible at the call site);
+* array factories (``np.zeros`` / ``ones`` / ``empty`` / ``full`` /
+  ``arange`` / ``linspace``) without an explicit ``dtype`` — their
+  defaults are ``float64`` or platform-dependent integers;
+* ``np.object_`` / ``dtype=object`` arrays — pointer chasing on the
+  hot path;
+* Python list-append loops over an array that should be a vectorised
+  operation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.reprolint.checks._astutil import import_map, resolve_call_name
+from tools.reprolint.context import FileContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import Checker, register
+
+#: Factories whose dtype may be the 2nd positional argument.
+_FACTORIES_DTYPE_POS = {
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "arange": 4,  # np.arange(start, stop, step, dtype)
+    "linspace": 5,
+    "full": 2,  # np.full(shape, fill_value, dtype)
+}
+
+
+def _has_explicit_dtype(node: ast.Call, min_args: int) -> bool:
+    if len(node.args) > min_args:
+        return True
+    return any(kw.arg == "dtype" for kw in node.keywords)
+
+
+def _is_object_dtype(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id == "object":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in (
+        "object_",
+        "object",
+    ):
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("object", "O"):
+        return True
+    return False
+
+
+@register
+class HotPathNumpy(Checker):
+    """RL004 — flag dtype indiscipline in core/, net/, cones/."""
+
+    rule = "RL004"
+    title = (
+        "hot-path numpy: explicit dtypes, no object arrays, no "
+        "list-append loops over arrays"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.config.in_hot_path(ctx.rel):
+            return
+        imports = import_map(ctx.tree)
+        np_aliases = {
+            alias
+            for alias, origin in imports.items()
+            if origin == "numpy"
+        }
+        if not np_aliases and "numpy" not in imports.values():
+            # No numpy in this module — only the object-dtype keyword
+            # check could apply, and it needs numpy too.
+            return
+
+        def numpy_attr(node: ast.expr) -> str:
+            """'zeros' for ``np.zeros``-style attribute, else ''."""
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in np_aliases
+            ):
+                return node.attr
+            return ""
+
+        array_locals = self._numpy_locals(ctx.tree, np_aliases)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, numpy_attr, imports)
+            elif isinstance(node, ast.Attribute) and node.attr == "object_":
+                if numpy_attr(node):
+                    yield Finding(
+                        ctx.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        self.rule,
+                        "np.object_ array on the hot path — object "
+                        "arrays defeat vectorisation; use a packed "
+                        "numeric dtype",
+                    )
+            elif isinstance(node, ast.For):
+                yield from self._check_append_loop(ctx, node, array_locals)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        numpy_attr,
+        imports: dict[str, str],
+    ) -> Iterable[Finding]:
+        func = node.func
+        # .astype() without an explicit dtype.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and not node.args
+            and not any(kw.arg == "dtype" for kw in node.keywords)
+        ):
+            yield Finding(
+                ctx.rel,
+                node.lineno,
+                node.col_offset + 1,
+                self.rule,
+                ".astype() without an explicit dtype — state the "
+                "target dtype at the call site",
+            )
+        # Factories whose default dtype is float64 / platform int.
+        attr = numpy_attr(func)
+        if attr in _FACTORIES_DTYPE_POS and not _has_explicit_dtype(
+            node, _FACTORIES_DTYPE_POS[attr]
+        ):
+            yield Finding(
+                ctx.rel,
+                node.lineno,
+                node.col_offset + 1,
+                self.rule,
+                f"np.{attr}() without an explicit dtype — the default "
+                "widens to float64 (or a platform-dependent int); pin "
+                "the dtype",
+            )
+        # dtype=object in any call.
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and _is_object_dtype(keyword.value):
+                yield Finding(
+                    ctx.rel,
+                    keyword.value.lineno,
+                    keyword.value.col_offset + 1,
+                    self.rule,
+                    "dtype=object on the hot path — object arrays "
+                    "defeat vectorisation; use a packed numeric dtype",
+                )
+
+    @staticmethod
+    def _numpy_locals(
+        tree: ast.Module, np_aliases: set[str]
+    ) -> set[str]:
+        """Names assigned from a direct ``np.…(…)`` call anywhere."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            func = node.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in np_aliases
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _check_append_loop(
+        self, ctx: FileContext, node: ast.For, array_locals: set[str]
+    ) -> Iterable[Finding]:
+        iterated = node.iter
+        over_array = (
+            isinstance(iterated, ast.Name) and iterated.id in array_locals
+        )
+        if not over_array and isinstance(iterated, ast.Call):
+            # for i in range(len(arr)) / range(arr.size)
+            func = iterated.func
+            if isinstance(func, ast.Name) and func.id == "range":
+                for arg in ast.walk(iterated):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in array_locals
+                    ):
+                        over_array = True
+                        break
+        if not over_array:
+            return
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "append"
+            ):
+                yield Finding(
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset + 1,
+                    self.rule,
+                    "list-append loop over a numpy array — vectorise "
+                    "(mask/gather/ufunc) instead of appending per "
+                    "element",
+                )
+                return

@@ -1,0 +1,172 @@
+"""RL005 — the exception taxonomy is the error contract.
+
+``repro.errors`` gives every failure a structured, routable type.
+Library code (``src/``) therefore must not swallow everything with a
+bare ``except:``, must not raise the anonymous ``Exception`` /
+``BaseException``, and any locally defined exception class must derive
+from :class:`ReproError` (directly or via another local exception) or
+from a stdlib exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterable
+
+from tools.reprolint.checks._astutil import import_map
+from tools.reprolint.context import FileContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import Checker, register
+
+#: Every exception type the interpreter ships.
+_STDLIB_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+#: Modules whose exported names count as taxonomy-compliant bases.
+_TAXONOMY_MODULES = ("repro.errors", "repro.net.errors")
+
+
+@register
+class ExceptionTaxonomy(Checker):
+    """RL005 — no bare excepts / anonymous raises; bases from the taxonomy."""
+
+    rule = "RL005"
+    title = (
+        "src/ exceptions: no bare except, no raise Exception, local "
+        "exception classes derive from ReproError or stdlib"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.config.in_src(ctx.rel):
+            return
+        imports = import_map(ctx.tree)
+        taxonomy_imports = {
+            alias
+            for alias, origin in imports.items()
+            if any(
+                origin.startswith(mod + ".") or origin == mod
+                for mod in _TAXONOMY_MODULES
+            )
+        }
+        local_exceptions = self._local_exception_classes(
+            ctx.tree, taxonomy_imports
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset + 1,
+                    self.rule,
+                    "bare except: swallows KeyboardInterrupt/SystemExit "
+                    "and hides the failure type — catch the narrowest "
+                    "taxonomy class instead",
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                name = self._raised_name(node.exc)
+                if name in ("Exception", "BaseException"):
+                    yield Finding(
+                        ctx.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        self.rule,
+                        f"raise {name} is untyped — raise a ReproError "
+                        "subclass (or a specific stdlib exception) so "
+                        "supervisors can route on it",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class(
+                    ctx, node, taxonomy_imports, local_exceptions
+                )
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> str:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        if isinstance(exc, ast.Attribute):
+            return exc.attr
+        return ""
+
+    @staticmethod
+    def _base_names(node: ast.ClassDef) -> list[str]:
+        names = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.append(base.attr)
+        return names
+
+    def _local_exception_classes(
+        self, tree: ast.Module, taxonomy_imports: set[str]
+    ) -> set[str]:
+        """Locally defined classes that resolve into the taxonomy.
+
+        Iterates to a fixed point so ``B(A)`` is accepted when ``A``
+        itself derives from a taxonomy or stdlib exception.
+        """
+        candidates = {
+            node.name: self._base_names(node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        # A class deriving from *any* exception (even bare Exception)
+        # is an exception class, so its descendants resolve through
+        # it; only the direct ``class Foo(Exception)`` definition is
+        # flagged by ``_check_class`` (the taxonomy root in
+        # repro/errors.py carries the baseline entry for that).
+        good: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in candidates.items():
+                if name in good:
+                    continue
+                if any(
+                    base in _STDLIB_EXCEPTIONS
+                    or base in taxonomy_imports
+                    or base in good
+                    for base in bases
+                ):
+                    good.add(name)
+                    changed = True
+        return good
+
+    def _check_class(
+        self,
+        ctx: FileContext,
+        node: ast.ClassDef,
+        taxonomy_imports: set[str],
+        local_exceptions: set[str],
+    ) -> Iterable[Finding]:
+        if not node.name.endswith(("Error", "Exception")):
+            return
+        bases = self._base_names(node)
+        if not bases:
+            return
+        ok = any(
+            base in taxonomy_imports
+            or base in local_exceptions
+            or (
+                base in _STDLIB_EXCEPTIONS
+                and base not in ("Exception", "BaseException")
+            )
+            for base in bases
+        )
+        if not ok:
+            yield Finding(
+                ctx.rel,
+                node.lineno,
+                node.col_offset + 1,
+                self.rule,
+                f"exception class {node.name} derives from "
+                f"{', '.join(bases)} — base it on ReproError (or a "
+                "specific stdlib exception) so it joins the taxonomy",
+            )

@@ -1,0 +1,120 @@
+"""Lint configuration and the contexts checkers run against.
+
+:class:`LintConfig` encodes the repo's real invariants as data — which
+file is allowed to build pools, which directories are numpy hot paths,
+what the worker-global registry constant is called — so every checker
+reads policy from one place and the tests can rewrite it per fixture.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from tools.reprolint.findings import FileSummary
+
+
+def _default_pool_allowlist() -> frozenset[str]:
+    return frozenset({"src/repro/core/classifier.py"})
+
+
+def _default_hot_paths() -> tuple[str, ...]:
+    return ("src/repro/core", "src/repro/net", "src/repro/cones")
+
+
+def _default_doc_packages() -> tuple[str, ...]:
+    return (
+        "src/repro/core",
+        "src/repro/io",
+        "src/repro/cones",
+        "src/repro/obs",
+    )
+
+
+def _default_reference_roots() -> tuple[str, ...]:
+    return ("src", "tests", "benchmarks", "examples", "docs")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Project policy the rules consult (defaults encode this repo).
+
+    Paths are repo-root-relative POSIX strings; the runner normalises
+    every scanned file the same way before rules see it.
+    """
+
+    #: Files allowed to construct process pools (RL001) — the one
+    #: supervised path in ``core/classifier.py``.
+    pool_allowlist: frozenset[str] = field(
+        default_factory=_default_pool_allowlist
+    )
+    #: Directories whose numpy code is hot-path (RL004).
+    hot_path_dirs: tuple[str, ...] = field(default_factory=_default_hot_paths)
+    #: Library source prefix — RL001/RL002/RL003/RL005/RL006 only
+    #: police files under it (tests and tools may do what they like).
+    src_prefix: str = "src/"
+    #: Name of the module-level tuple registering every mutable global
+    #: a pool worker reads (RL002).
+    worker_registry: str = "_STREAM_GLOBALS"
+    #: The spawn re-arm helper a tracing pool initializer must call
+    #: (RL003).
+    rearm_helper: str = "enable_tracing"
+    #: Tracer entry points whose presence in a worker makes RL003 apply.
+    tracer_calls: frozenset[str] = frozenset(
+        {"current_tracer", "trace", "tracing_enabled"}
+    )
+    #: Wall-clock timers banned on the classification hot path (RL006);
+    #: ``StageClock`` / the tracer own the measurement contract.
+    wallclock_dirs: tuple[str, ...] = ("src/repro/core",)
+    #: Package directories the docstring gate (RL101) covers, and the
+    #: coverage threshold it enforces.
+    docstring_packages: tuple[str, ...] = field(
+        default_factory=_default_doc_packages
+    )
+    docstring_threshold: float = 90.0
+    #: Roots whose ``*.py`` (and ``*.md`` backtick tokens) count as
+    #: references when deciding a public symbol is dead (RL008).
+    reference_roots: tuple[str, ...] = field(
+        default_factory=_default_reference_roots
+    )
+
+    def in_src(self, rel: str) -> bool:
+        """Whether ``rel`` is library source (policy rules apply)."""
+        return rel.startswith(self.src_prefix)
+
+    def in_hot_path(self, rel: str) -> bool:
+        """Whether ``rel`` lives in a numpy hot-path directory."""
+        return any(rel.startswith(d + "/") or rel == d for d in self.hot_path_dirs)
+
+    def in_wallclock_scope(self, rel: str) -> bool:
+        """Whether RL006 polices this file unconditionally."""
+        return any(
+            rel.startswith(d + "/") or rel == d for d in self.wallclock_dirs
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file checker may look at for one module."""
+
+    path: pathlib.Path
+    rel: str
+    tree: ast.Module
+    lines: list[str]
+    config: LintConfig
+
+
+@dataclass
+class ProjectContext:
+    """Whole-tree view handed to project checkers after the file pass."""
+
+    config: LintConfig
+    root: pathlib.Path
+    summaries: list[FileSummary]
+    #: Markdown files among the scanned inputs (RL102).
+    markdown: list[pathlib.Path]
+    #: Extra identifier references harvested outside the scanned set
+    #: (benchmarks/examples/docs) so RL008 does not flag symbols used
+    #: only there.
+    extra_references: set[str] = field(default_factory=set)

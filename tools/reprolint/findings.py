@@ -1,0 +1,125 @@
+"""The finding record and inline-suppression parsing.
+
+A :class:`Finding` is the unit every checker produces: one rule firing
+at one exact ``path:line:col``. Findings are plain picklable
+dataclasses so the parallel per-file analysis can ship them back from
+worker processes, and they carry enough to render both the human
+``path:line:col: RLxxx message`` form and the JSON report entry.
+
+Suppression happens in two layers, both recorded on the finding rather
+than silently dropped (the JSON report keeps the full ledger):
+
+* inline — a ``# reprolint: disable=RL001`` (comma-separated ids, or
+  ``all``) comment on the offending physical line;
+* baseline — an entry in ``tools/reprolint_baseline.json`` carrying a
+  one-line justification (see :mod:`tools.reprolint.baseline`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+#: ``# reprolint: disable=RL001,RL004`` (or ``disable=all``) trailing
+#: comment; whitespace around ids is tolerated.
+_DISABLE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule firing at one exact source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: ``None`` for an active finding, else ``"inline"`` or ``"baseline"``.
+    suppressed: str | None = None
+    #: For baseline-suppressed findings: the entry's justification.
+    justification: str = ""
+
+    @property
+    def active(self) -> bool:
+        """Whether the finding still counts against the exit code."""
+        return self.suppressed is None
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic report ordering: path, line, col, rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """The human one-liner: ``path:line:col: RLxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-report entry."""
+        out: dict[str, Any] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification:
+            out["justification"] = self.justification
+        return out
+
+
+@dataclass
+class FileSummary:
+    """Cross-file facts one analyzed module contributes to project checks.
+
+    Collected during the (possibly parallel) per-file pass and merged
+    in the parent so whole-project rules — dead public symbols, the
+    docstring gate — never re-parse a file.
+    """
+
+    path: str
+    #: Module-level public definitions: ``(name, line)`` pairs.
+    public_defs: list[tuple[str, int]] = field(default_factory=list)
+    #: Every identifier referenced anywhere in the module (Name loads,
+    #: attribute names, imported names, ``__all__`` strings).
+    references: set[str] = field(default_factory=set)
+    #: Names the module re-exports via a literal ``__all__``.
+    dunder_all: list[str] = field(default_factory=list)
+
+
+def inline_disables(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line."""
+    disabled: dict[int, set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _DISABLE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            disabled[number] = rules
+    return disabled
+
+
+def apply_inline(
+    findings: list[Finding], disabled: dict[int, set[str]]
+) -> list[Finding]:
+    """Mark findings whose line carries a matching inline disable."""
+    if not disabled:
+        return findings
+    out: list[Finding] = []
+    for finding in findings:
+        rules = disabled.get(finding.line)
+        if rules and (finding.rule in rules or "all" in rules):
+            out.append(
+                Finding(
+                    finding.path,
+                    finding.line,
+                    finding.col,
+                    finding.rule,
+                    finding.message,
+                    suppressed="inline",
+                )
+            )
+        else:
+            out.append(finding)
+    return out

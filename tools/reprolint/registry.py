@@ -1,0 +1,99 @@
+"""Checker registry: rules register themselves, the runner discovers them.
+
+A checker is a class with a ``rule`` id, a one-line ``title``, and
+either :meth:`Checker.check_file` (runs on every analyzed module,
+possibly in a worker process) or :meth:`ProjectChecker.check_project`
+(runs once in the parent with the merged cross-file summaries).
+Registration is a decorator::
+
+    @register
+    class PoolDiscipline(Checker):
+        rule = "RL001"
+        ...
+
+Importing :mod:`tools.reprolint.checks` triggers registration of the
+shipped ruleset; external plugins only need to import this module and
+decorate their class before the runner builds its worklist.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from tools.reprolint.context import FileContext, ProjectContext
+    from tools.reprolint.findings import Finding
+
+
+class Checker:
+    """Base for per-file rules (instantiated fresh for every file)."""
+
+    #: Unique rule id (``RL001`` …); also the inline-disable token.
+    rule: str = ""
+    #: One-line description shown by ``--list-rules``.
+    title: str = ""
+
+    def check_file(self, ctx: "FileContext") -> Iterable["Finding"]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+
+class ProjectChecker:
+    """Base for whole-project rules (run once, in the parent process)."""
+
+    rule: str = ""
+    title: str = ""
+
+    def check_project(self, ctx: "ProjectContext") -> Iterable["Finding"]:
+        """Yield findings computed from the merged file summaries."""
+        raise NotImplementedError
+
+
+_FILE_CHECKERS: dict[str, type[Checker]] = {}
+_PROJECT_CHECKERS: dict[str, type[ProjectChecker]] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a checker to the registry (by rule id)."""
+    if not getattr(cls, "rule", ""):
+        raise ValueError(f"checker {cls.__name__} has no rule id")
+    rule = cls.rule
+    if rule in _FILE_CHECKERS or rule in _PROJECT_CHECKERS:
+        raise ValueError(f"duplicate checker registration for {rule}")
+    if issubclass(cls, ProjectChecker):
+        _PROJECT_CHECKERS[rule] = cls
+    elif issubclass(cls, Checker):
+        _FILE_CHECKERS[rule] = cls
+    else:
+        raise TypeError(
+            f"{cls.__name__} must derive from Checker or ProjectChecker"
+        )
+    return cls
+
+
+def file_checkers(selected: set[str] | None = None) -> list[Checker]:
+    """Instantiate the registered per-file checkers (optionally filtered)."""
+    return [
+        cls()
+        for rule, cls in sorted(_FILE_CHECKERS.items())
+        if selected is None or rule in selected
+    ]
+
+
+def project_checkers(
+    selected: set[str] | None = None,
+) -> list[ProjectChecker]:
+    """Instantiate the registered project checkers (optionally filtered)."""
+    return [
+        cls()
+        for rule, cls in sorted(_PROJECT_CHECKERS.items())
+        if selected is None or rule in selected
+    ]
+
+
+def all_rules() -> list[tuple[str, str]]:
+    """Every registered ``(rule id, title)`` pair, sorted by id."""
+    pairs = [(r, c.title) for r, c in _FILE_CHECKERS.items()]
+    pairs.extend((r, c.title) for r, c in _PROJECT_CHECKERS.items())
+    return sorted(pairs)

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Annotation-coverage gate (no third-party deps; backs mypy strict).
+
+mypy's strict per-module configuration in ``pyproject.toml`` is the
+real type gate, but it needs an installed mypy; this stdlib-AST tool
+measures the *typedness* of a package — what fraction of function
+parameters and return types carry annotations — so the floor is
+enforceable everywhere (locally and in minimal CI stages) and a
+regression is caught even before mypy runs.
+
+Counted, per module: every parameter (except ``self``/``cls`` in
+methods and ``*args``/``**kwargs`` names without annotations — those
+*are* counted, they must be annotated too) and every return type of
+module-level functions, class methods, and nested functions.
+Dunder methods other than ``__init__``/``__call__`` are exempt from
+the return-annotation count when undecorated (their signatures are
+protocol-fixed).
+
+Exit codes, distinct per failure category:
+
+* 0 — every listed path meets the requirement;
+* 2 — usage error (a path holds no python files);
+* 3 — at least one path fell below ``--require``.
+
+CI runs the strict packages at 100%::
+
+    python tools/type_coverage.py --require 100 \\
+        src/repro/net src/repro/core src/repro/obs src/repro/errors.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+from dataclasses import dataclass
+
+EXIT_OK = 0
+EXIT_NO_FILES = 2
+EXIT_BELOW_REQUIREMENT = 3
+
+#: Dunders whose return annotation is protocol-fixed and not counted.
+_EXEMPT_RETURNS = frozenset(
+    {
+        "__repr__",
+        "__str__",
+        "__len__",
+        "__bool__",
+        "__hash__",
+        "__iter__",
+        "__next__",
+        "__enter__",
+        "__exit__",
+        "__contains__",
+        "__eq__",
+        "__ne__",
+        "__lt__",
+        "__le__",
+        "__gt__",
+        "__ge__",
+        "__post_init__",
+    }
+)
+
+
+@dataclass
+class Tally:
+    """Annotated/total slot counts with the untyped slot names."""
+
+    annotated: int = 0
+    total: int = 0
+    missing: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.missing is None:
+            self.missing = []
+
+    @property
+    def coverage(self) -> float:
+        return 100.0 * self.annotated / self.total if self.total else 100.0
+
+    def count(self, annotated: bool, where: str) -> None:
+        self.total += 1
+        if annotated:
+            self.annotated += 1
+        else:
+            self.missing.append(where)
+
+    def merge(self, other: "Tally") -> None:
+        self.annotated += other.annotated
+        self.total += other.total
+        self.missing.extend(other.missing)
+
+
+def _function_slots(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    in_class: bool,
+    tally: Tally,
+) -> None:
+    args = fn.args
+    positional = args.posonlyargs + args.args
+    for index, arg in enumerate(positional):
+        if in_class and index == 0 and arg.arg in ("self", "cls"):
+            continue
+        tally.count(
+            arg.annotation is not None, f"{qualname}({arg.arg})"
+        )
+    for arg in args.kwonlyargs:
+        tally.count(arg.annotation is not None, f"{qualname}({arg.arg})")
+    if args.vararg is not None:
+        tally.count(
+            args.vararg.annotation is not None,
+            f"{qualname}(*{args.vararg.arg})",
+        )
+    if args.kwarg is not None:
+        tally.count(
+            args.kwarg.annotation is not None,
+            f"{qualname}(**{args.kwarg.arg})",
+        )
+    if fn.name not in _EXEMPT_RETURNS:
+        tally.count(fn.returns is not None, f"{qualname} -> return")
+
+
+def _walk_body(
+    body: list[ast.stmt], prefix: str, in_class: bool, tally: Tally
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{node.name}"
+            _function_slots(node, qualname, in_class, tally)
+            _walk_body(node.body, f"{qualname}.<locals>.", False, tally)
+        elif isinstance(node, ast.ClassDef):
+            _walk_body(
+                node.body, f"{prefix}{node.name}.", True, tally
+            )
+
+
+def audit_module(path: pathlib.Path) -> Tally:
+    """Annotation tally for one module."""
+    tally = Tally()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    _walk_body(tree.body, f"{path}::", False, tally)
+    return tally
+
+
+def audit_path(root: pathlib.Path) -> Tally:
+    """Aggregate tally over a package directory (or single file)."""
+    files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+    tally = Tally()
+    for path in files:
+        tally.merge(audit_module(path))
+    return tally
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="packages or modules")
+    parser.add_argument(
+        "--require",
+        type=float,
+        default=100.0,
+        help="minimum annotation coverage percent per path (default 100)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for item in args.paths:
+        root = pathlib.Path(item)
+        if root.is_dir() and not any(root.rglob("*.py")):
+            print(
+                f"type coverage: no python files under {root}",
+                file=sys.stderr,
+            )
+            return EXIT_NO_FILES
+        tally = audit_path(root)
+        status = "ok" if tally.coverage >= args.require else "FAIL"
+        print(
+            f"type coverage: {item}: {tally.annotated}/{tally.total} "
+            f"slots annotated ({tally.coverage:.1f}%, require "
+            f"{args.require:.0f}%) {status}"
+        )
+        if tally.coverage < args.require:
+            failed = True
+            for where in tally.missing:
+                print(f"  missing: {where}")
+        elif args.verbose and tally.missing:
+            for where in tally.missing:
+                print(f"  missing: {where}")
+    return EXIT_BELOW_REQUIREMENT if failed else EXIT_OK
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
