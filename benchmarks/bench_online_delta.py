@@ -1,0 +1,115 @@
+"""Online pipeline: single-event delta apply vs full state rebuild.
+
+The tentpole claim behind ``repro watch``: applying one BGP
+announce/withdraw delta through the whole stack — RIB refcounts,
+patched finalized LPM/origin views, cone-map row patches, packed
+validity matrix row restacks — must beat rebuilding that state from
+scratch by at least an order of magnitude on a paper-scale world
+(~700-member IXP), or the incremental machinery isn't paying rent.
+"""
+
+import dataclasses
+import time
+
+from repro.experiments import WorldConfig, build_world
+from repro.experiments.runner import build_valid_space_maps
+from repro.obs import RunManifest, manifest_path_for
+from repro.stream import OnlineValidState
+
+#: Timed single-event deltas (announce/withdraw pairs return the
+#: state to its starting point, so the loop is steady-state).
+N_EVENTS = 30
+
+
+def _pick_delta_route(rib):
+    """A live path to re-announce for a prefix that doesn't carry it."""
+    paths_by_prefix = {}
+    for prefix_id in rib.live_prefix_ids():
+        paths_by_prefix[prefix_id] = rib._paths_per_prefix[prefix_id]
+    for prefix_id, paths in paths_by_prefix.items():
+        for other_id, other_paths in paths_by_prefix.items():
+            if other_id == prefix_id:
+                continue
+            for path in other_paths:
+                if path not in paths:
+                    return rib.prefix_by_id(prefix_id), path
+    raise RuntimeError("no re-announceable path found")
+
+
+def bench_online_delta(benchmark, artefact_dir):
+    from repro.bgp.messages import RouteObservation
+
+    config = WorldConfig.paper_scale(seed=23)
+    world = build_world(config, with_traffic=False)
+    state = OnlineValidState(world.rib, world.approaches, world.classifier)
+    members = list(world.ixp.member_asns)
+    rib = world.rib
+    rib.lookup_many(rib.routed_space()._starts[:1])  # build finalized
+    for approach in world.approaches.values():
+        approach.packed_matrix(members)  # warm every matrix cache
+
+    prefix, path = _pick_delta_route(rib)
+
+    def route(withdrawal):
+        return RouteObservation(
+            prefix=prefix, path=path, source="rrc00",
+            from_update=True, withdrawal=withdrawal,
+        )
+
+    def apply_deltas():
+        began = time.perf_counter()
+        for index in range(N_EVENTS):
+            delta = state.apply_route(route(withdrawal=bool(index % 2)))
+            assert delta.applied and delta.finalize == "patched"
+        for approach in world.approaches.values():
+            approach.packed_matrix(members)
+        return (time.perf_counter() - began) / N_EVENTS
+
+    def full_rebuild():
+        began = time.perf_counter()
+        rib._finalized = None
+        rib.routed_space()  # force the finalized rebuild
+        maps = build_valid_space_maps(rib, world.as2org)
+        for approach in maps.values():
+            approach.packed_matrix(members)
+        return time.perf_counter() - began
+
+    def run():
+        delta_seconds = apply_deltas()
+        rebuild_seconds = min(full_rebuild() for _ in range(2))
+        return {
+            "delta_seconds": delta_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": rebuild_seconds / delta_seconds,
+            "n_members": len(members),
+            "n_prefixes": rib.num_prefixes,
+            "n_asns": len(rib.observed_asns()),
+        }
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["delta_events_per_s"] = 1.0 / outcome["delta_seconds"]
+    benchmark.extra_info["speedup"] = outcome["speedup"]
+
+    text = (
+        "Online delta apply vs full rebuild (paper_scale, "
+        f"{outcome['n_members']} IXP members, "
+        f"{outcome['n_prefixes']} prefixes, {outcome['n_asns']} ASNs):\n"
+        f"  single-event delta apply: {outcome['delta_seconds'] * 1e3:.3f} ms"
+        f" ({1.0 / outcome['delta_seconds']:.0f} events/s)\n"
+        f"  full state rebuild:       {outcome['rebuild_seconds'] * 1e3:.1f} ms\n"
+        f"  speedup:                  {outcome['speedup']:.1f}x"
+    )
+    out = artefact_dir / "online_delta.txt"
+    out.write_text(text + "\n")
+    manifest = RunManifest.create(
+        "bench:bench_online_delta",
+        seed=config.seed,
+        preset="paper_scale",
+        config=dataclasses.asdict(config),
+    )
+    manifest.finish(extra={"artefact": str(out), "timings": outcome})
+    manifest.write(manifest_path_for(out))
+
+    assert outcome["speedup"] >= 10.0, (
+        f"delta apply only {outcome['speedup']:.1f}x faster than rebuild"
+    )

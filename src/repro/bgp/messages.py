@@ -14,6 +14,24 @@ from dataclasses import dataclass
 from repro.net.prefix import Prefix
 
 
+def path_adjacencies(path: tuple[int, ...]) -> list[tuple[int, int]]:
+    """Directed (left, right) AS pairs along an AS path.
+
+    The left AS is upstream of the right AS in the paper's Full-Cone
+    sense. AS-path prepending (repeated ASNs) collapses. Exposed as a
+    free function so the RIB's delta engine can derive the adjacency
+    support of a *withdrawn* path without holding the original
+    observation object.
+    """
+    pairs: list[tuple[int, int]] = []
+    previous = path[0]
+    for asn in path[1:]:
+        if asn != previous:
+            pairs.append((previous, asn))
+            previous = asn
+    return pairs
+
+
 @dataclass(frozen=True, slots=True)
 class RouteObservation:
     """One observed route.
@@ -29,10 +47,13 @@ class RouteObservation:
     source: str  # e.g. "rrc00", "route-views2", "ixp-rs"
     timestamp: int = 0
     from_update: bool = False  # True: update message, False: table dump
-    #: Withdrawal messages are recorded but do NOT remove state: the
-    #: paper unions all dumps and updates over the window ("to acquire
-    #: an as-complete-as-possible picture"), so a route withdrawn
-    #: mid-window still counts as routed/valid for the whole window.
+    #: In the batch pipeline (``GlobalRIB.add``) withdrawal messages
+    #: are recorded but do NOT remove state: the paper unions all dumps
+    #: and updates over the window ("to acquire an as-complete-as-
+    #: possible picture"), so a route withdrawn mid-window still counts
+    #: as routed/valid for the whole window. In the online pipeline
+    #: (``GlobalRIB.apply``) a withdrawal removes exactly the
+    #: (prefix, path) route it names, if that route is live.
     withdrawal: bool = False
 
     @property
@@ -49,10 +70,4 @@ class RouteObservation:
         The left AS is upstream of the right AS in the paper's
         Full-Cone sense. AS-path prepending (repeated ASNs) collapses.
         """
-        pairs: list[tuple[int, int]] = []
-        previous = self.path[0]
-        for asn in self.path[1:]:
-            if asn != previous:
-                pairs.append((previous, asn))
-                previous = asn
-        return pairs
+        return path_adjacencies(self.path)

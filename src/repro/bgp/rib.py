@@ -12,25 +12,101 @@ detection method needs:
 * the directed AS adjacency set (the Full Cone's raw material),
 * the set of unique AS paths (relationship inference's raw material),
 * exclusive coverage per prefix/origin in /24 equivalents (Figure 2).
+
+Two ingest modes share one bookkeeping core:
+
+* :meth:`GlobalRIB.add` — the paper's batch *union* semantics.
+  Withdrawals are counted, never applied.
+* :meth:`GlobalRIB.apply` — the online pipeline's *delta* semantics.
+  A withdrawal removes exactly the live ``(prefix, path)`` route it
+  names; announcements (re-)install routes. Each call returns a
+  :class:`RIBDelta` describing what changed, and — when the finalized
+  vectorised views already exist — patches them in place instead of
+  discarding them, unless the observed AS set changed (then a full
+  rebuild is unavoidable because the dense AS indexer shifts).
+
+The patch path is exact: after :meth:`GlobalRIB.apply`, the finalized
+views are bit-equal to what a from-scratch :class:`_FinalizedRIB`
+construction over the same live routes would produce. The randomized
+parity suite asserts this invariant at every event.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bgp.messages import RouteObservation
+from repro.bgp.messages import RouteObservation, path_adjacencies
 from repro.net.prefix import Prefix
 from repro.net.prefixset import PrefixSet
 from repro.net.trie import PrefixTrie
+from repro.obs.metrics import current_metrics
 from repro.util.indexing import AsnIndexer
 
 #: Announcement length bounds (paper: discard more specific than /24,
 #: less specific than /8).
 MIN_PLEN = 8
 MAX_PLEN = 24
+
+#: One past the last IPv4 address; segment boundaries at or beyond this
+#: point are never painted.
+_ADDR_END = 2**32
+
+
+@dataclass(slots=True)
+class RIBDelta:
+    """What one :meth:`GlobalRIB.apply` call changed.
+
+    Downstream consumers (cone builders, the matrix cache, the stream
+    state manager) read this to patch only what moved instead of
+    rebuilding from scratch.
+    """
+
+    #: True iff the event changed RIB state (announce accepted, or
+    #: withdrawal that removed a live route).
+    applied: bool = False
+    #: True iff the event was a withdrawal message.
+    withdrawal: bool = False
+    #: Prefix ids allocated by this event (brand-new prefixes).
+    new_prefix_ids: list[int] = field(default_factory=list)
+    #: Prefix ids that transitioned dead → live (includes brand-new).
+    prefixes_now_live: list[int] = field(default_factory=list)
+    #: Prefix ids that transitioned live → dead (last route withdrawn).
+    prefixes_now_dead: list[int] = field(default_factory=list)
+    #: Prefix id → new majority origin ASN (set for newly live prefixes
+    #: and for live prefixes whose majority origin flipped).
+    origin_changes: dict[int, int] = field(default_factory=dict)
+    #: Prefix id → ASNs that joined its path-member set.
+    members_added: dict[int, set[int]] = field(default_factory=dict)
+    #: Prefix id → ASNs that left its path-member set.
+    members_removed: dict[int, set[int]] = field(default_factory=dict)
+    #: Unique AS paths that became live / died.
+    added_paths: list[tuple[int, ...]] = field(default_factory=list)
+    removed_paths: list[tuple[int, ...]] = field(default_factory=list)
+    #: Directed adjacencies that appeared / disappeared.
+    added_adjacencies: list[tuple[int, int]] = field(default_factory=list)
+    removed_adjacencies: list[tuple[int, int]] = field(default_factory=list)
+    #: ASNs that entered / left the observed-AS universe. Either being
+    #: non-empty forces a finalized rebuild (the dense indexer shifts).
+    new_asns: set[int] = field(default_factory=set)
+    removed_asns: set[int] = field(default_factory=set)
+    #: What happened to the finalized views: ``"none"`` (not built, or
+    #: event not applied), ``"patched"``, or ``"rebuild"`` (discarded;
+    #: next access reconstructs from scratch).
+    finalize: str = "none"
+
+    @property
+    def rebuild_required(self) -> bool:
+        """True iff the observed AS set changed (indexer invalidated)."""
+        return bool(self.new_asns or self.removed_asns)
+
+    @property
+    def geometry_changed(self) -> bool:
+        """True iff the set of *live* prefixes changed."""
+        return bool(self.prefixes_now_live or self.prefixes_now_dead)
 
 
 class GlobalRIB:
@@ -41,11 +117,20 @@ class GlobalRIB:
         self._prefixes: list[Prefix] = []
         self._origins_per_prefix: list[dict[int, int]] = []  # origin → votes
         self._path_members_per_prefix: list[set[int]] = []
+        self._paths_per_prefix: list[set[tuple[int, ...]]] = []
         self._paths: set[tuple[int, ...]] = set()
         self._adjacencies: set[tuple[int, int]] = set()
+        #: Live-route refcounts: how many live (prefix, path) routes use
+        #: a path; how many live paths contain an ASN / an adjacency.
+        self._routes_per_path: dict[tuple[int, ...], int] = {}
+        self._asn_support: dict[int, int] = {}
+        self._adj_support: dict[tuple[int, int], int] = {}
         self._discarded = 0
         self._accepted = 0
+        self._duplicates = 0
         self._withdrawals = 0
+        self._withdrawals_applied = 0
+        self._withdrawals_ignored = 0
         self._path_member_cache: dict[tuple[int, ...], frozenset[int]] = {}
         self._seen_routes: set[tuple[int, tuple[int, ...]]] = set()
         self._finalized: "_FinalizedRIB | None" = None
@@ -63,7 +148,50 @@ class GlobalRIB:
         """
         if observation.withdrawal:
             self._withdrawals += 1
+            self._withdrawals_ignored += 1
             return False
+        accepted = self._ingest_announce(observation, None)
+        if accepted:
+            self._finalized = None
+        return accepted
+
+    def apply(self, observation: RouteObservation) -> RIBDelta:
+        """Ingest one observation with delta semantics; patch views.
+
+        Announcements install routes exactly as :meth:`add` does;
+        withdrawals remove the live ``(prefix, path)`` route they name
+        (withdrawals of unknown or already-withdrawn routes are counted
+        as ignored and change nothing — see :attr:`num_withdrawals_ignored`).
+
+        If the finalized vectorised views exist, they are patched in
+        place when possible (counter ``rib.delta_applied``); a change to
+        the observed AS set forces a rebuild on next access (counter
+        ``rib.delta_rebuilds``). The returned :class:`RIBDelta` records
+        everything that changed so cone builders can patch too.
+        """
+        delta = RIBDelta(withdrawal=observation.withdrawal)
+        if observation.withdrawal:
+            delta.applied = self._ingest_withdraw(observation, delta)
+        else:
+            delta.applied = self._ingest_announce(observation, delta)
+        if not delta.applied:
+            return delta
+        if self._finalized is not None:
+            if delta.rebuild_required or not self._finalized.apply_delta(
+                self, delta
+            ):
+                self._finalized = None
+                delta.finalize = "rebuild"
+                current_metrics().counter("rib.delta_rebuilds").inc()
+            else:
+                delta.finalize = "patched"
+                current_metrics().counter("rib.delta_applied").inc()
+        return delta
+
+    def _ingest_announce(
+        self, observation: RouteObservation, delta: RIBDelta | None
+    ) -> bool:
+        """Shared announce path for union (:meth:`add`) and delta mode."""
         prefix = observation.prefix
         if not MIN_PLEN <= prefix.length <= MAX_PLEN:
             self._discarded += 1
@@ -71,8 +199,8 @@ class GlobalRIB:
         prefix_id = self._prefix_ids.get(prefix)
         path = observation.path
         if prefix_id is not None and (prefix_id, path) in self._seen_routes:
+            self._duplicates += 1
             return False
-        self._finalized = None
         self._accepted += 1
         if prefix_id is None:
             prefix_id = len(self._prefixes)
@@ -80,17 +208,112 @@ class GlobalRIB:
             self._prefixes.append(prefix)
             self._origins_per_prefix.append(defaultdict(int))
             self._path_members_per_prefix.append(set())
+            self._paths_per_prefix.append(set())
+            if delta is not None:
+                delta.new_prefix_ids.append(prefix_id)
+        origins = self._origins_per_prefix[prefix_id]
+        was_live = bool(origins)
+        old_origin = self._majority_origin(prefix_id) if was_live else None
         self._seen_routes.add((prefix_id, path))
-        self._origins_per_prefix[prefix_id][path[-1]] += 1
+        self._paths_per_prefix[prefix_id].add(path)
+        origins[path[-1]] += 1
         members = self._path_member_cache.get(path)
         if members is None:
             members = frozenset(path)
             self._path_member_cache[path] = members
+        if self._routes_per_path.get(path, 0) == 0:
             self._paths.add(path)
-            for pair in observation.adjacencies():
-                self._adjacencies.add(pair)
-        self._path_members_per_prefix[prefix_id].update(members)
+            for asn in members:
+                count = self._asn_support.get(asn, 0)
+                if count == 0 and delta is not None:
+                    delta.new_asns.add(asn)
+                self._asn_support[asn] = count + 1
+            for pair in path_adjacencies(path):
+                count = self._adj_support.get(pair, 0)
+                if count == 0:
+                    self._adjacencies.add(pair)
+                    if delta is not None:
+                        delta.added_adjacencies.append(pair)
+                self._adj_support[pair] = count + 1
+            if delta is not None:
+                delta.added_paths.append(path)
+        self._routes_per_path[path] = self._routes_per_path.get(path, 0) + 1
+        prefix_members = self._path_members_per_prefix[prefix_id]
+        added_members = members - prefix_members
+        if added_members:
+            prefix_members.update(added_members)
+            if delta is not None:
+                delta.members_added[prefix_id] = set(added_members)
+        if delta is not None:
+            new_origin = self._majority_origin(prefix_id)
+            if not was_live:
+                delta.prefixes_now_live.append(prefix_id)
+                delta.origin_changes[prefix_id] = new_origin
+            elif new_origin != old_origin:
+                delta.origin_changes[prefix_id] = new_origin
         return True
+
+    def _ingest_withdraw(
+        self, observation: RouteObservation, delta: RIBDelta
+    ) -> bool:
+        """Delta-mode withdrawal: remove one live (prefix, path) route."""
+        self._withdrawals += 1
+        prefix_id = self._prefix_ids.get(observation.prefix)
+        path = observation.path
+        if prefix_id is None or (prefix_id, path) not in self._seen_routes:
+            # Never-announced prefix, unknown path, or duplicate
+            # withdrawal: counted once here, never double-applied.
+            self._withdrawals_ignored += 1
+            return False
+        self._withdrawals_applied += 1
+        self._seen_routes.discard((prefix_id, path))
+        self._paths_per_prefix[prefix_id].discard(path)
+        origins = self._origins_per_prefix[prefix_id]
+        old_origin = self._majority_origin(prefix_id)
+        origin = path[-1]
+        origins[origin] -= 1
+        if origins[origin] == 0:
+            del origins[origin]
+        remaining = self._routes_per_path[path] - 1
+        if remaining:
+            self._routes_per_path[path] = remaining
+        else:
+            del self._routes_per_path[path]
+            self._paths.discard(path)
+            # Cache coherence: a dead path's member set must not
+            # survive as a stale "path already seen" marker.
+            self._path_member_cache.pop(path, None)
+            for asn in frozenset(path):
+                self._asn_support[asn] -= 1
+                if self._asn_support[asn] == 0:
+                    del self._asn_support[asn]
+                    delta.removed_asns.add(asn)
+            for pair in path_adjacencies(path):
+                self._adj_support[pair] -= 1
+                if self._adj_support[pair] == 0:
+                    del self._adj_support[pair]
+                    self._adjacencies.discard(pair)
+                    delta.removed_adjacencies.append(pair)
+            delta.removed_paths.append(path)
+        old_members = self._path_members_per_prefix[prefix_id]
+        new_members: set[int] = set()
+        for live_path in self._paths_per_prefix[prefix_id]:
+            new_members.update(live_path)
+        removed_members = old_members - new_members
+        self._path_members_per_prefix[prefix_id] = new_members
+        if removed_members:
+            delta.members_removed[prefix_id] = removed_members
+        if not origins:
+            delta.prefixes_now_dead.append(prefix_id)
+        else:
+            new_origin = self._majority_origin(prefix_id)
+            if new_origin != old_origin:
+                delta.origin_changes[prefix_id] = new_origin
+        return True
+
+    def _majority_origin(self, prefix_id: int) -> int:
+        origins = self._origins_per_prefix[prefix_id]
+        return max(origins, key=lambda asn: (origins[asn], -asn))
 
     def add_all(self, observations: Iterable[RouteObservation]) -> int:
         """Ingest a stream; returns the number of accepted observations."""
@@ -120,8 +343,19 @@ class GlobalRIB:
 
     @property
     def num_accepted(self) -> int:
-        """Unique accepted (prefix, path) routes (duplicates excluded)."""
+        """Accepted announcements (duplicates excluded).
+
+        Under delta mode a route withdrawn and re-announced counts as
+        accepted again: the counter tallies accept *events*, and the
+        live-route invariant is ``num_accepted - num_withdrawals_applied
+        == live routes``.
+        """
         return self._accepted
+
+    @property
+    def num_duplicates(self) -> int:
+        """Announcements dropped as re-observations of a live route."""
+        return self._duplicates
 
     @property
     def num_discarded(self) -> int:
@@ -130,8 +364,30 @@ class GlobalRIB:
 
     @property
     def num_withdrawals(self) -> int:
-        """Withdrawal messages seen (recorded, never applied)."""
+        """Withdrawal messages seen (applied or not)."""
         return self._withdrawals
+
+    @property
+    def num_withdrawals_applied(self) -> int:
+        """Withdrawals that removed a live route (delta mode only)."""
+        return self._withdrawals_applied
+
+    @property
+    def num_withdrawals_ignored(self) -> int:
+        """Withdrawals that removed nothing.
+
+        Union mode ignores every withdrawal by design; delta mode
+        ignores withdrawals of never-announced prefixes, unknown paths,
+        and duplicate withdrawals of an already-removed route. Always
+        ``num_withdrawals == num_withdrawals_applied +
+        num_withdrawals_ignored``.
+        """
+        return self._withdrawals_ignored
+
+    @property
+    def num_live_routes(self) -> int:
+        """Live (prefix, path) routes currently installed."""
+        return len(self._seen_routes)
 
     def prefixes(self) -> list[Prefix]:
         return list(self._prefixes)
@@ -142,9 +398,29 @@ class GlobalRIB:
     def prefix_by_id(self, prefix_id: int) -> Prefix:
         return self._prefixes[prefix_id]
 
+    def is_live(self, prefix_id: int) -> bool:
+        """True iff the prefix currently has at least one live route.
+
+        Union mode never kills prefixes; delta mode does when the last
+        route for a prefix is withdrawn. Dead prefixes keep their id
+        (ids are stable, positional) but drop out of the routed space,
+        the LPM segments, and the origin mapping.
+        """
+        return bool(self._origins_per_prefix[prefix_id])
+
+    def live_prefix_ids(self) -> list[int]:
+        """Ids of all currently live prefixes, ascending."""
+        return [
+            prefix_id
+            for prefix_id in range(len(self._prefixes))
+            if self._origins_per_prefix[prefix_id]
+        ]
+
     def origin_of(self, prefix_id: int) -> int:
-        """Primary origin (most observations) of a prefix."""
+        """Primary origin (most observations) of a live prefix."""
         origins = self._origins_per_prefix[prefix_id]
+        if not origins:
+            raise ValueError(f"prefix id {prefix_id} has no live routes")
         return max(origins, key=lambda asn: (origins[asn], -asn))
 
     def origins_of(self, prefix_id: int) -> set[int]:
@@ -152,23 +428,20 @@ class GlobalRIB:
         return set(self._origins_per_prefix[prefix_id])
 
     def path_members(self, prefix_id: int) -> set[int]:
-        """Every AS seen on any path announcing this prefix (Naive)."""
+        """Every AS seen on any live path announcing this prefix (Naive)."""
         return set(self._path_members_per_prefix[prefix_id])
 
     def paths(self) -> Iterator[tuple[int, ...]]:
-        """All unique AS paths seen anywhere."""
+        """All unique live AS paths."""
         return iter(self._paths)
 
     def adjacencies(self) -> set[tuple[int, int]]:
-        """Directed (upstream, downstream) AS pairs from all paths."""
+        """Directed (upstream, downstream) AS pairs from all live paths."""
         return set(self._adjacencies)
 
     def observed_asns(self) -> set[int]:
-        """Every AS appearing on any path."""
-        asns: set[int] = set()
-        for path in self._paths:
-            asns.update(path)
-        return asns
+        """Every AS appearing on any live path."""
+        return set(self._asn_support)
 
     # -- finalized (vectorised) views -------------------------------------
 
@@ -183,7 +456,7 @@ class GlobalRIB:
         return self._final().indexer
 
     def routed_space(self) -> PrefixSet:
-        """Union of all accepted announced prefixes."""
+        """Union of all live announced prefixes."""
         return self._final().routed_space
 
     def lookup(self, addr: int) -> tuple[int, int]:
@@ -214,63 +487,202 @@ class GlobalRIB:
         return self._final().exclusive_per_origin
 
 
+def _canonical_segments(
+    points: list[int], owners: list[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dedup consecutive same-owner boundary points into segments.
+
+    Both the from-scratch build and the patch path funnel through this
+    one canonicalisation so their outputs are bit-equal by construction.
+    """
+    seg_starts: list[int] = []
+    seg_prefix: list[int] = []
+    for start, owner in zip(points, owners):
+        if seg_starts and seg_prefix[-1] == owner:
+            continue
+        seg_starts.append(start)
+        seg_prefix.append(owner)
+    return (
+        np.array(seg_starts, dtype=np.uint64),
+        np.array(seg_prefix, dtype=np.int64),
+    )
+
+
 class _FinalizedRIB:
-    """Immutable vectorised derivatives of a :class:`GlobalRIB`."""
+    """Vectorised derivatives of a :class:`GlobalRIB`.
+
+    Built from scratch lazily; thereafter :meth:`apply_delta` patches
+    the painted LPM segments, the origin mapping, the routed space, and
+    the exclusive-coverage vectors in place for events that do not
+    change the observed AS set.
+    """
 
     def __init__(self, rib: GlobalRIB) -> None:
         self.indexer = AsnIndexer(rib.observed_asns())
         prefixes = rib.prefixes()
-        self.routed_space = PrefixSet(prefixes)
+        live_ids = rib.live_prefix_ids()
+        self.routed_space = PrefixSet(prefixes[pid] for pid in live_ids)
 
-        trie = PrefixTrie()
-        for prefix_id, prefix in enumerate(prefixes):
-            # On duplicates the later id wins; prefixes are unique here.
-            trie.insert(prefix, prefix_id)
+        self._trie = PrefixTrie()
+        for prefix_id in live_ids:
+            # Live prefixes are unique, so each insert claims its node.
+            self._trie.insert(prefixes[prefix_id], prefix_id)
 
-        # Build painted LPM segments: at every boundary point, the most
-        # specific covering prefix (if any) owns the following segment.
-        boundaries: set[int] = set()
-        for prefix in prefixes:
-            boundaries.add(prefix.first)
-            boundaries.add(prefix.last + 1)
-        ordered = sorted(boundaries)
-        seg_starts: list[int] = []
-        seg_prefix: list[int] = []
-        for start in ordered:
-            if start >= 2**32:
+        # Painted LPM segments: at every boundary point, the most
+        # specific covering live prefix (if any) owns the following
+        # segment. Boundary points are refcounted so prefix removal
+        # keeps shared boundaries alive.
+        self._boundary_counts: dict[int, int] = {}
+        for prefix_id in live_ids:
+            prefix = prefixes[prefix_id]
+            for point in (prefix.first, prefix.last + 1):
+                self._boundary_counts[point] = (
+                    self._boundary_counts.get(point, 0) + 1
+                )
+        points: list[int] = []
+        owners: list[int] = []
+        for start in sorted(self._boundary_counts):
+            if start >= _ADDR_END:
                 continue
-            match = trie.longest_match(start)
-            owner = -1 if match is None else int(match[1])
-            if seg_starts and seg_prefix[-1] == owner:
-                continue
-            seg_starts.append(start)
-            seg_prefix.append(owner)
-        self._seg_starts = np.array(seg_starts, dtype=np.uint64)
-        self._seg_prefix = np.array(seg_prefix, dtype=np.int64)
-        if seg_starts:
-            seg_ends = np.append(self._seg_starts[1:], np.uint64(2**32))
-            seg_sizes = (seg_ends - self._seg_starts).astype(np.float64) / 256.0
-        else:
-            seg_sizes = np.zeros(0, dtype=np.float64)
-
-        self._origin_index_per_prefix = np.array(
-            [self.indexer.index(rib.origin_of(pid)) for pid in range(len(prefixes))],
-            dtype=np.int64,
-        ) if prefixes else np.zeros(0, dtype=np.int64)
-
-        self.exclusive_per_prefix = np.zeros(len(prefixes), dtype=np.float64)
-        covered = self._seg_prefix >= 0
-        np.add.at(
-            self.exclusive_per_prefix,
-            self._seg_prefix[covered],
-            seg_sizes[covered],
+            match = self._trie.longest_match(start)
+            points.append(start)
+            owners.append(-1 if match is None else int(match[1]))
+        self._seg_starts, self._seg_prefix = _canonical_segments(
+            points, owners
         )
-        self.exclusive_per_origin = np.zeros(len(self.indexer), dtype=np.float64)
-        if len(prefixes):
+
+        origin_index = np.full(len(prefixes), -1, dtype=np.int64)
+        for prefix_id in live_ids:
+            origin_index[prefix_id] = self.indexer.index(
+                rib.origin_of(prefix_id)
+            )
+        self._origin_index_per_prefix = origin_index
+        self._recompute_exclusive()
+
+    # -- incremental patching ---------------------------------------------
+
+    def apply_delta(self, rib: GlobalRIB, delta: RIBDelta) -> bool:
+        """Patch the vectorised views in place for one applied delta.
+
+        Returns False when patching is impossible (the observed AS set
+        changed, so every dense origin index shifts); the caller then
+        discards this object and rebuilds lazily. Otherwise the result
+        is bit-equal to a from-scratch construction over the same rib.
+        """
+        if delta.rebuild_required:
+            return False
+        if delta.new_prefix_ids:
+            grown = np.full(
+                len(self._origin_index_per_prefix) + len(delta.new_prefix_ids),
+                -1,
+                dtype=np.int64,
+            )
+            grown[: len(self._origin_index_per_prefix)] = (
+                self._origin_index_per_prefix
+            )
+            self._origin_index_per_prefix = grown
+        if delta.geometry_changed:
+            ranges: list[tuple[int, int]] = []
+            for prefix_id in delta.prefixes_now_dead:
+                prefix = rib.prefix_by_id(prefix_id)
+                self._trie.remove(prefix)
+                self._drop_boundaries(prefix)
+                ranges.append((prefix.first, prefix.last + 1))
+            for prefix_id in delta.prefixes_now_live:
+                prefix = rib.prefix_by_id(prefix_id)
+                self._trie.insert(prefix, prefix_id)
+                self._add_boundaries(prefix)
+                ranges.append((prefix.first, prefix.last + 1))
+            self._repaint(ranges)
+            prefixes = rib.prefixes()
+            self.routed_space = PrefixSet(
+                prefixes[pid] for pid in rib.live_prefix_ids()
+            )
+        for prefix_id, origin in delta.origin_changes.items():
+            self._origin_index_per_prefix[prefix_id] = self.indexer.index(
+                origin
+            )
+        for prefix_id in delta.prefixes_now_dead:
+            self._origin_index_per_prefix[prefix_id] = -1
+        if delta.geometry_changed or delta.origin_changes:
+            self._recompute_exclusive()
+        return True
+
+    def _add_boundaries(self, prefix: Prefix) -> None:
+        for point in (prefix.first, prefix.last + 1):
+            self._boundary_counts[point] = (
+                self._boundary_counts.get(point, 0) + 1
+            )
+
+    def _drop_boundaries(self, prefix: Prefix) -> None:
+        for point in (prefix.first, prefix.last + 1):
+            remaining = self._boundary_counts[point] - 1
+            if remaining:
+                self._boundary_counts[point] = remaining
+            else:
+                del self._boundary_counts[point]
+
+    def _repaint(self, ranges: list[tuple[int, int]]) -> None:
+        """Re-derive painted segments, resolving only affected ranges.
+
+        Boundary points inside an affected ``[first, last + 1]`` range
+        are re-resolved through the (already updated) trie; points
+        outside copy their previous LPM winner, which cannot have
+        changed — prefix blocks are aligned power-of-two ranges, so an
+        insert or remove only shifts ownership inside its own block.
+        """
+        old_starts = self._seg_starts
+        old_owner = self._seg_prefix
+        points: list[int] = []
+        owners: list[int] = []
+        for start in sorted(self._boundary_counts):
+            if start >= _ADDR_END:
+                continue
+            if any(low <= start <= high for low, high in ranges):
+                match = self._trie.longest_match(start)
+                owner = -1 if match is None else int(match[1])
+            else:
+                slot = (
+                    int(
+                        np.searchsorted(
+                            old_starts, np.uint64(start), side="right"
+                        )
+                    )
+                    - 1
+                )
+                owner = -1 if slot < 0 else int(old_owner[slot])
+            points.append(start)
+            owners.append(owner)
+        self._seg_starts, self._seg_prefix = _canonical_segments(
+            points, owners
+        )
+
+    def _recompute_exclusive(self) -> None:
+        """Recompute exclusive /24 coverage from the current segments."""
+        n_prefixes = len(self._origin_index_per_prefix)
+        self.exclusive_per_prefix = np.zeros(n_prefixes, dtype=np.float64)
+        if self._seg_starts.size:
+            seg_ends = np.append(
+                self._seg_starts[1:], np.uint64(_ADDR_END)
+            )
+            seg_sizes = (
+                seg_ends - self._seg_starts
+            ).astype(np.float64) / 256.0
+            covered = self._seg_prefix >= 0
+            np.add.at(
+                self.exclusive_per_prefix,
+                self._seg_prefix[covered],
+                seg_sizes[covered],
+            )
+        self.exclusive_per_origin = np.zeros(
+            len(self.indexer), dtype=np.float64
+        )
+        live = self._origin_index_per_prefix >= 0
+        if live.any():
             np.add.at(
                 self.exclusive_per_origin,
-                self._origin_index_per_prefix,
-                self.exclusive_per_prefix,
+                self._origin_index_per_prefix[live],
+                self.exclusive_per_prefix[live],
             )
 
     def lookup_many(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -13,6 +13,11 @@ Commands:
   policy (fail_fast/retry/degrade), ``--on-error quarantine`` loads
   dirty CSVs leniently and reports the quarantined records. Exits 3
   when ``--policy degrade`` had to drop rows (partial result).
+* ``watch``   — daemon mode: replay the world's BGP updates and
+  sampled flows as one interleaved, timestamp-ordered event stream and
+  classify each tumbling window online. Route deltas patch the RIB and
+  the packed validity matrices in place (no per-event rebuild);
+  ``--window-manifests DIR`` writes one run manifest per window.
 * ``trace show <manifest>`` — render a recorded run manifest back as
   a stage/span/metrics report.
 
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import itertools
 import pathlib
 import sys
 
@@ -35,10 +41,12 @@ import numpy as np
 from repro.analysis.fig2_cone_sizes import compute_cone_size_curves
 from repro.analysis.report import build_study_report
 from repro.analysis.table1 import compute_table1
+from repro.bgp.rib import GlobalRIB
 from repro.core import TrafficClass, build_ingress_acl, evaluate_acl
 from repro.core.classifier import DEFAULT_CHUNK_ROWS
 from repro.errors import IngestError, Quarantine
 from repro.experiments import WorldConfig, build_world
+from repro.experiments.runner import build_valid_space_maps
 from repro.io import load_flows_csv, load_flows_npz
 from repro.obs import (
     RunManifest,
@@ -47,6 +55,14 @@ from repro.obs import (
     enable_tracing,
     manifest_path_for,
     peak_rss_bytes,
+)
+from repro.stream import (
+    OnlineClassifier,
+    OnlineValidState,
+    flow_events,
+    merge_event_streams,
+    route_events,
+    update_stream,
 )
 from repro.survey import generate_survey_responses, tabulate
 
@@ -303,6 +319,79 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    manifest = _obs_begin(args, "watch")
+    config = getattr(WorldConfig, args.preset)(seed=args.seed)
+    world = build_world(
+        config, with_traffic=True, classify=False, keep_observations=True
+    )
+    observations = world.extras["observations"]
+    dumps = [obs for obs in observations if not obs.from_update]
+    updates = update_stream(observations)
+
+    # Warm-start a fresh RIB from the table dumps only; the updates
+    # replay live through the delta path below.
+    rib = GlobalRIB()
+    rib.add_all(dumps)
+    approaches = build_valid_space_maps(rib, world.as2org)
+    state = OnlineValidState(rib, approaches)
+
+    events = merge_event_streams(
+        route_events(updates),
+        flow_events(
+            world.scenario.flows,
+            chunk_rows=args.chunk_rows,
+            window_seconds=args.window_seconds,
+        ),
+    )
+    online = OnlineClassifier(
+        state,
+        args.window_seconds,
+        n_workers=args.workers,
+        policy=args.policy,
+        manifest_dir=args.window_manifests,
+    )
+    print(
+        f"watching: {len(dumps)} dump routes warm, {len(updates)} update "
+        f"events + {len(world.scenario.flows)} flows live, "
+        f"{args.window_seconds}s windows"
+    )
+    header = (
+        f"{'window':>8} {'routes':>7} {'applied':>8} {'patched':>8} "
+        f"{'rebuilt':>8} {'chunks':>7} {'flows':>9}"
+    )
+    print(header)
+    windows = online.run(events)
+    if args.windows is not None:
+        windows = itertools.islice(windows, args.windows)
+    n_windows = 0
+    n_flows = 0
+    incomplete = False
+    for window in windows:
+        n_windows += 1
+        n_flows += window.n_flows
+        incomplete = incomplete or not window.result.complete
+        print(
+            f"{window.index:>8} {window.n_route_events:>7} "
+            f"{window.n_deltas_applied:>8} {window.n_patched:>8} "
+            f"{window.n_rebuilds:>8} {window.n_chunks:>7} "
+            f"{window.n_flows:>9}"
+        )
+    print(
+        f"watched {n_windows} window(s): {n_flows} flows, "
+        f"{state.n_applied} route deltas applied "
+        f"({state.n_patched} patched, {state.n_rebuilds} rebuilds), "
+        f"{state.n_ignored} ignored"
+    )
+    exit_code = 3 if incomplete else 0
+    if incomplete:
+        print("WARNING: at least one window is partial", file=sys.stderr)
+    _obs_finish(
+        args, manifest, exit_code=exit_code, complete=not incomplete
+    )
+    return exit_code
+
+
 def _cmd_trace_show(args: argparse.Namespace) -> int:
     try:
         manifest = RunManifest.load(args.manifest)
@@ -384,6 +473,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per streaming chunk",
     )
     classify.set_defaults(func=_cmd_classify)
+
+    watch = sub.add_parser(
+        "watch",
+        help="daemon mode: classify interleaved route/flow events "
+        "per tumbling window with incremental state patching",
+    )
+    _add_preset(watch)
+    watch.add_argument(
+        "--window-seconds",
+        dest="window_seconds",
+        type=int,
+        default=86_400,
+        help="tumbling window length in seconds (default: 1 day)",
+    )
+    watch.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        help="stop after this many windows (default: drain the stream)",
+    )
+    watch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size per window (default: in-process)",
+    )
+    watch.add_argument(
+        "--policy",
+        choices=("fail_fast", "retry", "degrade"),
+        default=None,
+        help="failure policy for the supervised parallel path "
+        "(default: retry when --workers > 1)",
+    )
+    watch.add_argument(
+        "--chunk-rows",
+        dest="chunk_rows",
+        type=int,
+        default=DEFAULT_CHUNK_ROWS,
+        help="max flow rows per chunk event",
+    )
+    watch.add_argument(
+        "--window-manifests",
+        dest="window_manifests",
+        default=None,
+        metavar="DIR",
+        help="write one run manifest per window into DIR",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     trace_parser = sub.add_parser(
         "trace", help="inspect recorded run manifests"

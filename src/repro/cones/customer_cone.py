@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bgp.rib import GlobalRIB
+from repro.bgp.rib import GlobalRIB, RIBDelta
 from repro.cones.base import ValidSpaceMap
 from repro.cones.closure import ReachabilityClosure
 from repro.cones.relationships import (
@@ -32,7 +32,13 @@ class CustomerConeValidSpace(ValidSpaceMap):
         relationships: dict[tuple[int, int], InferredRelationship] | None = None,
     ) -> None:
         super().__init__(rib)
+        self._given_relationships = relationships
+        self._build()
+
+    def _build(self) -> None:
+        rib = self._rib
         indexer = rib.indexer
+        relationships = self._given_relationships
         if relationships is None:
             relationships = infer_relationships(rib.paths())
         self.relationships = relationships
@@ -52,6 +58,38 @@ class CustomerConeValidSpace(ValidSpaceMap):
             if p_idx is not None and c_idx is not None:
                 edges.append((p_idx, c_idx))
         self._closure = ReachabilityClosure(len(indexer), edges)
+
+    def refresh(self) -> None:
+        """Re-infer relationships (unless given) and rebuild the closure."""
+        self._build()
+
+    def apply_delta(self, delta: RIBDelta) -> set[int] | None:
+        """Rebuild on path churn, but report only the rows that moved.
+
+        Relationship inference is a global fixpoint over the unique
+        path set — there is no sound per-edge patch — so any change to
+        the live paths or adjacencies re-infers and rebuilds the
+        closure. The old and new per-node reachability rows are then
+        diffed so downstream matrix patching stays row-level.
+        """
+        if delta.rebuild_required:
+            self.refresh()
+            return None
+        if not (
+            delta.added_paths
+            or delta.removed_paths
+            or delta.added_adjacencies
+            or delta.removed_adjacencies
+        ):
+            return set()
+        old = self._closure.node_rows().copy()
+        self._build()
+        new = self._closure.node_rows()
+        if old.shape != new.shape:
+            return None
+        moved = (old != new).any(axis=1)
+        indexer = self._rib.indexer
+        return {indexer.asn(int(i)) for i in np.flatnonzero(moved)}
 
     @property
     def column_kind(self) -> str:

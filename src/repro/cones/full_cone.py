@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bgp.rib import GlobalRIB
+from repro.bgp.rib import GlobalRIB, RIBDelta
 from repro.cones.base import ValidSpaceMap
 from repro.cones.closure import ReachabilityClosure
 
@@ -32,17 +32,65 @@ class FullConeValidSpace(ValidSpaceMap):
         ASN pairs, e.g. links recovered from WHOIS during the
         false-positive hunt (Section 4.4)."""
         super().__init__(rib)
-        indexer = rib.indexer
+        self._extra_edges = list(extra_edges) if extra_edges else []
+        self._build()
+
+    def _build(self) -> None:
+        indexer = self._rib.indexer
         edges = []
-        pair_source = list(rib.adjacencies())
-        if extra_edges:
-            pair_source.extend(extra_edges)
+        pair_source = list(self._rib.adjacencies())
+        pair_source.extend(self._extra_edges)
         for left, right in pair_source:
             l_idx = indexer.index_or_none(left)
             r_idx = indexer.index_or_none(right)
             if l_idx is not None and r_idx is not None:
                 edges.append((l_idx, r_idx))
         self._closure = ReachabilityClosure(len(indexer), edges)
+
+    def refresh(self) -> None:
+        """Rebuild the reachability closure from the RIB from scratch."""
+        self._build()
+
+    def apply_delta(self, delta: RIBDelta) -> set[int] | None:
+        """Patch the closure for adjacency churn.
+
+        Added adjacencies that create no new cycle are folded into the
+        closure in place (:meth:`ReachabilityClosure.add_edge`); a
+        removed adjacency or a cycle-creating addition rebuilds the
+        closure and diffs per-node rows so the matrix cache still
+        restacks only the members whose cones actually moved.
+        """
+        if delta.rebuild_required:
+            self.refresh()
+            return None
+        if not delta.added_adjacencies and not delta.removed_adjacencies:
+            return set()
+        if delta.removed_adjacencies:
+            return self._rebuild_and_diff()
+        indexer = self._rib.indexer
+        changed: set[int] = set()
+        for left, right in delta.added_adjacencies:
+            l_idx = indexer.index_or_none(left)
+            r_idx = indexer.index_or_none(right)
+            if l_idx is None or r_idx is None:
+                # An adjacency endpoint outside the indexer implies the
+                # AS universe moved after all — fall back hard.
+                return self._rebuild_and_diff()
+            grew = self._closure.add_edge(l_idx, r_idx)
+            if grew is None:  # new cycle: condensation changed
+                return self._rebuild_and_diff()
+            changed.update(indexer.asn(i) for i in grew.tolist())
+        return changed
+
+    def _rebuild_and_diff(self) -> set[int] | None:
+        old = self._closure.node_rows().copy()
+        self._build()
+        new = self._closure.node_rows()
+        if old.shape != new.shape:
+            return None
+        moved = (old != new).any(axis=1)
+        indexer = self._rib.indexer
+        return {indexer.asn(int(i)) for i in np.flatnonzero(moved)}
 
     @property
     def column_kind(self) -> str:

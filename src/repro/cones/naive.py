@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bgp.rib import GlobalRIB
+from repro.bgp.rib import GlobalRIB, RIBDelta
 from repro.cones.base import ValidSpaceMap
 
 
@@ -21,6 +21,10 @@ class NaiveValidSpace(ValidSpaceMap):
 
     def __init__(self, rib: GlobalRIB) -> None:
         super().__init__(rib)
+        self._build()
+
+    def _build(self) -> None:
+        rib = self._rib
         indexer = rib.indexer
         n_prefixes = rib.num_prefixes
         row_bytes = (n_prefixes + 7) // 8
@@ -32,6 +36,49 @@ class NaiveValidSpace(ValidSpaceMap):
                 index = indexer.index_or_none(asn)
                 if index is not None:
                     self._matrix[index, byte] |= mask
+
+    def refresh(self) -> None:
+        """Rebuild the membership matrix from the RIB from scratch."""
+        self._build()
+
+    def apply_delta(self, delta: RIBDelta) -> set[int] | None:
+        """Flip only the membership bits the delta names.
+
+        Prefix ids are stable columns, so an announce sets and a
+        withdraw clears individual (member, prefix) bits; new prefixes
+        zero-pad the matrix on the right (little-endian packing keeps
+        existing bit positions). Only a change to the observed AS set
+        (new dense indexer) forces a rebuild.
+        """
+        if delta.rebuild_required:
+            self.refresh()
+            return None
+        width = (self._rib.num_prefixes + 7) // 8
+        if width > self._matrix.shape[1]:
+            grown = np.zeros(
+                (self._matrix.shape[0], width), dtype=np.uint8
+            )
+            grown[:, : self._matrix.shape[1]] = self._matrix
+            self._matrix = grown
+        indexer = self._rib.indexer
+        changed: set[int] = set()
+        for prefix_id, asns in delta.members_added.items():
+            byte = prefix_id >> 3
+            mask = np.uint8(1 << (prefix_id & 7))
+            for asn in asns:
+                index = indexer.index_or_none(asn)
+                if index is not None:
+                    self._matrix[index, byte] |= mask
+                    changed.add(asn)
+        for prefix_id, asns in delta.members_removed.items():
+            byte = prefix_id >> 3
+            keep = np.uint8(255 - (1 << (prefix_id & 7)))
+            for asn in asns:
+                index = indexer.index_or_none(asn)
+                if index is not None:
+                    self._matrix[index, byte] &= keep
+                    changed.add(asn)
+        return changed
 
     @property
     def column_kind(self) -> str:

@@ -249,11 +249,36 @@ class SpoofingClassifier:
         self._rib = rib
         self._approaches = dict(approaches)
         self._bogons = bogons if bogons is not None else bogon_prefix_set()
+        self._state_version = 0
 
     @property
     def approach_names(self) -> list[str]:
         """Configured valid-space approach names, in Table 1 order."""
         return list(self._approaches)
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter of valid-space state mutations.
+
+        The online pipeline bumps this (via
+        :meth:`notify_state_changed`) after patching the RIB or any
+        approach's matrices; the supervised streaming path compares it
+        against the version its worker pool was armed with and
+        rebuilds the pool before classifying chunks submitted after a
+        change.
+        """
+        return self._state_version
+
+    def notify_state_changed(self) -> None:
+        """Record that the RIB / valid-space state was mutated in place.
+
+        Must be called after every applied delta when this classifier
+        is used for streaming: fork workers snapshot state at pool
+        creation and spawn workers at initializer pickle time, so a
+        pool armed before the mutation would classify new chunks
+        against stale matrices.
+        """
+        self._state_version += 1
 
     def classify(
         self,
@@ -544,21 +569,28 @@ class SpoofingClassifier:
             _STREAM_CLASSIFIER = self
             _STREAM_TABLE = table
             _STREAM_INJECTOR = injector
-            initargs: tuple = (None, None, False)
-        else:
-            initargs = (self, injector, current_tracer().enabled)
+
+        def make_initargs() -> tuple:
+            # Evaluated at every pool (re)build, not once per stream:
+            # a rebuilt spawn pool must pickle the classifier's
+            # *current* (possibly delta-patched) state, and the tracer
+            # enabled flag must reflect the tracer as it is now.
+            if fork:
+                return (None, None, False)
+            return (self, injector, current_tracer().enabled)
+
         use_ranges = fork and table is not None
         try:
             if policy is None:
                 yield from self._stream_unsupervised(
-                    ctx, n_workers, initargs, table, flow_chunks,
+                    ctx, n_workers, make_initargs(), table, flow_chunks,
                     chunk_rows, keep_labels, use_ranges,
                 )
             else:
                 if failures is None:
                     failures = FailureLog()
                 yield from self._stream_supervised(
-                    ctx, n_workers, initargs, table, flow_chunks,
+                    ctx, n_workers, make_initargs, table, flow_chunks,
                     chunk_rows, keep_labels, use_ranges, policy,
                     injector, failures,
                 )
@@ -603,7 +635,7 @@ class SpoofingClassifier:
         self,
         ctx: BaseContext,
         n_workers: int,
-        initargs: tuple,
+        make_initargs: Callable[[], tuple],
         table: FlowTable | None,
         flow_chunks: Iterable[FlowTable] | FlowTable,
         chunk_rows: int,
@@ -623,6 +655,15 @@ class SpoofingClassifier:
         (hung or killed worker — its task can never complete) tears
         the whole pool down, rebuilds it, and resubmits the collateral
         in-flight chunks.
+
+        Pools are version-aware: when the classifier's
+        :attr:`state_version` moves mid-stream (the online pipeline
+        patched the RIB or a validity matrix in place), in-flight
+        chunks drain against the state their pool was armed with, then
+        the pool is rebuilt — fork re-snapshots the parent's current
+        memory, spawn re-pickles through ``make_initargs`` — before
+        any later chunk is submitted. Chunks resubmitted after a
+        worker death rerun against the rebuilt pool's (current) state.
         """
         if use_ranges:
             assert table is not None
@@ -642,7 +683,7 @@ class SpoofingClassifier:
             return ctx.Pool(
                 processes=n_workers,
                 initializer=_stream_init,
-                initargs=initargs,
+                initargs=make_initargs(),
             )
 
         def submit(pool: Pool, index: int, job: Any, attempt: int) -> _InFlight:
@@ -722,16 +763,33 @@ class SpoofingClassifier:
 
         window = max(2, 2 * n_workers)
         inflight: deque[_InFlight] = deque()
+        staged: tuple[int, Any] | None = None
         exhausted = False
+        armed_version = self._state_version
         pool = make_pool()
         try:
             while True:
                 while not exhausted and len(inflight) < window:
-                    item = next(jobs, None)
-                    if item is None:
-                        exhausted = True
-                        break
-                    inflight.append(submit(pool, item[0], item[1], 1))
+                    if staged is None:
+                        staged = next(jobs, None)
+                        if staged is None:
+                            exhausted = True
+                            break
+                    if self._state_version != armed_version:
+                        # The valid-space state moved under us (the
+                        # stream generator applied a delta before
+                        # yielding this chunk). In-flight chunks finish
+                        # against their pool's armed state; this chunk
+                        # must see the current state, so drain first,
+                        # then rebuild.
+                        if inflight:
+                            break
+                        pool.terminate()
+                        pool.join()
+                        pool = make_pool()
+                        armed_version = self._state_version
+                    inflight.append(submit(pool, staged[0], staged[1], 1))
+                    staged = None
                 if not inflight:
                     break
                 head = inflight[0]
@@ -749,6 +807,10 @@ class SpoofingClassifier:
                     pool.terminate()
                     pool.join()
                     pool = make_pool()
+                    # The rebuilt pool snapshots the *current* state,
+                    # so collateral/resubmitted chunks rerun against
+                    # the newest matrices (at-least-as-current).
+                    armed_version = self._state_version
                     failed = inflight.popleft()
                     collateral = list(inflight)
                     inflight.clear()

@@ -79,9 +79,16 @@ def build_world(
     config: WorldConfig | None = None,
     with_traffic: bool = True,
     classify: bool = True,
+    keep_observations: bool = False,
 ) -> World:
     """Build the full study. Set ``with_traffic=False`` for BGP-only
-    experiments (e.g. Figure 2), which are much faster."""
+    experiments (e.g. Figure 2), which are much faster.
+
+    ``keep_observations=True`` retains the raw BGP observation stream
+    in ``world.extras["observations"]`` so the online pipeline
+    (``repro watch``) can replay table dumps as warm-up state and
+    updates as live route events.
+    """
     config = config or WorldConfig.default()
     rng = np.random.default_rng(config.seed)
 
@@ -99,9 +106,14 @@ def build_world(
 
     logger.info("propagating BGP and building the RIB")
     with trace("world.bgp"):
-        rib = GlobalRIB.from_observations(
-            simulate_bgp(topo, policies, collectors, ixp.route_server, rng)
+        observations = simulate_bgp(
+            topo, policies, collectors, ixp.route_server, rng
         )
+        retained: list | None = None
+        if keep_observations:
+            retained = list(observations)
+            observations = iter(retained)
+        rib = GlobalRIB.from_observations(observations)
         as2org = build_as2org(topo)
     logger.info("computing valid-space maps (%d prefixes)", rib.num_prefixes)
     with trace("world.cones", rows=rib.num_prefixes):
@@ -119,6 +131,8 @@ def build_world(
         approaches=approaches,
         classifier=classifier,
     )
+    if retained is not None:
+        world.extras["observations"] = retained
     if with_traffic:
         logger.info("generating traffic (%d regular rows)",
                     config.scenario.total_regular_rows)

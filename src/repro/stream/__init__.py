@@ -1,0 +1,35 @@
+"""The online (daemon-mode) pipeline behind ``repro watch``.
+
+Splits "build valid-space state" from "apply delta": a long-lived
+:class:`~repro.stream.state.OnlineValidState` is patched in place as
+BGP announce/withdraw events arrive, and an
+:class:`~repro.stream.online.OnlineClassifier` classifies interleaved
+flow chunks per tumbling window against the state as of each chunk's
+stream position. See ``docs/ARCHITECTURE.md`` (daemon mode) for the
+event model and the delta-vs-rebuild contract.
+"""
+
+from repro.stream.events import (
+    FlowEvent,
+    RouteEvent,
+    WatchEvent,
+    flow_events,
+    merge_event_streams,
+    route_events,
+    update_stream,
+)
+from repro.stream.online import OnlineClassifier, WindowResult
+from repro.stream.state import OnlineValidState
+
+__all__ = [
+    "FlowEvent",
+    "OnlineClassifier",
+    "OnlineValidState",
+    "RouteEvent",
+    "WatchEvent",
+    "WindowResult",
+    "flow_events",
+    "merge_event_streams",
+    "route_events",
+    "update_stream",
+]

@@ -1,0 +1,126 @@
+"""Event model of the online (daemon) pipeline.
+
+``repro watch`` consumes one logically unbounded, timestamp-ordered
+stream of two event kinds:
+
+* :class:`RouteEvent` — a BGP announce/withdraw delta (a
+  :class:`~repro.bgp.messages.RouteObservation` with
+  ``from_update=True``), mutating the valid-space state;
+* :class:`FlowEvent` — a chunk of sampled flows to classify against
+  the state as of its position in the stream.
+
+Helpers here adapt the repo's batch artefacts into that shape:
+:func:`route_events` wraps observation iterables, :func:`flow_events`
+chunks a flow table into window-aligned, time-ordered slices, and
+:func:`merge_event_streams` interleaves any number of per-kind streams
+into one by timestamp (ties resolve in stream-argument order, so
+listing the route stream first makes route churn at time *t* visible
+to flows at time *t*).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.bgp.messages import RouteObservation
+from repro.ixp.flows import FlowTable
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEvent:
+    """One BGP announce/withdraw delta entering the online pipeline."""
+
+    observation: RouteObservation
+
+    @property
+    def timestamp(self) -> int:
+        """Event time (the wrapped observation's timestamp)."""
+        return self.observation.timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEvent:
+    """One chunk of sampled flows entering the online pipeline.
+
+    ``timestamp`` is the time of the chunk's first (earliest) row; a
+    well-formed chunk never straddles a window boundary.
+    """
+
+    flows: FlowTable
+    timestamp: int
+
+
+#: Anything the online classifier consumes.
+WatchEvent = Union[RouteEvent, FlowEvent]
+
+
+def route_events(
+    observations: Iterable[RouteObservation],
+) -> Iterator[RouteEvent]:
+    """Wrap a BGP observation iterable as route events, order preserved."""
+    for observation in observations:
+        yield RouteEvent(observation)
+
+
+def update_stream(
+    observations: Iterable[RouteObservation],
+) -> list[RouteObservation]:
+    """Extract the update messages of an observation set, time-ordered.
+
+    Table-dump entries (``from_update=False``) are excluded — they are
+    warm-up state, not stream events. The sort is stable, so updates
+    sharing a timestamp keep their simulation order (a failover's
+    withdrawal stays ahead of its backup announcement).
+    """
+    updates = [obs for obs in observations if obs.from_update]
+    updates.sort(key=lambda obs: obs.timestamp)
+    return updates
+
+
+def flow_events(
+    flows: FlowTable,
+    *,
+    chunk_rows: int,
+    window_seconds: int,
+) -> Iterator[FlowEvent]:
+    """Chunk a flow table into time-ordered, window-aligned events.
+
+    Rows are sorted by time, then split so that no chunk crosses a
+    ``window_seconds`` boundary and no chunk exceeds ``chunk_rows``
+    rows. Each event is stamped with its first row's time.
+    """
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    ordered = flows.sort_by_time()
+    times = ordered.time
+    n = len(ordered)
+    start = 0
+    while start < n:
+        first = int(times[start])
+        boundary = (first // window_seconds + 1) * window_seconds
+        stop = start + int(
+            np.searchsorted(times[start:], np.int64(boundary), side="left")
+        )
+        stop = min(stop, start + chunk_rows)
+        yield FlowEvent(ordered.select(slice(start, stop)), first)
+        start = stop
+
+
+def merge_event_streams(
+    *streams: Iterable[WatchEvent],
+) -> Iterator[WatchEvent]:
+    """Merge timestamp-ordered event streams into one ordered stream.
+
+    Each input stream must already be non-decreasing in timestamp.
+    Events with equal timestamps are emitted in stream-argument order,
+    so pass route streams before flow streams to apply route churn
+    ahead of same-second traffic.
+    """
+    return heapq.merge(*streams, key=lambda event: event.timestamp)

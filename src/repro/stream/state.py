@@ -1,0 +1,112 @@
+"""Mutable valid-space state for the online pipeline.
+
+:class:`OnlineValidState` owns the trio the batch pipeline builds once
+and throws away per run — the :class:`~repro.bgp.rib.GlobalRIB`, the
+approach dict of :class:`~repro.cones.base.ValidSpaceMap` instances,
+and the :class:`~repro.core.classifier.SpoofingClassifier` — and keeps
+them mutually consistent as route deltas arrive:
+
+1. ``rib.apply(observation)`` patches (or schedules a rebuild of) the
+   finalized LPM/origin views and reports a
+   :class:`~repro.bgp.rib.RIBDelta`;
+2. each *unique base* map gets ``apply_delta`` exactly once — the
+   approach dict shares base instances between plain and ``+orgs``
+   variants, so deduplication by identity prevents double-application;
+3. org wrappers expand the base's changed-row set through sibling
+   groups (:meth:`~repro.cones.orgs.OrgMergedValidSpace.propagate_delta`);
+4. every map's memoised packed matrix is patched row-level
+   (:meth:`~repro.cones.base.ValidSpaceMap.refresh_matrix_rows`);
+5. the classifier's ``state_version`` is bumped so supervised worker
+   pools re-arm before classifying chunks that follow the delta.
+
+The contract is exact: after :meth:`apply_route`, classification
+results are bit-equal to a from-scratch rebuild of RIB, cones, and
+matrices over the same live routes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.bgp.messages import RouteObservation
+from repro.bgp.rib import GlobalRIB, RIBDelta
+from repro.cones.base import ValidSpaceMap
+from repro.cones.orgs import OrgMergedValidSpace
+from repro.core.classifier import SpoofingClassifier
+from repro.obs.metrics import current_metrics
+
+
+class OnlineValidState:
+    """RIB + valid-space maps + classifier, patched as deltas arrive."""
+
+    def __init__(
+        self,
+        rib: GlobalRIB,
+        approaches: Mapping[str, ValidSpaceMap],
+        classifier: SpoofingClassifier | None = None,
+    ) -> None:
+        if classifier is None:
+            classifier = SpoofingClassifier(rib, dict(approaches))
+        self.rib = rib
+        self.approaches = dict(approaches)
+        self.classifier = classifier
+        #: Deltas applied / events ignored since construction.
+        self.n_applied = 0
+        self.n_ignored = 0
+        #: Finalized-view patch vs rebuild tallies (mirrors the
+        #: ``rib.delta_applied`` / ``rib.delta_rebuilds`` counters).
+        self.n_patched = 0
+        self.n_rebuilds = 0
+
+    def warm_up(self, observations: Iterable[RouteObservation]) -> int:
+        """Bulk-load table-dump observations through the union path.
+
+        Used before streaming starts: :meth:`GlobalRIB.add` skips all
+        per-event delta bookkeeping and finalized patching, so seeding
+        hundreds of thousands of dump entries stays cheap. Callers
+        must warm up *before* building approaches on the same RIB (or
+        construct the state afterwards). Returns accepted routes.
+        """
+        return self.rib.add_all(observations)
+
+    def apply_route(self, observation: RouteObservation) -> RIBDelta:
+        """Apply one announce/withdraw delta through the whole stack.
+
+        Returns the :class:`RIBDelta`; when the event was ignored
+        (duplicate announce, withdrawal of an unknown route) nothing
+        else is touched. Otherwise the cone maps and their packed
+        matrices are patched and the classifier version is bumped.
+        """
+        delta = self.rib.apply(observation)
+        if not delta.applied:
+            self.n_ignored += 1
+            return delta
+        self.n_applied += 1
+        if delta.finalize == "patched":
+            self.n_patched += 1
+        elif delta.finalize == "rebuild":
+            self.n_rebuilds += 1
+        base_changed: dict[int, set[int] | None] = {}
+        for approach in self.approaches.values():
+            base = self._base_of(approach)
+            if id(base) not in base_changed:
+                base_changed[id(base)] = base.apply_delta(delta)
+        rows_patched = 0
+        for approach in self.approaches.values():
+            if isinstance(approach, OrgMergedValidSpace):
+                changed = approach.propagate_delta(
+                    base_changed[id(approach.base)]
+                )
+            else:
+                changed = base_changed[id(approach)]
+            rows_patched += approach.refresh_matrix_rows(changed)
+        current_metrics().counter("stream.deltas_applied").inc()
+        self.classifier.notify_state_changed()
+        return delta
+
+    @staticmethod
+    def _base_of(approach: ValidSpaceMap) -> ValidSpaceMap:
+        """The shared base map of a wrapper (or the map itself)."""
+        if isinstance(approach, OrgMergedValidSpace):
+            return approach.base
+        return approach

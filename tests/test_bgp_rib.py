@@ -19,6 +19,17 @@ def obs(prefix: str, *path: int, source="rrc00", ts=0, update=False):
     )
 
 
+def wd(prefix: str, *path: int, source="rrc00", ts=0):
+    return RouteObservation(
+        prefix=Prefix.parse(prefix),
+        path=tuple(path),
+        source=source,
+        timestamp=ts,
+        from_update=True,
+        withdrawal=True,
+    )
+
+
 @pytest.fixture()
 def rib():
     r = GlobalRIB()
@@ -168,6 +179,229 @@ class TestLookup:
         assert rib.lookup(addr_to_int("30.0.0.1"))[0] == -1
         rib.add(obs("30.0.0.0/16", 1, 2))
         assert rib.lookup(addr_to_int("30.0.0.1"))[0] != -1
+
+
+class TestDeltaWithdrawals:
+    """Delta-mode (``apply``) route removal and cache coherence."""
+
+    def test_withdraw_removes_live_route(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2, 3))
+        pid = r.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert r.is_live(pid)
+        delta = r.apply(wd("10.0.0.0/16", 1, 2, 3))
+        assert delta.applied and delta.withdrawal
+        assert not r.is_live(pid)
+        assert r.num_live_routes == 0
+        assert r.lookup(addr_to_int("10.0.1.1"))[0] == -1
+
+    def test_dead_prefix_keeps_stable_id(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        r.apply(obs("20.0.0.0/16", 1, 3))
+        pid_20 = r.prefix_id(Prefix.parse("20.0.0.0/16"))
+        r.apply(wd("10.0.0.0/16", 1, 2))
+        assert r.prefix_id(Prefix.parse("20.0.0.0/16")) == pid_20
+        assert r.live_prefix_ids() == [pid_20]
+        with pytest.raises(ValueError):
+            r.origin_of(r.prefix_id(Prefix.parse("10.0.0.0/16")))
+
+    def test_path_member_cache_evicted_on_path_death(self):
+        # Regression: a withdrawn path's member cache survived as a
+        # stale entry, so a later re-announcement through a *changed*
+        # interning path could resurrect outdated member sets.
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2, 3))
+        pid = r.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert r.path_members(pid) == {1, 2, 3}
+        assert (1, 2, 3) in r._path_member_cache
+        r.apply(wd("10.0.0.0/16", 1, 2, 3))
+        assert (1, 2, 3) not in r._path_member_cache
+        assert r.path_members(pid) == set()
+
+    def test_shared_path_cache_survives_partial_withdraw(self):
+        # Two prefixes share a path: withdrawing one must keep the
+        # cache entry (the path is still live for the other prefix).
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2, 3))
+        r.apply(obs("20.0.0.0/16", 1, 2, 3))
+        r.apply(wd("10.0.0.0/16", 1, 2, 3))
+        assert (1, 2, 3) in r._path_member_cache
+        pid = r.prefix_id(Prefix.parse("20.0.0.0/16"))
+        assert r.path_members(pid) == {1, 2, 3}
+        assert r.observed_asns() == {1, 2, 3}
+
+    def test_reannounce_after_withdraw_round_trips(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2, 3))
+        r.apply(wd("10.0.0.0/16", 1, 2, 3))
+        delta = r.apply(obs("10.0.0.0/16", 1, 2, 3))
+        assert delta.applied
+        pid = r.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert r.is_live(pid)
+        assert r.path_members(pid) == {1, 2, 3}
+        assert r.origin_of(pid) == 3
+        assert r.lookup(addr_to_int("10.0.1.1"))[0] == pid
+
+    def test_withdraw_shrinks_member_set_not_counters_only(self):
+        # Interleaved add/withdraw/query: member sets must be
+        # recomputed from live paths, not left as unions.
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2, 9))
+        r.apply(obs("10.0.0.0/16", 5, 6, 9))
+        pid = r.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert r.path_members(pid) == {1, 2, 5, 6, 9}
+        delta = r.apply(wd("10.0.0.0/16", 1, 2, 9))
+        assert delta.members_removed[pid] == {1, 2}
+        assert r.path_members(pid) == {5, 6, 9}
+        assert r.observed_asns() == {5, 6, 9}
+        assert (1, 2) not in r.adjacencies()
+
+    def test_withdraw_moas_origin_flip(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 7))
+        r.apply(obs("10.0.0.0/16", 2, 7))
+        r.apply(obs("10.0.0.0/16", 3, 8))
+        pid = r.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert r.origin_of(pid) == 7
+        delta = r.apply(wd("10.0.0.0/16", 1, 7))
+        assert not delta.origin_changes  # 7 still wins 1 vote vs 1, tie→min
+        r.apply(wd("10.0.0.0/16", 2, 7))
+        assert r.origin_of(pid) == 8
+        assert r.origins_of(pid) == {8}
+
+    def test_finalized_patched_in_place(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        r.apply(obs("20.0.0.0/16", 1, 2))  # keeps ASNs 1, 2 alive below
+        r.lookup(addr_to_int("10.0.0.1"))  # build the finalized view
+        finalized = r._final()
+        delta = r.apply(wd("10.0.0.0/16", 1, 2))
+        assert delta.finalize == "patched"
+        assert r._final() is finalized  # patched, not rebuilt
+        assert r.lookup(addr_to_int("10.0.0.1"))[0] == -1
+        assert r.lookup(addr_to_int("20.0.0.1"))[0] != -1
+
+    def test_new_asn_forces_rebuild(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        r.lookup(addr_to_int("10.0.0.1"))
+        finalized = r._final()
+        delta = r.apply(obs("20.0.0.0/16", 1, 99))
+        assert delta.rebuild_required
+        assert delta.finalize == "rebuild"
+        assert r._final() is not finalized
+        assert r.indexer.index(99) >= 0
+
+
+class TestWithdrawalCounters:
+    """Counter algebra under delta mode (and the union path)."""
+
+    def test_never_announced_prefix_ignored(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        delta = r.apply(wd("99.0.0.0/16", 1, 2))
+        assert not delta.applied
+        assert r.num_withdrawals == 1
+        assert r.num_withdrawals_ignored == 1
+        assert r.num_withdrawals_applied == 0
+        assert r.num_live_routes == 1
+
+    def test_unknown_path_ignored(self):
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        delta = r.apply(wd("10.0.0.0/16", 5, 2))
+        assert not delta.applied
+        assert r.num_withdrawals_ignored == 1
+        assert r.num_live_routes == 1
+
+    def test_duplicate_withdrawal_not_double_counted(self):
+        # Regression: the second withdrawal of the same route used to
+        # drive refcounts negative and double-count as applied.
+        r = GlobalRIB()
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        assert r.apply(wd("10.0.0.0/16", 1, 2)).applied
+        assert not r.apply(wd("10.0.0.0/16", 1, 2)).applied
+        assert r.num_withdrawals == 2
+        assert r.num_withdrawals_applied == 1
+        assert r.num_withdrawals_ignored == 1
+        assert r.num_live_routes == 0
+        # A third one after re-announce applies again, cleanly.
+        r.apply(obs("10.0.0.0/16", 1, 2))
+        assert r.apply(wd("10.0.0.0/16", 1, 2)).applied
+        assert r.num_withdrawals_applied == 2
+
+    def test_union_mode_counts_withdrawals_as_ignored(self, rib):
+        assert not rib.add(wd("10.0.0.0/16", 100, 200, 300))
+        assert rib.num_withdrawals == 1
+        assert rib.num_withdrawals_ignored == 1
+        assert rib.num_withdrawals_applied == 0
+        # Union semantics: the route is still installed.
+        pid = rib.prefix_id(Prefix.parse("10.0.0.0/16"))
+        assert rib.is_live(pid)
+
+    def test_counter_algebra_random_sequence(self):
+        rng = np.random.default_rng(4242)
+        r = GlobalRIB()
+        prefixes = [f"{10 + i}.0.0.0/16" for i in range(6)]
+        paths = [(1, 2, 3), (4, 5, 3), (1, 6), (7, 8, 9)]
+        for _ in range(400):
+            prefix = prefixes[rng.integers(len(prefixes))]
+            path = paths[rng.integers(len(paths))]
+            if rng.random() < 0.45:
+                r.apply(wd(prefix, *path))
+            else:
+                r.apply(obs(prefix, *path))
+            assert r.num_withdrawals == (
+                r.num_withdrawals_applied + r.num_withdrawals_ignored
+            )
+            assert (
+                r.num_accepted - r.num_withdrawals_applied
+                == r.num_live_routes
+            )
+
+    def test_counters_match_quarantine_report(self, tmp_path):
+        from repro.errors import Quarantine
+        from repro.io import load_route_dump, write_route_dump
+
+        events = [
+            obs("10.0.0.0/16", 1, 2, 3, update=True),
+            obs("10.0.0.0/16", 1, 2, 3, update=True),  # duplicate
+            obs("20.0.0.0/16", 4, 5, update=True),
+            wd("20.0.0.0/16", 4, 5),
+            wd("20.0.0.0/16", 4, 5),  # duplicate withdrawal
+            wd("30.0.0.0/16", 4, 5),  # never announced
+            obs("40.0.0.0/28", 1, 2, update=True),  # length-filtered
+        ]
+        path = tmp_path / "updates.dump"
+        written = write_route_dump(events, path)
+        with open(path, "a") as handle:
+            handle.write("TABLE_DUMP2|0|A|rrc00|1|garbage|1 2\n")
+            handle.write("not a record at all\n")
+        quarantine = Quarantine(source=str(path))
+        r = GlobalRIB()
+        n_loaded = 0
+        for event in load_route_dump(
+            path, on_error="quarantine", quarantine=quarantine
+        ):
+            n_loaded += 1
+            r.apply(event)
+        # Every line is accounted for exactly once: parsed or
+        # quarantined, and every parsed record lands in exactly one
+        # RIB counter bucket.
+        assert len(quarantine) == 2
+        assert n_loaded == written
+        assert (
+            r.num_accepted
+            + r.num_duplicates
+            + r.num_discarded
+            + r.num_withdrawals
+            == n_loaded
+        )
+        assert r.num_withdrawals == 3
+        assert r.num_withdrawals_applied == 1
+        assert r.num_withdrawals_ignored == 2
+        assert r.num_accepted - r.num_withdrawals_applied == r.num_live_routes
 
 
 class TestExclusiveCoverage:
