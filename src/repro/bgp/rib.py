@@ -443,6 +443,30 @@ class GlobalRIB:
         """Every AS appearing on any live path."""
         return set(self._asn_support)
 
+    def state_digest(self) -> str:
+        """SHA-256 over the live routing state (restore verification).
+
+        Hashes the sorted live ``(prefix, path)`` routes plus the
+        per-prefix origin vote counts — exactly the inputs every
+        derived view (finalized LPM, cone maps, packed matrices) is a
+        deterministic function of. Two RIBs with equal digests classify
+        identically; a checkpoint restore recomputes this and compares
+        it against the digest stored at save time, so silent pickle
+        drift is caught before any window is classified against it.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for prefix_id, path in sorted(self._seen_routes):
+            prefix = self._prefixes[prefix_id]
+            digest.update(
+                f"{prefix}|{','.join(map(str, path))}\n".encode()
+            )
+        for prefix_id in self.live_prefix_ids():
+            votes = sorted(self._origins_per_prefix[prefix_id].items())
+            digest.update(f"{prefix_id}:{votes}\n".encode())
+        return digest.hexdigest()
+
     # -- finalized (vectorised) views -------------------------------------
 
     def _final(self) -> "_FinalizedRIB":

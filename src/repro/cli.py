@@ -18,6 +18,14 @@ Commands:
   classify each tumbling window online. Route deltas patch the RIB and
   the packed validity matrices in place (no per-event rebuild);
   ``--window-manifests DIR`` writes one run manifest per window.
+  With ``--checkpoint-dir DIR`` the watch runs *durably*: every event
+  is written ahead to a checksummed WAL and the online state is
+  checkpointed atomically every ``--checkpoint-every`` windows, so a
+  killed daemon restarted with ``--resume`` replays only the WAL
+  suffix and re-emits each window exactly once. SIGTERM (and ctrl-C)
+  drain cleanly: in-flight manifests are flushed whole, never
+  truncated. Exits 4 when ``--resume`` finds checkpoints but none
+  survives verification (unrecoverable corruption).
 * ``trace show <manifest>`` — render a recorded run manifest back as
   a stage/span/metrics report.
 
@@ -34,6 +42,7 @@ import argparse
 import dataclasses
 import itertools
 import pathlib
+import signal
 import sys
 
 import numpy as np
@@ -44,7 +53,7 @@ from repro.analysis.table1 import compute_table1
 from repro.bgp.rib import GlobalRIB
 from repro.core import TrafficClass, build_ingress_acl, evaluate_acl
 from repro.core.classifier import DEFAULT_CHUNK_ROWS
-from repro.errors import IngestError, Quarantine
+from repro.errors import CheckpointCorruptionError, IngestError, Quarantine
 from repro.experiments import WorldConfig, build_world
 from repro.experiments.runner import build_valid_space_maps
 from repro.io import load_flows_csv, load_flows_npz
@@ -57,10 +66,12 @@ from repro.obs import (
     peak_rss_bytes,
 )
 from repro.stream import (
+    DurableWatch,
     OnlineClassifier,
     OnlineValidState,
     flow_events,
     merge_event_streams,
+    recover,
     route_events,
     update_stream,
 )
@@ -329,12 +340,34 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     dumps = [obs for obs in observations if not obs.from_update]
     updates = update_stream(observations)
 
-    # Warm-start a fresh RIB from the table dumps only; the updates
-    # replay live through the delta path below.
-    rib = GlobalRIB()
-    rib.add_all(dumps)
-    approaches = build_valid_space_maps(rib, world.as2org)
-    state = OnlineValidState(rib, approaches)
+    durable = args.checkpoint_dir is not None
+    resume_point = None
+    if args.resume:
+        if not durable:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        try:
+            resume_point = recover(args.checkpoint_dir)
+        except CheckpointCorruptionError as exc:
+            print(f"unrecoverable checkpoint state: {exc}", file=sys.stderr)
+            return 4
+
+    if resume_point is not None and resume_point.checkpoint is not None:
+        # Resume from the verified checkpoint; the WAL suffix replays
+        # through the daemon before any live event is consumed.
+        state = resume_point.checkpoint.state
+        print(
+            f"resuming from {resume_point.checkpoint.path.name}: "
+            f"window cursor {resume_point.emitted_through}, "
+            f"{resume_point.replay_events} WAL events to replay"
+        )
+    else:
+        # Warm-start a fresh RIB from the table dumps only; the
+        # updates replay live through the delta path below.
+        rib = GlobalRIB()
+        rib.add_all(dumps)
+        approaches = build_valid_space_maps(rib, world.as2org)
+        state = OnlineValidState(rib, approaches)
 
     events = merge_event_streams(
         route_events(updates),
@@ -344,46 +377,88 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             window_seconds=args.window_seconds,
         ),
     )
-    online = OnlineClassifier(
-        state,
-        args.window_seconds,
-        n_workers=args.workers,
-        policy=args.policy,
-        manifest_dir=args.window_manifests,
-    )
+    watch: DurableWatch | None = None
+    if durable:
+        watch = DurableWatch(
+            state,
+            args.window_seconds,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            n_workers=args.workers,
+            policy=args.policy,
+            manifest_dir=args.window_manifests,
+            resume=resume_point,
+        )
+        window_source = watch.run(events)
+    else:
+        online = OnlineClassifier(
+            state,
+            args.window_seconds,
+            n_workers=args.workers,
+            policy=args.policy,
+            manifest_dir=args.window_manifests,
+        )
+        window_source = online.run(events)
     print(
         f"watching: {len(dumps)} dump routes warm, {len(updates)} update "
         f"events + {len(world.scenario.flows)} flows live, "
         f"{args.window_seconds}s windows"
+        + (f", durable in {args.checkpoint_dir}" if durable else "")
     )
     header = (
         f"{'window':>8} {'routes':>7} {'applied':>8} {'patched':>8} "
         f"{'rebuilt':>8} {'chunks':>7} {'flows':>9}"
     )
     print(header)
-    windows = online.run(events)
+    windows = window_source
     if args.windows is not None:
         windows = itertools.islice(windows, args.windows)
     n_windows = 0
     n_flows = 0
     incomplete = False
-    for window in windows:
-        n_windows += 1
-        n_flows += window.n_flows
-        incomplete = incomplete or not window.result.complete
-        print(
-            f"{window.index:>8} {window.n_route_events:>7} "
-            f"{window.n_deltas_applied:>8} {window.n_patched:>8} "
-            f"{window.n_rebuilds:>8} {window.n_chunks:>7} "
-            f"{window.n_flows:>9}"
-        )
+    interrupted = False
+
+    def _drain(_signum: int, _frame: object) -> None:
+        # SIGTERM/ctrl-C = stop cleanly: no async exception (which
+        # could land between the daemon's cursor write and our print,
+        # silently eating one emitted window) — just flag the drain
+        # and let the loop finish at the current window boundary.
+        nonlocal interrupted
+        interrupted = True
+        if watch is not None:
+            watch.request_drain()
+
+    previous_term = signal.signal(signal.SIGTERM, _drain)
+    previous_int = signal.signal(signal.SIGINT, _drain)
+    try:
+        for window in windows:
+            n_windows += 1
+            n_flows += window.n_flows
+            incomplete = incomplete or not window.result.complete
+            print(
+                f"{window.index:>8} {window.n_route_events:>7} "
+                f"{window.n_deltas_applied:>8} {window.n_patched:>8} "
+                f"{window.n_rebuilds:>8} {window.n_chunks:>7} "
+                f"{window.n_flows:>9}"
+            )
+            if interrupted and watch is None:
+                break  # in-memory mode: stop at the window boundary
+        if interrupted:
+            # Per-window manifests were written atomically before
+            # each yield, so everything emitted so far is intact on
+            # disk; a durable watch checkpointed its last boundary.
+            print("interrupted: drained cleanly at a window boundary")
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        window_source.close()
     print(
         f"watched {n_windows} window(s): {n_flows} flows, "
         f"{state.n_applied} route deltas applied "
         f"({state.n_patched} patched, {state.n_rebuilds} rebuilds), "
         f"{state.n_ignored} ignored"
     )
-    exit_code = 3 if incomplete else 0
+    exit_code = 3 if (incomplete or interrupted) else 0
     if incomplete:
         print("WARNING: at least one window is partial", file=sys.stderr)
     _obs_finish(
@@ -519,6 +594,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="write one run manifest per window into DIR",
+    )
+    watch.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        default=None,
+        metavar="DIR",
+        help="durable mode: write-ahead log events and checkpoint the "
+        "online state into DIR",
+    )
+    watch.add_argument(
+        "--checkpoint-every",
+        dest="checkpoint_every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint the state every N emitted windows (default: 1)",
+    )
+    watch.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest verifiable checkpoint in "
+        "--checkpoint-dir, replaying only the WAL suffix; exits 4 "
+        "when checkpoints exist but none survives verification",
     )
     watch.set_defaults(func=_cmd_watch)
 

@@ -142,6 +142,25 @@ class ValidSpaceMap(abc.ABC):
         self._matrix_cache = None
         self._matrix_cache_members = None
 
+    def state_digest(self, member_asns: Sequence[int] | np.ndarray) -> str:
+        """SHA-256 over exactly what classification consumes.
+
+        Hashes the packed validity matrix for ``member_asns`` (building
+        it if not yet memoised) plus the column kind and width, so a
+        checkpoint-restored map can be verified bit-for-bit against the
+        digest recorded at save time — if this matches, every
+        subsequent ``classify`` answer matches too.
+        """
+        import hashlib
+
+        matrix = self.packed_matrix(member_asns)
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.column_kind}:{self._n_columns()}:{matrix.shape}".encode()
+        )
+        digest.update(np.ascontiguousarray(matrix).tobytes())
+        return digest.hexdigest()
+
     # -- online (delta) surface --------------------------------------------
 
     def refresh(self) -> None:

@@ -76,6 +76,22 @@ class ReachabilityClosure:
             return np.zeros((0, self._rows.shape[1]), dtype=np.uint8)
         return self._rows[self._scc_of]
 
+    def state_digest(self) -> str:
+        """SHA-256 over per-node reachability (SCC-numbering agnostic).
+
+        Uses :meth:`node_rows`, so two closures that assign different
+        internal SCC ids to the same reachability relation digest
+        identically — the property checkpoint-restore verification
+        needs (pickling round-trips SCC numbering, rebuilds may not).
+        """
+        import hashlib
+
+        rows = self.node_rows()
+        digest = hashlib.sha256()
+        digest.update(f"{self._n}:{rows.shape}".encode())
+        digest.update(np.ascontiguousarray(rows).tobytes())
+        return digest.hexdigest()
+
     def add_edge(self, src: int, dst: int) -> np.ndarray | None:
         """Incrementally add edge ``src → dst``; returns changed nodes.
 

@@ -280,6 +280,20 @@ class SpoofingClassifier:
         """
         self._state_version += 1
 
+    def mark_restored(self) -> None:
+        """Re-arm after this classifier was unpickled from a checkpoint.
+
+        A checkpoint restore produces a classifier whose
+        ``state_version`` equals the value frozen at save time — the
+        same number any surviving pool initializer pickle may carry.
+        Bumping past it guarantees the first supervised window after a
+        resume arms a *fresh* pool from the restored state instead of
+        trusting version equality against a pre-crash artefact. Also
+        resets the version-clock baseline the resumed process reasons
+        from (restores are state mutations as far as pools care).
+        """
+        self._state_version += 1
+
     def classify(
         self,
         flows: FlowTable,

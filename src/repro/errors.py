@@ -12,6 +12,13 @@ operators can route on fields instead of parsing strings:
   in-process.
 * :class:`WorkerError` — a pool worker crashed, hung past its timeout,
   or exhausted its retry budget while classifying a chunk.
+* :class:`DurabilityError` — the durable watch pipeline could not
+  uphold its persistence contract (checkpoint write failures past the
+  retry budget, ingest stalls). Its two corruption subtypes name the
+  artefact that failed verification: :class:`WalCorruptionError` for a
+  damaged write-ahead-log record mid-segment,
+  :class:`CheckpointCorruptionError` when *no* stored checkpoint
+  survives integrity checks (``repro watch --resume`` exits 4 on it).
 
 The lenient ingest mode (``on_error="quarantine"``) collects rejected
 records into a :class:`Quarantine` instead of aborting: every bad line
@@ -106,6 +113,55 @@ class WorkerError(ClassificationError):
     @property
     def attempts(self) -> int | None:
         return self.context.get("attempts")
+
+
+class DurabilityError(ReproError):
+    """The durable watch pipeline broke its persistence contract."""
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        path: str | None = None,
+        **context: object,
+    ) -> None:
+        super().__init__(message, path=path, **context)
+
+    @property
+    def path(self) -> str | None:
+        return self.context.get("path")
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log record failed its checksum mid-segment.
+
+    A torn *tail* record in the newest segment is expected after a
+    crash and silently tolerated on replay; corruption anywhere else
+    means the log cannot be trusted and raises this.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        path: str | None = None,
+        seq: int | None = None,
+        **context: object,
+    ) -> None:
+        super().__init__(message, path=path, seq=seq, **context)
+
+    @property
+    def seq(self) -> int | None:
+        return self.context.get("seq")
+
+
+class CheckpointCorruptionError(DurabilityError):
+    """Every stored checkpoint failed verification (unrecoverable).
+
+    Raised only after falling back through *all* retained checkpoint
+    generations; a single damaged newest checkpoint silently falls
+    back to the previous one instead.
+    """
 
 
 # -- quarantine -----------------------------------------------------------

@@ -181,9 +181,19 @@ class RunManifest:
         return self.data
 
     def write(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Serialise to ``path`` as indented JSON; returns the path."""
+        """Serialise to ``path`` as indented JSON; returns the path.
+
+        The write is atomic (write-tmp-fsync-rename): a run killed by
+        SIGTERM/SIGKILL mid-write never leaves a truncated manifest
+        under the final name — readers see the previous complete
+        manifest or the new complete one, nothing in between.
+        """
+        from repro.util.atomicio import atomic_write_text
+
         path = pathlib.Path(path)
-        path.write_text(json.dumps(self.data, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(self.data, indent=2, sort_keys=True) + "\n"
+        )
         return path
 
     @classmethod

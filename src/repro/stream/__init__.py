@@ -7,8 +7,23 @@ BGP announce/withdraw events arrive, and an
 flow chunks per tumbling window against the state as of each chunk's
 stream position. See ``docs/ARCHITECTURE.md`` (daemon mode) for the
 event model and the delta-vs-rebuild contract.
+
+The :mod:`repro.stream.durable` subpackage adds the crash-safety
+layer — write-ahead log, atomic checkpoints, and the
+:class:`~repro.stream.durable.DurableWatch` daemon that recovers
+exactly-once after a kill (see the "Durable watch" architecture
+section).
 """
 
+from repro.stream.durable import (
+    Checkpoint,
+    CheckpointStore,
+    DurableWatch,
+    ResumePoint,
+    WalWriter,
+    recover,
+    replay_wal,
+)
 from repro.stream.events import (
     FlowEvent,
     RouteEvent,
@@ -22,14 +37,21 @@ from repro.stream.online import OnlineClassifier, WindowResult
 from repro.stream.state import OnlineValidState
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "DurableWatch",
     "FlowEvent",
     "OnlineClassifier",
     "OnlineValidState",
+    "ResumePoint",
     "RouteEvent",
+    "WalWriter",
     "WatchEvent",
     "WindowResult",
     "flow_events",
     "merge_event_streams",
+    "recover",
+    "replay_wal",
     "route_events",
     "update_stream",
 ]

@@ -28,7 +28,9 @@ from typing import Union
 import numpy as np
 
 from repro.bgp.messages import RouteObservation
+from repro.errors import IngestError, Quarantine
 from repro.ixp.flows import FlowTable
+from repro.obs.metrics import current_metrics
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,6 +117,8 @@ def flow_events(
 
 def merge_event_streams(
     *streams: Iterable[WatchEvent],
+    on_disorder: str = "raise",
+    quarantine: Quarantine | None = None,
 ) -> Iterator[WatchEvent]:
     """Merge timestamp-ordered event streams into one ordered stream.
 
@@ -122,5 +126,49 @@ def merge_event_streams(
     Events with equal timestamps are emitted in stream-argument order,
     so pass route streams before flow streams to apply route churn
     ahead of same-second traffic.
+
+    ``on_disorder`` picks the guard policy for an event whose
+    timestamp regresses behind what was already merged (which can only
+    happen when one *input* stream violates its ordering contract —
+    classifying such an event against future state would be silently
+    wrong):
+
+    * ``"raise"`` (default) — abort with an :class:`IngestError`
+      naming the regressed timestamp;
+    * ``"quarantine"`` — drop the event, bump the
+      ``ingest.quarantined_events`` counter, and (when a
+      :class:`Quarantine` is passed) record it there, mirroring the
+      lenient file-ingest mode.
     """
-    return heapq.merge(*streams, key=lambda event: event.timestamp)
+    if on_disorder not in ("raise", "quarantine"):
+        raise ValueError(f"unknown on_disorder policy {on_disorder!r}")
+    return _guarded_merge(streams, on_disorder, quarantine)
+
+
+def _guarded_merge(
+    streams: tuple[Iterable[WatchEvent], ...],
+    on_disorder: str,
+    quarantine: Quarantine | None,
+) -> Iterator[WatchEvent]:
+    last: int | None = None
+    position = 0
+    for event in heapq.merge(*streams, key=lambda event: event.timestamp):
+        position += 1
+        if last is not None and event.timestamp < last:
+            if on_disorder == "raise":
+                raise IngestError(
+                    f"event timestamp {event.timestamp} regressed behind "
+                    f"{last}; input streams must be time-ordered",
+                    timestamp=event.timestamp,
+                    last_timestamp=last,
+                )
+            current_metrics().counter("ingest.quarantined_events").inc()
+            if quarantine is not None:
+                quarantine.add(
+                    position,
+                    "timestamp regression",
+                    f"{type(event).__name__} ts={event.timestamp} < {last}",
+                )
+            continue
+        last = event.timestamp
+        yield event

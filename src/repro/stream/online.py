@@ -91,6 +91,7 @@ class OnlineClassifier:
         policy: FailurePolicy | str | None = None,
         keep_labels: bool = False,
         manifest_dir: str | pathlib.Path | None = None,
+        emitted_through: int | None = None,
     ) -> None:
         """``manifest_dir`` — when set, one
         :class:`~repro.obs.manifest.RunManifest` is written per window.
@@ -100,6 +101,14 @@ class OnlineClassifier:
         version-aware — the historical unsupervised path snapshots
         state once per stream and would classify post-delta chunks
         against stale matrices.
+
+        ``emitted_through`` — exactly-once recovery hook: windows with
+        an index at or below it are still *computed* (their route
+        events must advance the state) but neither observed nor
+        yielded; the ``watch.windows_recovered`` counter tallies them.
+        A resumed durable daemon sets this to its emitted-window
+        cursor so replaying the WAL suffix never re-emits a window the
+        crashed run already delivered.
         """
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
@@ -113,26 +122,47 @@ class OnlineClassifier:
         self.manifest_dir = (
             pathlib.Path(manifest_dir) if manifest_dir is not None else None
         )
+        self.emitted_through = emitted_through
         self._last_timestamp: int | None = None
+
+    @property
+    def last_timestamp(self) -> int | None:
+        """The monotonicity guard's position (highest timestamp seen).
+
+        Checkpointed by the durable daemon and restored on resume, so
+        the guard rejects exactly the same regressions it would have
+        rejected in an uninterrupted run.
+        """
+        return self._last_timestamp
+
+    @last_timestamp.setter
+    def last_timestamp(self, value: int | None) -> None:
+        self._last_timestamp = value
 
     def run(self, events: Iterable[WatchEvent]) -> Iterator[WindowResult]:
         """Consume the stream, yielding one result per non-empty window.
 
         The generator is lazy: each ``next()`` drains exactly one
         window, so an unbounded stream yields results incrementally
-        and can be stopped at any window boundary.
+        and can be stopped at any window boundary. Windows at or below
+        :attr:`emitted_through` are recovery recomputations: consumed
+        and applied, but suppressed instead of yielded.
         """
         stream = _Peekable(events)
         while True:
             head = stream.peek()
             if head is None:
                 return
-            yield self._run_window(
-                head.timestamp // self.window_seconds, stream
-            )
+            index = head.timestamp // self.window_seconds
+            emit = self.emitted_through is None or index > self.emitted_through
+            result = self._run_window(index, stream, observe=emit)
+            if emit:
+                yield result
+            else:
+                current_metrics().counter("watch.windows_recovered").inc()
 
     def _run_window(
-        self, window_index: int, stream: _Peekable
+        self, window_index: int, stream: _Peekable, *, observe: bool = True
     ) -> WindowResult:
         state = self.state
         start = window_index * self.window_seconds
@@ -188,7 +218,8 @@ class OnlineClassifier:
             n_chunks=n_chunks,
             result=merged,
         )
-        self._observe(result, elapsed)
+        if observe:
+            self._observe(result, elapsed)
         return result
 
     def _observe(self, result: WindowResult, elapsed: float) -> None:

@@ -110,3 +110,45 @@ class OnlineValidState:
         if isinstance(approach, OrgMergedValidSpace):
             return approach.base
         return approach
+
+    # -- durability surface ------------------------------------------------
+
+    def state_digest(self, member_asns: Iterable[int] | None = None) -> str:
+        """SHA-256 fingerprint of the whole online state.
+
+        Covers the RIB's live routing state
+        (:meth:`~repro.bgp.rib.GlobalRIB.state_digest`) and the delta
+        counters; with ``member_asns`` it additionally hashes every
+        approach's packed validity matrix for those members, pinning
+        the *derived* state too. The durable checkpoint stores this at
+        save time and recomputes it after restore — equal digests mean
+        a restored daemon classifies bit-equal to the uninterrupted
+        run.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(self.rib.state_digest().encode())
+        digest.update(
+            f"|{self.n_applied}:{self.n_ignored}"
+            f":{self.n_patched}:{self.n_rebuilds}".encode()
+        )
+        if member_asns is not None:
+            members = sorted(member_asns)
+            for name in sorted(self.approaches):
+                approach = self.approaches[name]
+                digest.update(
+                    f"|{name}={approach.state_digest(members)}".encode()
+                )
+        return digest.hexdigest()
+
+    def rearm_after_restore(self) -> None:
+        """Re-sync derived machinery after a checkpoint unpickle.
+
+        Bumps the classifier's ``state_version`` so any supervised
+        worker pool built later (or armed against a stale pickle of
+        this classifier) re-ships the restored state before the first
+        chunk — the resumed daemon must never classify against the
+        pre-crash snapshot a long-lived pool may still hold.
+        """
+        self.classifier.mark_restored()

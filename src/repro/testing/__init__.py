@@ -7,6 +7,8 @@ seeded, reproducible failure plans instead of flaky randomness.
 """
 
 from repro.testing.faults import (
+    DurabilityFaultPlan,
+    DurabilityFaultSpec,
     FaultPlan,
     FaultSpec,
     InjectedCorruption,
@@ -16,6 +18,8 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "DurabilityFaultPlan",
+    "DurabilityFaultSpec",
     "FaultPlan",
     "FaultSpec",
     "InjectedCorruption",

@@ -29,16 +29,28 @@ For ingest resilience, :func:`corrupt_file` deterministically damages
 chosen (or seeded) lines of a text file and returns the exact line
 numbers it touched, so quarantine reports can be asserted line by
 line.
+
+For the durable daemon, :class:`DurabilityFaultPlan` matches the
+checkpoint/daemon ``fault_hook`` seam (``plan(point)``) and fires
+process-level faults at named hook points — ``"kill"`` SIGKILLs the
+process mid-window or mid-checkpoint, ``"torn_write"`` drops a partial
+``*.tmp`` into a directory first (the exact debris of dying inside
+``atomic_write_bytes``), ``"disk_full"`` raises ``ENOSPC`` — so the
+crash-recovery suite reproduces every death it asserts about.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import random
+import signal
 import time
 from dataclasses import dataclass
 
 __all__ = [
+    "DurabilityFaultPlan",
+    "DurabilityFaultSpec",
     "FaultPlan",
     "FaultSpec",
     "InjectedCorruption",
@@ -169,6 +181,103 @@ class FaultPlan:
                     FaultSpec("corrupt", index, attempt=0, scope="any")
                 )
         return cls(tuple(faults), log_path)
+
+
+# -- durability faults -----------------------------------------------------
+
+_DURABILITY_KINDS = ("kill", "torn_write", "disk_full")
+
+
+@dataclass(frozen=True)
+class DurabilityFaultSpec:
+    """One planned process-level fault at a named daemon hook point.
+
+    ``point`` names a ``fault_hook`` position — the checkpoint store
+    fires ``"checkpoint_begin"`` / ``"checkpoint_payload"`` /
+    ``"checkpoint_written"``, the daemon fires ``"window_emitted"`` —
+    and ``occurrence`` selects which visit triggers (1-based; 0 fires
+    on every visit). Kinds:
+
+    * ``"kill"`` — ``SIGKILL`` the current process (no cleanup, no
+      atexit, no flushing: the honest crash).
+    * ``"torn_write"`` — write ``tear_bytes`` of garbage to
+      ``tear_path`` (a half-written ``*.tmp``), then ``SIGKILL``:
+      the on-disk debris of dying inside a tmp-file write.
+    * ``"disk_full"`` — raise ``OSError(ENOSPC)`` so failure-policy
+      handling (retry / degrade / fail_fast) is exercised in-process.
+    """
+
+    kind: str
+    point: str
+    occurrence: int = 1  # 0 = every visit to the point
+    tear_path: str | None = None
+    tear_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DURABILITY_KINDS:
+            raise ValueError(f"unknown durability fault kind {self.kind!r}")
+        if self.kind == "torn_write" and not self.tear_path:
+            raise ValueError("torn_write faults need a tear_path")
+
+
+class DurabilityFaultPlan:
+    """Callable ``fault_hook`` firing specs at exact hook visits.
+
+    Unlike :class:`FaultPlan` this one is stateful (it counts visits
+    per point), so build a fresh plan per run. Fired faults are logged
+    to ``log_path`` / ``$REPRO_FAULT_LOG`` *before* any kill, so the
+    log records the death that is about to happen.
+    """
+
+    def __init__(
+        self,
+        faults: tuple[DurabilityFaultSpec, ...] = (),
+        log_path: str | None = None,
+    ) -> None:
+        self.faults = tuple(faults)
+        self.log_path = log_path
+        self._visits: dict[str, int] = {}
+
+    def __call__(self, point: str) -> None:
+        visit = self._visits.get(point, 0) + 1
+        self._visits[point] = visit
+        for fault in self.faults:
+            if fault.point != point:
+                continue
+            if fault.occurrence not in (0, visit):
+                continue
+            self._log(fault, visit)
+            self._fire(fault)
+
+    def _fire(self, fault: DurabilityFaultSpec) -> None:
+        if fault.kind == "disk_full":
+            raise OSError(errno.ENOSPC, "injected disk full", fault.point)
+        if fault.kind == "torn_write" and fault.tear_path:
+            # The torn temporary a real crash inside atomic_write_bytes
+            # leaves behind: partial bytes, no rename, no fsync.
+            try:
+                with open(fault.tear_path, "wb") as handle:
+                    handle.write(b"\xde\xad" * (fault.tear_bytes // 2))
+            except OSError:
+                pass
+        # kill and torn_write both end here: a real SIGKILL, so no
+        # finally blocks, context managers, or atexit hooks run.
+        os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+
+    def _log(self, fault: DurabilityFaultSpec, visit: int) -> None:
+        path = self.log_path or os.environ.get(FAULT_LOG_ENV)
+        if not path:
+            return
+        try:
+            with open(path, "a") as handle:
+                handle.write(
+                    f"pid={os.getpid()} point={fault.point} "
+                    f"visit={visit} kind={fault.kind}\n"
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - logging must never mask faults
+            pass
 
 
 # -- ingest corruption ----------------------------------------------------

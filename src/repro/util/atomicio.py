@@ -1,0 +1,98 @@
+"""Crash-safe file writes: the write-tmp-fsync-rename dance, once.
+
+Every file the durability layer produces — checkpoints, cursors, run
+manifests — must be either entirely the old version or entirely the
+new one, no matter where the process dies. POSIX gives exactly one
+primitive with that property: ``rename(2)`` within one filesystem. So
+all writers here funnel through the same sequence:
+
+1. write the full content to ``<name>.<pid>.tmp`` in the *target*
+   directory (same filesystem, so the rename cannot degrade to a
+   copy);
+2. ``flush`` + ``os.fsync`` the tmp file (the bytes are durable);
+3. ``os.replace`` onto the final name (the name flip is atomic);
+4. best-effort ``fsync`` of the directory (the rename itself is
+   durable across power loss).
+
+A reader can therefore trust any file that *exists under its final
+name*; stray ``*.tmp`` files are, by construction, garbage from a
+crashed writer and safe to ignore or delete. reprolint rule RL009
+enforces that code under ``src/repro/stream/durable/`` never writes a
+file any other way.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]
+
+
+def fsync_directory(directory: str | pathlib.Path) -> None:
+    """Best-effort fsync of a directory entry (makes renames durable).
+
+    Some filesystems (and all of Windows) refuse ``open`` on a
+    directory; losing *that* durability guarantee degrades gracefully
+    (the rename is still atomic), so errors are swallowed.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | pathlib.Path, payload: bytes, *, durable: bool = True
+) -> pathlib.Path:
+    """Write ``payload`` to ``path`` via write-tmp-fsync-rename.
+
+    The target either keeps its previous content or receives the full
+    new payload — a crash at any point never leaves a torn file under
+    the final name. Returns the target path.
+
+    ``durable=False`` skips both fsyncs (steps 2 and 4): the rename is
+    still atomic, so readers still never see a torn file, but after a
+    *power loss* the target may come back as the previous generation —
+    or, on some filesystems, empty. Only callers whose readers treat
+    the file as advisory (fall back to an older, fsynced record when
+    it is stale or unparseable) may pass it; it exists for files
+    rewritten so often that a per-write fsync would dominate the
+    writer's cheap hot path, e.g. the watch daemon's per-window
+    cursor, whose fsynced anchor is the checkpoint.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: str | pathlib.Path,
+    text: str,
+    encoding: str = "utf-8",
+    *,
+    durable: bool = True,
+) -> pathlib.Path:
+    """:func:`atomic_write_bytes` for text content."""
+    return atomic_write_bytes(path, text.encode(encoding), durable=durable)

@@ -1,0 +1,153 @@
+"""Kill/resume crash-recovery: SIGKILL children, bit-equal resumption.
+
+Each scenario SIGKILLs a real child process running
+:func:`repro.testing.recovery.run_watch` at an exact fault-hook point
+(mid-window, mid-checkpoint, mid-checkpoint with a torn temporary),
+resumes in a fresh child, and asserts over the concatenated per-window
+ledgers:
+
+* every window index appears **exactly once** across the killed run
+  and its resumption (exactly-once emission);
+* the concatenation is **bit-equal** (flows, counts, label digests) to
+  the ledger of one uninterrupted run over the same stream.
+
+Every scenario runs under both the ``fork`` and ``spawn``
+multiprocessing start methods — spawn children rebuild the world from
+a bare import, proving the driver depends on nothing inherited.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.testing import DurabilityFaultPlan, DurabilityFaultSpec
+from repro.testing.recovery import ledger_rows, run_watch
+
+SEED = 23
+TICKS = 120
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("MP_START_METHOD", "") not in ("", "fork", "spawn"),
+    reason="unknown MP_START_METHOD",
+)
+
+START_METHODS = ("fork", "spawn")
+
+
+def run_child(method, checkpoint_dir, ledger, *, resume=False, plan=None,
+              checkpoint_every=1):
+    """Run one watch in a child process; returns its exit code."""
+    ctx = mp.get_context(method)
+    process = ctx.Process(
+        target=run_watch,
+        args=(str(checkpoint_dir), str(ledger)),
+        kwargs=dict(
+            seed=SEED,
+            n_ticks=TICKS,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            fault_hook=plan,
+        ),
+    )
+    process.start()
+    process.join(timeout=180)
+    assert process.exitcode is not None, "child did not finish"
+    return process.exitcode
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The uninterrupted run's ledger (computed once per module)."""
+    base = tmp_path_factory.mktemp("reference")
+    run_watch(base / "ckpt", base / "ledger.jsonl", seed=SEED, n_ticks=TICKS)
+    rows = ledger_rows(base / "ledger.jsonl")
+    assert rows, "reference run emitted nothing"
+    return rows
+
+
+def assert_exactly_once_parity(ledger, reference):
+    rows = ledger_rows(ledger)
+    indices = [row["window"] for row in rows]
+    assert len(indices) == len(set(indices)), (
+        f"windows emitted more than once: {indices}"
+    )
+    assert rows == reference, "resumed ledger is not bit-equal"
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+class TestKillResume:
+    def test_sigkill_mid_window(self, method, tmp_path, reference):
+        """SIGKILL after the 2nd emission, before its cursor lands."""
+        ckpt, ledger = tmp_path / "ckpt", tmp_path / "ledger.jsonl"
+        plan = DurabilityFaultPlan(
+            (DurabilityFaultSpec("kill", "window_emitted", occurrence=3),)
+        )
+        code = run_child(method, ckpt, ledger, plan=plan)
+        assert code == -9  # actually SIGKILLed
+        assert len(ledger_rows(ledger)) < len(reference)
+        assert run_child(method, ckpt, ledger, resume=True) == 0
+        assert_exactly_once_parity(ledger, reference)
+
+    def test_sigkill_mid_checkpoint(self, method, tmp_path, reference):
+        """SIGKILL between pickling the state and writing the file."""
+        ckpt, ledger = tmp_path / "ckpt", tmp_path / "ledger.jsonl"
+        plan = DurabilityFaultPlan(
+            (DurabilityFaultSpec("kill", "checkpoint_payload", occurrence=2),)
+        )
+        code = run_child(method, ckpt, ledger, plan=plan)
+        assert code == -9
+        assert run_child(method, ckpt, ledger, resume=True) == 0
+        assert_exactly_once_parity(ledger, reference)
+
+    def test_sigkill_with_torn_checkpoint_tmp(
+        self, method, tmp_path, reference
+    ):
+        """Death mid-tmp-write: a torn ``*.tmp`` litters the dir."""
+        ckpt, ledger = tmp_path / "ckpt", tmp_path / "ledger.jsonl"
+        torn = ckpt / "checkpoint-999999999999.ckpt.424242.tmp"
+        plan = DurabilityFaultPlan(
+            (
+                DurabilityFaultSpec(
+                    "torn_write",
+                    "checkpoint_payload",
+                    occurrence=2,
+                    tear_path=str(torn),
+                    tear_bytes=512,
+                ),
+            )
+        )
+        code = run_child(method, ckpt, ledger, plan=plan)
+        assert code == -9
+        assert torn.exists()  # the debris really is on disk
+        assert run_child(method, ckpt, ledger, resume=True) == 0
+        assert_exactly_once_parity(ledger, reference)
+
+    def test_repeated_kill_resume_loop(self, method, tmp_path, reference):
+        """Kill every run at its first emission until the stream ends.
+
+        The CI recovery job runs this loop shape: each resumed run is
+        murdered again after one more window, so every window of the
+        stream crosses at least one crash/recovery boundary.
+        """
+        ckpt, ledger = tmp_path / "ckpt", tmp_path / "ledger.jsonl"
+        plan = DurabilityFaultPlan(
+            (DurabilityFaultSpec("kill", "window_emitted", occurrence=2),)
+        )
+        resume = False
+        for _round in range(len(reference) + 2):
+            code = run_child(
+                method, ckpt, ledger,
+                resume=resume,
+                plan=DurabilityFaultPlan(plan.faults),
+                checkpoint_every=2,
+            )
+            resume = True
+            if code == 0:
+                break
+            assert code == -9
+        else:
+            pytest.fail("kill/resume loop never finished the stream")
+        assert_exactly_once_parity(ledger, reference)

@@ -483,6 +483,80 @@ def test_rl008_quiet_when_markdown_corpus_mentions_symbol(tmp_path):
     assert active(findings) == []
 
 
+# ---------------------------------------------------------------- RL009
+
+
+def test_rl009_fires_on_truncating_writes_in_durable_dir(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/bad.py": """\
+            import json
+            import pathlib
+
+            def save_cursor(path, cursor):
+                with open(path, "w") as handle:
+                    json.dump(cursor, handle)
+
+            def save_blob(path, blob):
+                pathlib.Path(path).write_bytes(blob)
+            """,
+        },
+        select={"RL009"},
+    )
+    fired = active(findings)
+    assert [f.rule for f in fired] == ["RL009", "RL009"]
+    assert "open(..., 'w')" in fired[0].message
+    assert "atomic_write_bytes" in fired[0].message
+    assert ".write_bytes()" in fired[1].message
+
+
+def test_rl009_quiet_for_appends_and_inline_dance(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/good.py": """\
+            import os
+
+            from repro.util.atomicio import atomic_write_bytes
+
+            def append_record(path, record):
+                with open(path, "ab") as handle:
+                    handle.write(record)
+                    os.fsync(handle.fileno())
+
+            def save_checkpoint(path, blob):
+                atomic_write_bytes(path, blob)
+
+            def low_level_dance(path, blob):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            """,
+        },
+        select={"RL009"},
+    )
+    assert active(findings) == []
+
+
+def test_rl009_quiet_outside_durable_dirs(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/io/export.py": """\
+            def export(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        },
+        select={"RL009"},
+    )
+    assert active(findings) == []
+
+
 # ---------------------------------------------------------------- RL101
 
 
@@ -751,6 +825,7 @@ def test_rule_inventory_is_complete():
         "RL006",
         "RL007",
         "RL008",
+        "RL009",
         "RL101",
         "RL102",
     }

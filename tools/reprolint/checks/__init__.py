@@ -7,7 +7,9 @@ File rules (run per module, possibly in parallel workers):
 * RL004 hot-path numpy (:mod:`tools.reprolint.checks.hotpath`);
 * RL005 exception taxonomy (:mod:`tools.reprolint.checks.taxonomy`);
 * RL006 wall-clock discipline (:mod:`tools.reprolint.checks.wallclock`);
-* RL007 mutable defaults (:mod:`tools.reprolint.checks.generic`).
+* RL007 mutable defaults (:mod:`tools.reprolint.checks.generic`);
+* RL009 atomic durable writes
+  (:mod:`tools.reprolint.checks.durability`).
 
 Project rules (run once over the merged summaries):
 
@@ -19,6 +21,7 @@ Project rules (run once over the merged summaries):
 from tools.reprolint.checks import (  # noqa: F401  (import = registration)
     concurrency,
     docs,
+    durability,
     generic,
     hotpath,
     taxonomy,

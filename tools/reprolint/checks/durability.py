@@ -1,0 +1,143 @@
+"""RL009 — truncating writes under ``stream/durable/`` must be atomic.
+
+The durability subsystem's whole contract is that a crash at *any*
+instruction leaves either the old file or the new file, never a torn
+half-write. A plain ``open(path, "w")`` (or ``Path.write_text`` /
+``Path.write_bytes``) truncates the target first, so a crash between
+the truncate and the final flush destroys the previous generation —
+exactly the failure the checkpoint store exists to survive.
+
+The rule therefore flags every truncate-mode write in a durable
+directory unless the enclosing function implements the full
+write-tmp-fsync-rename dance itself (calls both ``os.fsync`` *and*
+``os.replace``, i.e. it is the low-level helper). The blessed path is
+``repro.util.atomicio.atomic_write_bytes`` / ``atomic_write_text``,
+which never appear as raw opens and so never trip the rule. Append
+modes (``"a"``/``"ab"``) stay legal — the WAL's append+fsync protocol
+is crash-safe without a rename because a torn tail only ever damages
+the record being written, which replay detects and drops.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.reprolint.checks._astutil import import_map, resolve_call_name
+from tools.reprolint.context import FileContext
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import Checker, register
+
+#: Attribute-call names that truncate their target unconditionally.
+_TRUNCATING_METHODS = frozenset({"write_text", "write_bytes"})
+
+#: Dotted names that resolve to the builtin ``open``.
+_OPEN_NAMES = frozenset({"open", "io.open", "builtins.open"})
+
+
+@register
+class AtomicDurableWrites(Checker):
+    """RL009 — flag non-atomic truncating writes in durable dirs."""
+
+    rule = "RL009"
+    title = (
+        "truncating writes under stream/durable/ must go through "
+        "atomic_write_* (write-tmp-fsync-rename); appends stay legal"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.config.in_durable_scope(ctx.rel):
+            return
+        imports = import_map(ctx.tree)
+        yield from self._scan(ctx, ctx.tree, ctx.tree, imports)
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        scope: ast.AST,
+        imports: dict[str, str],
+    ) -> Iterable[Finding]:
+        """Walk ``node`` tracking the innermost enclosing function."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call):
+                yield from self._check_call(ctx, child, scope, imports)
+            inner = (
+                child
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                else scope
+            )
+            yield from self._scan(ctx, child, inner, imports)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        scope: ast.AST,
+        imports: dict[str, str],
+    ) -> Iterable[Finding]:
+        what = self._truncating_write(call, imports)
+        if not what:
+            return
+        if self._implements_dance(scope, imports):
+            return
+        helpers = " / ".join(sorted(ctx.config.atomic_write_helpers))
+        yield Finding(
+            ctx.rel,
+            call.lineno,
+            call.col_offset + 1,
+            self.rule,
+            f"{what} truncates in place — a crash mid-write destroys "
+            f"the previous generation; use {helpers} (or do the full "
+            "write-tmp-fsync-rename dance in this function)",
+        )
+
+    @classmethod
+    def _truncating_write(
+        cls, call: ast.Call, imports: dict[str, str]
+    ) -> str:
+        """Human-readable label if ``call`` truncates a file, else ''."""
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _TRUNCATING_METHODS
+        ):
+            return f".{func.attr}()"
+        is_open = resolve_call_name(func, imports) in _OPEN_NAMES or (
+            isinstance(func, ast.Attribute) and func.attr == "open"
+        )
+        if not is_open:
+            return ""
+        mode = cls._mode_literal(call)
+        if mode and mode[0] in "wx":
+            return f"open(..., {mode!r})"
+        return ""
+
+    @staticmethod
+    def _mode_literal(call: ast.Call) -> str | None:
+        """The mode string of an ``open`` call, or None if dynamic."""
+        mode: ast.expr | None = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    @staticmethod
+    def _implements_dance(
+        scope: ast.AST, imports: dict[str, str]
+    ) -> bool:
+        """Whether ``scope`` does write-tmp-fsync-rename itself."""
+        called = {
+            resolve_call_name(node.func, imports)
+            for node in ast.walk(scope)
+            if isinstance(node, ast.Call)
+        }
+        return {"os.fsync", "os.replace"} <= called

@@ -78,6 +78,15 @@ class LintConfig:
     reference_roots: tuple[str, ...] = field(
         default_factory=_default_reference_roots
     )
+    #: Directories whose file writes must be crash-safe (RL009): every
+    #: truncating write goes through the atomic write-tmp-fsync-rename
+    #: helpers (or implements the same dance inline); appends must be
+    #: paired with fsync.
+    durable_dirs: tuple[str, ...] = ("src/repro/stream/durable",)
+    #: Call names RL009 accepts as the blessed atomic-write helpers.
+    atomic_write_helpers: frozenset[str] = frozenset(
+        {"atomic_write_bytes", "atomic_write_text"}
+    )
 
     def in_src(self, rel: str) -> bool:
         """Whether ``rel`` is library source (policy rules apply)."""
@@ -91,6 +100,12 @@ class LintConfig:
         """Whether RL006 polices this file unconditionally."""
         return any(
             rel.startswith(d + "/") or rel == d for d in self.wallclock_dirs
+        )
+
+    def in_durable_scope(self, rel: str) -> bool:
+        """Whether RL009 polices this file's writes."""
+        return any(
+            rel.startswith(d + "/") or rel == d for d in self.durable_dirs
         )
 
 
