@@ -174,6 +174,36 @@ class DurableWatch:
     retries and stall handling.
     """
 
+    #: Sharing contract across the ingest-thread / window-loop
+    #: boundary. reprolint RL201 trusts these declarations statically
+    #: and the runtime sanitizer (``repro.testing.sanitizer``) asserts
+    #: them against the thread accesses it actually observes. Tokens:
+    #: ``single-writer:<thread-name|*>`` (exactly one thread writes
+    #: after ``__init__``; readers tolerate a stale value) and
+    #: ``lock:<attr>`` (every access holds ``self.<attr>``).
+    _CONCURRENCY_CONTRACT = {
+        "replayed_events": (
+            "single-writer:durable-watch-ingest — monotone progress "
+            "counter; cross-thread readers (metrics, tests after "
+            "join()) tolerate staleness, and run() joins the writer "
+            "before returning"
+        ),
+        "checkpoint_failures": (
+            "single-writer:* — written only by the window-loop thread "
+            "inside _checkpoint(); the ingest thread never touches it"
+        ),
+        "windows_emitted": (
+            "single-writer:* — written only by the window-loop thread "
+            "inside _commit(); the ingest thread never touches it"
+        ),
+        "_ingest_error": (
+            "lock:_ingest_lock — set once by the dying ingest thread, "
+            "consumed (read-and-clear) by the window loop; the lock "
+            "publishes the write even on the _on_stall() path, which "
+            "can race a still-live writer"
+        ),
+    }
+
     def __init__(
         self,
         state: OnlineValidState,
@@ -212,6 +242,11 @@ class DurableWatch:
         self._resume = resume
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
         self._stop = threading.Event()
+        #: Publishes ``_ingest_error`` across the thread boundary —
+        #: ``_on_stall`` may read it while the ingest thread is still
+        #: in its except clause, where the sentinel handoff that
+        #: orders the normal path has not happened yet.
+        self._ingest_lock = threading.Lock()
         self._ingest_error: BaseException | None = None
         self._ingest_thread: threading.Thread | None = None
         #: Events fed from the WAL suffix instead of the live source.
@@ -359,7 +394,8 @@ class DurableWatch:
                 seq = self.wal.append(event)
                 self._put((seq, event))
         except BaseException as exc:  # noqa: B036 - forwarded to the daemon thread
-            self._ingest_error = exc
+            with self._ingest_lock:
+                self._ingest_error = exc
         finally:
             self._put(_SENTINEL)
 
@@ -468,8 +504,9 @@ class DurableWatch:
             )
 
     def _reraise_ingest_error(self) -> None:
-        if self._ingest_error is not None:
+        with self._ingest_lock:
             error, self._ingest_error = self._ingest_error, None
+        if error is not None:
             raise error
 
     def _fire(self, point: str) -> None:

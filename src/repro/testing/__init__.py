@@ -16,14 +16,26 @@ from repro.testing.faults import (
     InjectedFault,
     corrupt_file,
 )
+from repro.testing.sanitizer import (
+    ConcurrencySanitizer,
+    FsyncProtocolSanitizer,
+    LockOrderSanitizer,
+    SanitizerError,
+    ThreadAccessTracer,
+)
 
 __all__ = [
+    "ConcurrencySanitizer",
     "DurabilityFaultPlan",
     "DurabilityFaultSpec",
     "FaultPlan",
     "FaultSpec",
+    "FsyncProtocolSanitizer",
     "InjectedCorruption",
     "InjectedCrash",
     "InjectedFault",
+    "LockOrderSanitizer",
+    "SanitizerError",
+    "ThreadAccessTracer",
     "corrupt_file",
 ]

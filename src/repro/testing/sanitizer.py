@@ -1,0 +1,531 @@
+"""Runtime concurrency sanitizers: verify dynamically what reprolint
+claims statically.
+
+The RL2xx rules reason about call graphs; these three monitors check
+the same contracts against what actually executes, so a rule gap (an
+edge the static model cannot see) still gets caught in CI:
+
+* :class:`FsyncProtocolSanitizer` interposes ``os.fsync`` /
+  ``os.replace`` / ``os.rename`` and asserts the atomic-write dance:
+  any ``<name>.<pid>.tmp`` file promoted onto its final name must
+  have been fsynced first (advisory targets like the watch cursor are
+  exempt, mirroring ``atomic_write_*(durable=False)``).
+* :class:`LockOrderSanitizer` interposes ``threading.Lock`` /
+  ``threading.RLock`` creation for locks born in monitored code,
+  records the acquisition-order graph by creation site (the lockdep
+  model: one node per ``file:line``), and flags any cycle — two locks
+  ever taken in both orders is a deadlock waiting for the right
+  interleaving, even if the test run never deadlocks.
+* :class:`ThreadAccessTracer` swaps a watched object's class for a
+  recording subclass and logs which *threads* read and write each
+  attribute, then :meth:`~ThreadAccessTracer.assert_contracts` checks
+  the observations against the statically declared
+  ``_CONCURRENCY_CONTRACT`` (the same declarations reprolint RL201
+  trusts): an attribute written by a thread the contract does not
+  name, or shared without any declaration, is a violation.
+
+All three are opt-in (the ``REPRO_SANITIZE=1`` pytest fixture in
+``tests/conftest.py``) and report through
+:meth:`ConcurrencySanitizer.violations` so a failing run can attach
+the lock graph and access trace as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import threading
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ConcurrencySanitizer",
+    "FsyncProtocolSanitizer",
+    "LockOrderSanitizer",
+    "SanitizerError",
+    "ThreadAccessTracer",
+]
+
+
+class SanitizerError(ReproError):
+    """A runtime concurrency-contract violation (test-only)."""
+
+
+#: This module's own path suffix: frames in here never count as a
+#: lock's creation site (the sanitizer's internals must not trace
+#: themselves). Matched on the full package path so a *test* module
+#: named ``test_sanitizer.py`` is still monitored.
+_SELF_SUFFIX = os.path.join("repro", "testing", "sanitizer.py")
+
+#: File basenames exempt from the fsync-before-rename check — the
+#: advisory files ``atomic_write_*(durable=False)`` covers, whose
+#: readers fall back to an fsynced anchor by design.
+ADVISORY_BASENAMES = frozenset({"cursor.json"})
+
+
+def _fd_identity(fd: int) -> tuple[int, int] | None:
+    try:
+        stat = os.fstat(fd)
+    except OSError:
+        return None
+    return (stat.st_dev, stat.st_ino)
+
+
+def _path_identity(path: "str | os.PathLike[str]") -> tuple[int, int] | None:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_dev, stat.st_ino)
+
+
+class FsyncProtocolSanitizer:
+    """Interpose the rename syscalls and enforce fsync-before-rename."""
+
+    def __init__(self, advisory: frozenset[str] = ADVISORY_BASENAMES) -> None:
+        self.advisory = advisory
+        self.violations: list[dict[str, Any]] = []
+        self._fsynced: set[tuple[int, int]] = set()
+        self._real_fsync: Callable[[int], None] | None = None
+        self._real_replace: Any = None
+        self._real_rename: Any = None
+        self._guard = threading.Lock()
+
+    def install(self) -> None:
+        """Patch ``os.fsync``/``os.replace``/``os.rename`` in place."""
+        if self._real_fsync is not None:
+            return
+        self._real_fsync = os.fsync
+        self._real_replace = os.replace
+        self._real_rename = os.rename
+        os.fsync = self._fsync  # type: ignore[assignment]
+        os.replace = self._replace  # type: ignore[assignment]
+        os.rename = self._rename  # type: ignore[assignment]
+
+    def uninstall(self) -> None:
+        """Restore the original syscall bindings."""
+        if self._real_fsync is None:
+            return
+        os.fsync = self._real_fsync  # type: ignore[assignment]
+        os.replace = self._real_replace
+        os.rename = self._real_rename
+        self._real_fsync = None
+
+    def _fsync(self, fd: int) -> None:
+        assert self._real_fsync is not None
+        self._real_fsync(fd)
+        identity = _fd_identity(fd)
+        if identity is not None:
+            with self._guard:
+                self._fsynced.add(identity)
+
+    def _enforced(self, src: Any, dst: Any) -> bool:
+        """Only renames matching the atomic-write signature are checked:
+        ``<final-name>.<pid>.tmp`` promoted onto ``<final-name>``."""
+        src_name = pathlib.Path(os.fspath(src)).name
+        dst_name = pathlib.Path(os.fspath(dst)).name
+        if not src_name.endswith(".tmp"):
+            return False
+        if not src_name.startswith(dst_name + "."):
+            return False
+        return dst_name not in self.advisory
+
+    def _check(self, kind: str, src: Any, dst: Any) -> None:
+        if not self._enforced(src, dst):
+            return
+        identity = _path_identity(src)
+        with self._guard:
+            fsynced = identity is not None and identity in self._fsynced
+            if identity is not None:
+                self._fsynced.discard(identity)
+        if not fsynced:
+            self.violations.append(
+                {
+                    "kind": f"{kind}-without-fsync",
+                    "src": os.fspath(src),
+                    "dst": os.fspath(dst),
+                    "thread": threading.current_thread().name,
+                }
+            )
+
+    def _replace(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        self._check("replace", src, dst)
+        self._real_replace(src, dst, **kwargs)
+
+    def _rename(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        self._check("rename", src, dst)
+        self._real_rename(src, dst, **kwargs)
+
+
+class _TracedLock:
+    """A lock wrapper feeding the order graph (no attribute
+    forwarding on purpose: only the documented Lock surface exists,
+    so accidental reliance on internals fails loudly)."""
+
+    def __init__(self, real: Any, site: str,
+                 sanitizer: "LockOrderSanitizer") -> None:
+        self._real = real
+        self._site = site
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._real.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._on_acquire(self._site)
+        return acquired
+
+    def release(self) -> None:
+        self._real.release()
+        self._sanitizer._on_release(self._site)
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def _at_fork_reinit(self) -> None:
+        # threading's fork handler reinitialises Thread-internal
+        # locks; a Thread created from monitored code carries wrapped
+        # ones, so the wrapper must forward this or forked children
+        # crash in _after_fork.
+        self._real._at_fork_reinit()
+
+
+class LockOrderSanitizer:
+    """Record lock acquisition order by creation site; flag cycles."""
+
+    def __init__(
+        self, monitored_parts: tuple[str, ...] = ("repro", "tests")
+    ) -> None:
+        #: Path *components* a creation site must contain for its lock
+        #: to be traced (stdlib and third-party locks stay untouched).
+        self.monitored_parts = monitored_parts
+        self.violations: list[dict[str, Any]] = []
+        #: Site → sites acquired while it was held.
+        self.edges: dict[str, set[str]] = {}
+        self._held = threading.local()
+        self._real_lock: Any = None
+        self._real_rlock: Any = None
+        self._guard = threading.Lock()
+
+    # -- patching ------------------------------------------------------
+
+    def install(self) -> None:
+        """Patch the ``threading.Lock``/``RLock`` factories."""
+        if self._real_lock is not None:
+            return
+        self._real_lock = threading.Lock
+        self._real_rlock = threading.RLock
+        threading.Lock = self._make_lock  # type: ignore[assignment]
+        threading.RLock = self._make_rlock  # type: ignore[assignment]
+
+    def uninstall(self) -> None:
+        if self._real_lock is None:
+            return
+        threading.Lock = self._real_lock  # type: ignore[assignment]
+        threading.RLock = self._real_rlock  # type: ignore[assignment]
+        self._real_lock = None
+
+    def _creation_site(self) -> str | None:
+        """``file:line`` of the first monitored non-sanitizer frame, or
+        None when the lock is born in unmonitored code."""
+        frame = sys._getframe(2)
+        while frame is not None:
+            filename = frame.f_code.co_filename
+            if filename.endswith(_SELF_SUFFIX):
+                return None
+            if "threading" in filename:
+                # Skip threading.py so an Event/Condition born in
+                # monitored code is attributed to its real creator...
+                frame = frame.f_back
+                continue
+            # ...but the first non-threading frame *decides*: a lock
+            # created by other stdlib internals (multiprocessing's
+            # resource tracker, importlib) stays unwrapped even when
+            # monitored code is further up the stack.
+            parts = pathlib.PurePath(filename).parts
+            if any(part in parts for part in self.monitored_parts):
+                name = pathlib.PurePath(filename).name
+                return f"{name}:{frame.f_lineno}"
+            return None
+        return None
+
+    def _make_lock(self) -> Any:
+        real = self._real_lock()
+        site = self._creation_site()
+        if site is None:
+            return real
+        return _TracedLock(real, site, self)
+
+    def _make_rlock(self) -> Any:
+        real = self._real_rlock()
+        site = self._creation_site()
+        if site is None:
+            return real
+        return _TracedLock(real, site, self)
+
+    # -- the order graph -----------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _on_acquire(self, site: str) -> None:
+        stack = self._stack()
+        with self._guard:
+            for held in stack:
+                if held == site:
+                    continue
+                self.edges.setdefault(held, set()).add(site)
+                if self._reaches(site, held):
+                    self.violations.append(
+                        {
+                            "kind": "lock-order-inversion",
+                            "held": held,
+                            "acquiring": site,
+                            "thread": threading.current_thread().name,
+                        }
+                    )
+        stack.append(site)
+
+    def _on_release(self, site: str) -> None:
+        stack = self._stack()
+        if site in stack:
+            # Remove the innermost occurrence: releases may be
+            # out of LIFO order (rare but legal).
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == site:
+                    del stack[index]
+                    break
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        seen = set()
+        pending = [start]
+        while pending:
+            node = pending.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            pending.extend(self.edges.get(node, ()))
+        return False
+
+    def graph_json(self) -> dict[str, Any]:
+        """The order graph plus violations, for the CI artifact."""
+        with self._guard:
+            return {
+                "edges": sorted(
+                    [a, b] for a, targets in self.edges.items()
+                    for b in targets
+                ),
+                "violations": list(self.violations),
+            }
+
+
+class ThreadAccessTracer:
+    """Record which threads touch a watched object's attributes."""
+
+    def __init__(self) -> None:
+        #: object id → (contract, creator thread, attr → [(thread, op)]).
+        self._watched: dict[int, tuple[dict[str, str], str,
+                                       dict[str, list[tuple[str, str]]]]] = {}
+        self.violations: list[dict[str, Any]] = []
+        self._guard = threading.Lock()
+
+    def watch(
+        self, obj: Any, contract: dict[str, str] | None = None
+    ) -> None:
+        """Swap ``obj``'s class for a recording subclass.
+
+        ``contract`` defaults to the class's declared
+        ``_CONCURRENCY_CONTRACT`` (empty when absent). The swap is
+        per-instance — other instances of the class are untouched.
+        """
+        if contract is None:
+            contract = getattr(type(obj), "_CONCURRENCY_CONTRACT", {})
+        records: dict[str, list[tuple[str, str]]] = {}
+        self._watched[id(obj)] = (
+            dict(contract),
+            threading.current_thread().name,
+            records,
+        )
+        tracer = self
+        cls = type(obj)
+
+        class _Traced(cls):  # type: ignore[misc, valid-type]
+            def __getattribute__(self, name: str) -> Any:
+                value = object.__getattribute__(self, name)
+                if not name.startswith("__") and not callable(value):
+                    tracer._record(records, name, "read")
+                return value
+
+            def __setattr__(self, name: str, value: Any) -> None:
+                tracer._record(records, name, "write")
+                object.__setattr__(self, name, value)
+
+        _Traced.__name__ = cls.__name__
+        _Traced.__qualname__ = cls.__qualname__
+        object.__setattr__(obj, "__class__", _Traced)
+
+    def _record(
+        self,
+        records: dict[str, list[tuple[str, str]]],
+        attr: str,
+        op: str,
+    ) -> None:
+        thread = threading.current_thread().name
+        with self._guard:
+            records.setdefault(attr, []).append((thread, op))
+
+    # -- contract checking ---------------------------------------------
+
+    def assert_contracts(self) -> None:
+        """Populate :attr:`violations` from the recorded accesses.
+
+        Rules, per attribute of each watched object:
+
+        * ``single-writer:<NAME>`` — after the creator thread's
+          initialisation writes, only the named thread may write
+          (``*`` allows any single thread);
+        * ``lock:<ATTR>`` — trusted (lock discipline is the
+          :class:`LockOrderSanitizer`'s domain);
+        * undeclared — if more than one thread touches the attribute
+          *and* any non-creator thread writes it, the sharing is real
+          and undeclared: a violation.
+        """
+        with self._guard:
+            watched = list(self._watched.values())
+        for contract, creator, records in watched:
+            for attr, accesses in sorted(records.items()):
+                token = contract.get(attr, "")
+                threads = {thread for thread, _ in accesses}
+                steady_writers = self._steady_writers(accesses, creator)
+                if token.startswith("lock:"):
+                    continue
+                if token.startswith("single-writer:"):
+                    allowed = token.split("single-writer:", 1)[1]
+                    allowed = allowed.split(" ")[0].split("—")[0].strip()
+                    if allowed == "*":
+                        if len(steady_writers) > 1:
+                            self._violate(attr, token, steady_writers)
+                    elif steady_writers - {allowed}:
+                        self._violate(attr, token, steady_writers)
+                elif token:
+                    continue  # unknown token: declared, human-reviewed
+                else:
+                    if len(threads) > 1 and (steady_writers - {creator}):
+                        self._violate(attr, "<undeclared>", steady_writers)
+
+    @staticmethod
+    def _steady_writers(
+        accesses: list[tuple[str, str]], creator: str
+    ) -> set[str]:
+        """Writer threads, excluding the creator's initialisation
+        prefix (writes before any other thread's first access)."""
+        first_foreign = None
+        for index, (thread, _) in enumerate(accesses):
+            if thread != creator:
+                first_foreign = index
+                break
+        writers = set()
+        for index, (thread, op) in enumerate(accesses):
+            if op != "write":
+                continue
+            if thread == creator and (
+                first_foreign is None or index < first_foreign
+            ):
+                continue
+            writers.add(thread)
+        return writers
+
+    def _violate(
+        self, attr: str, token: str, writers: set[str]
+    ) -> None:
+        self.violations.append(
+            {
+                "kind": "contract-violation",
+                "attr": attr,
+                "declared": token,
+                "observed_writers": sorted(writers),
+            }
+        )
+
+    def trace_json(self) -> dict[str, Any]:
+        """The full access trace, for the CI artifact."""
+        with self._guard:
+            objects = []
+            for contract, creator, records in self._watched.values():
+                objects.append(
+                    {
+                        "creator": creator,
+                        "contract": contract,
+                        "accesses": {
+                            attr: [[t, op] for t, op in accesses]
+                            for attr, accesses in sorted(records.items())
+                        },
+                    }
+                )
+        return {"objects": objects, "violations": list(self.violations)}
+
+
+class ConcurrencySanitizer:
+    """The three monitors behind one install/uninstall/report façade."""
+
+    def __init__(self) -> None:
+        self.fsync = FsyncProtocolSanitizer()
+        self.locks = LockOrderSanitizer()
+        self.tracer = ThreadAccessTracer()
+
+    def install(self) -> None:
+        """Arm the syscall and lock-factory interpositions."""
+        self.fsync.install()
+        self.locks.install()
+
+    def uninstall(self) -> None:
+        """Restore every patched binding."""
+        self.locks.uninstall()
+        self.fsync.uninstall()
+
+    def violations(self) -> list[dict[str, Any]]:
+        """All violations across the three monitors (checks contracts)."""
+        self.tracer.assert_contracts()
+        return (
+            list(self.fsync.violations)
+            + list(self.locks.violations)
+            + list(self.tracer.violations)
+        )
+
+    def write_artifacts(self, directory: "str | pathlib.Path") -> None:
+        """Dump the lock graph, access trace, and fsync violations."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "lock_order_graph.json").write_text(
+            json.dumps(self.locks.graph_json(), indent=2) + "\n"
+        )
+        (directory / "thread_access_trace.json").write_text(
+            json.dumps(self.tracer.trace_json(), indent=2) + "\n"
+        )
+        (directory / "fsync_violations.json").write_text(
+            json.dumps(list(self.fsync.violations), indent=2) + "\n"
+        )
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` when any monitor saw a
+        violation."""
+        found = self.violations()
+        if found:
+            raise SanitizerError(
+                f"{len(found)} concurrency-contract violation(s)",
+                violations=found,
+            )

@@ -2,11 +2,56 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.experiments import WorldConfig, build_world
 from repro.topology.model import ASNode, ASTopology, BusinessType, Relationship
+
+
+@pytest.fixture(autouse=True)
+def _concurrency_sanitizer(monkeypatch):
+    """Opt-in runtime concurrency sanitizer (``REPRO_SANITIZE=1``).
+
+    Arms the fsync-protocol and lock-order interpositions for every
+    test, auto-watches each :class:`DurableWatch` the test constructs
+    (its attribute sharing is checked against the class's
+    ``_CONCURRENCY_CONTRACT``), and fails the test — dumping the lock
+    graph and access trace under ``REPRO_SANITIZE_ARTIFACTS`` — on any
+    violation. See ``docs/CONCURRENCY.md``.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro.stream.durable.daemon import DurableWatch
+    from repro.testing.sanitizer import ConcurrencySanitizer
+
+    sanitizer = ConcurrencySanitizer()
+    sanitizer.install()
+    original_init = DurableWatch.__init__
+
+    def watched_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        sanitizer.tracer.watch(self)
+
+    monkeypatch.setattr(DurableWatch, "__init__", watched_init)
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+    violations = sanitizer.violations()
+    if violations:
+        artifacts = pathlib.Path(
+            os.environ.get("REPRO_SANITIZE_ARTIFACTS", "sanitizer-artifacts")
+        )
+        sanitizer.write_artifacts(artifacts)
+        pytest.fail(
+            f"concurrency sanitizer: {len(violations)} violation(s); "
+            f"artifacts in {artifacts}/ — first: {violations[0]}"
+        )
 
 
 @pytest.fixture()

@@ -828,6 +828,10 @@ def test_rule_inventory_is_complete():
         "RL009",
         "RL101",
         "RL102",
+        "RL201",
+        "RL202",
+        "RL203",
+        "RL204",
     }
 
 
@@ -901,3 +905,437 @@ def test_type_coverage_counts_and_gates(tmp_path):
     empty = tmp_path / "empty"
     empty.mkdir()
     assert type_coverage.main([str(empty)]) == 2
+
+
+# --------------------------------------------- RL2xx: program rules
+
+
+RACY_DAEMON = """\
+    import threading
+
+    class Daemon:
+        def __init__(self):
+            self.count = 0
+            self._thread = None
+
+        def start(self):
+            self._thread = threading.Thread(target=self._worker)
+            self._thread.start()
+
+        def _worker(self):
+            self.count += 1
+
+        def status(self):
+            return self.count
+    """
+
+
+def test_rl201_fires_on_thread_shared_attribute(tmp_path):
+    findings, _ = lint(
+        tmp_path, {"src/app.py": RACY_DAEMON}, select=["RL201"]
+    )
+    assert [f.rule for f in active(findings)] == ["RL201"]
+    finding = active(findings)[0]
+    assert "Daemon.count" in finding.message
+    assert finding.path == "src/app.py"
+
+
+def test_rl201_quiet_with_contract_declaration(tmp_path):
+    code = RACY_DAEMON.replace(
+        "class Daemon:",
+        "class Daemon:\n"
+        '        _CONCURRENCY_CONTRACT = {"count": "single-writer:_worker"}\n',
+    )
+    findings, _ = lint(tmp_path, {"src/app.py": code}, select=["RL201"])
+    assert active(findings) == []
+
+
+def test_rl201_quiet_when_lock_mediated(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    with self._lock:
+                        self.count += 1
+
+                def status(self):
+                    with self._lock:
+                        return self.count
+            """
+        },
+        select=["RL201"],
+    )
+    assert active(findings) == []
+
+
+def test_rl201_inline_disable_records_suppression(tmp_path):
+    code = RACY_DAEMON.replace(
+        "self.count += 1",
+        "self.count += 1  # reprolint: disable=RL201",
+    )
+    findings, _ = lint(tmp_path, {"src/app.py": code}, select=["RL201"])
+    assert active(findings) == []
+    assert [f.rule for f in findings if f.suppressed] == ["RL201"]
+
+
+def test_rl201_baseline_round_trip(tmp_path):
+    findings, _ = lint(
+        tmp_path, {"src/app.py": RACY_DAEMON}, select=["RL201"]
+    )
+    assert len(active(findings)) == 1
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(
+        baseline_path, active(findings), {"src/app.py": tmp_path.joinpath(
+            "src/app.py").read_text().splitlines()}
+    )
+    findings, _ = lint(
+        tmp_path,
+        {"src/app.py": RACY_DAEMON},
+        select=["RL201"],
+        use_baseline=True,
+        baseline_path=baseline_path,
+    )
+    assert active(findings) == []
+    assert [f.rule for f in findings if f.suppressed] == ["RL201"]
+
+
+def test_rl202_fires_on_cross_module_fork_pool_reach(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            import threading
+
+            from work import launch
+
+            class Daemon:
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    return None
+
+                def run(self):
+                    return launch()
+            """,
+            "src/work.py": """\
+            import multiprocessing
+
+            def launch():
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(sorted, [])
+            """,
+        },
+        select=["RL202"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL202"]
+    finding = active(findings)[0]
+    assert finding.path == "src/app.py"
+    assert "Daemon.run()" in finding.message
+
+
+def test_rl202_quiet_with_spawn_context(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            import multiprocessing
+            import threading
+
+            class Daemon:
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    return None
+
+                def run(self):
+                    with multiprocessing.get_context("spawn").Pool(2) as pool:
+                        return pool.map(sorted, [])
+            """
+        },
+        select=["RL202"],
+    )
+    assert active(findings) == []
+
+
+def test_rl202_fires_on_pool_under_held_lock(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            import multiprocessing
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def go(self):
+                    with self._lock:
+                        pool = multiprocessing.Pool(2)
+                    return pool
+            """
+        },
+        select=["RL202"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL202"]
+    assert "self._lock" in active(findings)[0].message
+
+
+def test_rl203_fires_on_lambda_and_local_def_submits(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            import multiprocessing
+
+            def run():
+                def helper(row):
+                    return row
+
+                with multiprocessing.get_context("spawn").Pool(2) as pool:
+                    pool.apply_async(lambda row: row, args=(1,))
+                    pool.apply_async(helper, args=(2,))
+            """
+        },
+        select=["RL203"],
+    )
+    messages = sorted(f.message for f in active(findings))
+    assert len(messages) == 2
+    assert "helper is defined inside run()" in messages[0]
+    assert "lambda" in messages[1]
+
+
+def test_rl203_fires_on_unregistered_cross_module_global(tmp_path):
+    files = {
+        "src/app.py": """\
+        import multiprocessing
+
+        from work import worker
+
+        def run():
+            with multiprocessing.get_context("spawn").Pool(2) as pool:
+                pool.apply_async(worker, args=(1,))
+        """,
+        "src/work.py": """\
+        CACHE = {}
+
+        def _rearm(snapshot):
+            global CACHE
+            CACHE = snapshot
+
+        def worker(row):
+            return CACHE.get(row)
+        """,
+    }
+    findings, _ = lint(tmp_path, files, select=["RL203"])
+    assert [f.rule for f in active(findings)] == ["RL203"]
+    finding = active(findings)[0]
+    assert finding.path == "src/app.py"
+    assert "CACHE" in finding.message
+
+    files["src/work.py"] = textwrap.dedent(files["src/work.py"]).replace(
+        "CACHE = {}", 'CACHE = {}\n\n_STREAM_GLOBALS = ("CACHE",)'
+    )
+    findings, _ = lint(tmp_path, files, select=["RL203"])
+    assert active(findings) == []
+
+
+def test_rl204_fires_on_rename_without_fsync_in_durable_scope(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/writer.py": """\
+            import os
+
+            def commit(tmp, path):
+                os.replace(tmp, path)
+            """
+        },
+        select=["RL204"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL204"]
+    assert "os.replace" in active(findings)[0].message
+
+
+def test_rl204_quiet_with_fsync_direct_or_via_callee(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/writer.py": """\
+            import os
+
+            def _sync(fd):
+                os.fsync(fd)
+
+            def commit_direct(tmp, path, fd):
+                os.fsync(fd)
+                os.replace(tmp, path)
+
+            def commit_via_helper(tmp, path, fd):
+                _sync(fd)
+                os.replace(tmp, path)
+            """
+        },
+        select=["RL204"],
+    )
+    assert active(findings) == []
+
+
+def test_rl204_quiet_outside_durable_scope(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            import os
+
+            def shuffle(tmp, path):
+                os.replace(tmp, path)
+            """
+        },
+        select=["RL204"],
+    )
+    assert active(findings) == []
+
+
+# --------------------------------------------- incremental mode
+
+
+def test_cache_warm_run_reuses_results(tmp_path):
+    files = {"src/app.py": RACY_DAEMON}
+    cache_path = tmp_path / "cache.json"
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+
+    findings, meta = run(
+        tmp_path, ["src"], config=None, select=frozenset({"RL201"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    assert [f.rule for f in active(findings)] == ["RL201"]
+    assert meta["cache"]["hits"] == 0
+
+    findings, meta = run(
+        tmp_path, ["src"], config=None, select=frozenset({"RL201"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    assert [f.rule for f in active(findings)] == ["RL201"]
+    assert meta["cache"]["misses"] == 0
+    assert meta["cache"]["hits"] >= 1
+    assert meta["cache"]["program_hit"] is True
+    assert meta["timing"]["files_analyzed"] == 0
+
+
+def test_cache_invalidates_on_edit_and_select_change(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    source = tmp_path / "src" / "app.py"
+    source.parent.mkdir(parents=True)
+    source.write_text(textwrap.dedent(RACY_DAEMON))
+
+    run(
+        tmp_path, ["src"], config=None, select=frozenset({"RL201"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    source.write_text(textwrap.dedent(RACY_DAEMON) + "\n# trailing\n")
+    _, meta = run(
+        tmp_path, ["src"], config=None, select=frozenset({"RL201"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    assert meta["cache"]["misses"] == 1
+    # A different --select is a different config digest: cold again.
+    _, meta = run(
+        tmp_path, ["src"], config=None, select=frozenset({"RL202"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    assert meta["cache"]["hits"] == 0
+
+
+def _git(root, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=root, check=True, capture_output=True,
+    )
+
+
+def test_changed_only_scans_the_dependency_cone(tmp_path):
+    files = {
+        "src/base.py": "VALUE = 1\n",
+        "src/mid.py": "from base import VALUE\n\nDOUBLE = VALUE * 2\n",
+        "src/leaf.py": "ANSWER = 42\n",
+    }
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+
+    (tmp_path / "src/base.py").write_text("VALUE = 2\n")
+    _, meta = run(
+        tmp_path, ["src"], config=None, select=frozenset({"RL201"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=tmp_path / "cache.json", changed_only=True,
+    )
+    # base.py changed; mid.py imports it (reverse cone); leaf.py is
+    # untouched and must not be scanned.
+    assert meta["timing"]["changed_only"] is True
+    assert meta["timing"]["files_analyzed"] == 2
+
+
+# --------------------------------------------- composite gate driver
+
+
+def test_all_gates_composite_exit_and_json(tmp_path, capsys):
+    source = tmp_path / "src" / "app.py"
+    source.parent.mkdir(parents=True)
+    source.write_text('"""Documented module."""\n\nVALUE = 1\n')
+    out = tmp_path / "report.json"
+    code = reprolint_main(
+        [
+            "--root", str(tmp_path), "--all-gates",
+            "--json-out", str(out), "src",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    report = json.loads(out.read_text())
+    names = [gate["name"] for gate in report["gates"]]
+    assert names == [
+        "reprolint", "mypy", "type-coverage", "docstrings", "doc-links"
+    ]
+    assert all(
+        gate["status"] in ("ok", "skipped") for gate in report["gates"]
+    )
+    assert report["timing"]["files_analyzed"] == 1
+
+
+def test_all_gates_fails_when_lint_fails(tmp_path, capsys):
+    source = tmp_path / "src" / "app.py"
+    source.parent.mkdir(parents=True)
+    source.write_text(textwrap.dedent(RACY_DAEMON))
+    code = reprolint_main(
+        ["--root", str(tmp_path), "--all-gates", "--select", "RL201", "src"]
+    )
+    capsys.readouterr()
+    assert code == 1

@@ -1,0 +1,227 @@
+"""On-disk result cache for incremental reprolint runs.
+
+``--cache`` keys per-file results on ``(file sha256, config digest)``:
+an unchanged file under an unchanged policy contributes its previous
+findings and cross-file summary without being re-parsed. The config
+digest covers every :class:`~tools.reprolint.context.LintConfig` field
+*and* the ``--select`` set, so switching rule subsets or editing
+policy invalidates everything rather than serving stale results.
+
+Per-file rules are purely local, which is what makes this sound: a
+file's findings can only change when its bytes or the policy change.
+The whole-program RL2xx findings are different — any module in the
+program roots can invalidate them through the import/call graph — so
+they are cached under one digest over *every* program file's content
+hash and recomputed whenever any of them moves. Project rules that
+re-derive from merged summaries each run (RL008/RL101/RL102) are never
+cached; they are cheap and depend on markdown and docstrings the file
+hashes do not cover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+from tools.reprolint.context import LintConfig
+from tools.reprolint.findings import FileSummary, Finding
+
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the repo root.
+DEFAULT_CACHE_NAME = ".reprolint_cache.json"
+
+
+def config_digest(
+    config: LintConfig, select: frozenset[str] | None
+) -> str:
+    """Stable digest of the policy and rule selection."""
+    payload: dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        payload[field.name] = value
+    payload["__select__"] = sorted(select) if select is not None else None
+    payload["__cache_version__"] = CACHE_VERSION
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def file_sha256(path: pathlib.Path) -> str:
+    """Content hash of one file ('' when unreadable)."""
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return ""
+
+
+def _finding_to_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+        "justification": finding.justification,
+    }
+
+
+def _finding_from_dict(item: dict[str, Any]) -> Finding:
+    return Finding(
+        path=item["path"],
+        line=int(item["line"]),
+        col=int(item["col"]),
+        rule=item["rule"],
+        message=item["message"],
+        suppressed=item.get("suppressed"),
+        justification=item.get("justification", ""),
+    )
+
+
+def _summary_to_dict(summary: FileSummary) -> dict[str, Any]:
+    return {
+        "path": summary.path,
+        "public_defs": [[name, line] for name, line in summary.public_defs],
+        "references": sorted(summary.references),
+        "dunder_all": list(summary.dunder_all),
+    }
+
+
+def _summary_from_dict(item: dict[str, Any]) -> FileSummary:
+    return FileSummary(
+        path=item["path"],
+        public_defs=[
+            (name, int(line)) for name, line in item.get("public_defs", [])
+        ],
+        references=set(item.get("references", [])),
+        dunder_all=list(item.get("dunder_all", [])),
+    )
+
+
+class ResultCache:
+    """The loaded cache plus the mutations of the current run."""
+
+    def __init__(self, path: pathlib.Path, digest: str) -> None:
+        self.path = path
+        self.digest = digest
+        self._files: dict[str, dict[str, Any]] = {}
+        self._program: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.program_hit = False
+
+    @classmethod
+    def load(
+        cls,
+        path: pathlib.Path,
+        config: LintConfig,
+        select: frozenset[str] | None,
+    ) -> "ResultCache":
+        """Read the cache; a missing/corrupt file or a policy change
+        yields an empty (but writable) cache."""
+        cache = cls(path, config_digest(config, select))
+        if not path.exists():
+            return cache
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if (
+            data.get("version") != CACHE_VERSION
+            or data.get("config") != cache.digest
+        ):
+            return cache
+        cache._files = dict(data.get("files", {}))
+        cache._program = dict(data.get("program", {}))
+        return cache
+
+    # -- per-file results ---------------------------------------------
+
+    def lookup(
+        self, rel: str, sha: str
+    ) -> tuple[list[Finding], FileSummary | None] | None:
+        """Cached ``(findings, summary)`` for one unchanged file."""
+        entry = self._files.get(rel)
+        if not sha or entry is None or entry.get("sha256") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [
+            _finding_from_dict(item) for item in entry.get("findings", [])
+        ]
+        summary_data = entry.get("summary")
+        summary = (
+            _summary_from_dict(summary_data) if summary_data else None
+        )
+        return findings, summary
+
+    def store(
+        self,
+        rel: str,
+        sha: str,
+        findings: list[Finding],
+        summary: FileSummary | None,
+    ) -> None:
+        """Record one analyzed file's results (pre-baseline)."""
+        if not sha:
+            return
+        self._files[rel] = {
+            "sha256": sha,
+            "findings": [_finding_to_dict(f) for f in findings],
+            "summary": _summary_to_dict(summary) if summary else None,
+        }
+
+    # -- whole-program results ----------------------------------------
+
+    def program_lookup(self, digest: str) -> list[Finding] | None:
+        """Cached RL2xx findings when no program file changed."""
+        if not digest or self._program.get("digest") != digest:
+            return None
+        self.program_hit = True
+        return [
+            _finding_from_dict(item)
+            for item in self._program.get("findings", [])
+        ]
+
+    def program_store(
+        self, digest: str, findings: list[Finding]
+    ) -> None:
+        self._program = {
+            "digest": digest,
+            "findings": [_finding_to_dict(f) for f in findings],
+        }
+
+    # -- persistence ---------------------------------------------------
+
+    def write(self) -> None:
+        """Persist the cache (best effort — a read-only tree is fine)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "config": self.digest,
+            "files": self._files,
+            "program": self._program,
+        }
+        try:
+            self.path.write_text(json.dumps(payload) + "\n")
+        except OSError:
+            pass
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters for the JSON report."""
+        return {
+            "path": str(self.path),
+            "hits": self.hits,
+            "misses": self.misses,
+            "program_hit": self.program_hit,
+        }
+
+
+def program_digest(files: list[tuple[str, str]]) -> str:
+    """Digest over ``(rel, sha256)`` of every program-scope file."""
+    blob = json.dumps(sorted(files))
+    return hashlib.sha256(blob.encode()).hexdigest()

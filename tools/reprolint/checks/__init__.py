@@ -15,7 +15,12 @@ Project rules (run once over the merged summaries):
 
 * RL008 dead public symbols (:mod:`tools.reprolint.checks.generic`);
 * RL101 docstring coverage, RL102 doc links
-  (:mod:`tools.reprolint.checks.docs`).
+  (:mod:`tools.reprolint.checks.docs`);
+* RL201 thread-shared state, RL202 fork safety, RL203 pickle-boundary
+  safety, RL204 fsync-before-rename — the whole-program concurrency
+  rules (:mod:`tools.reprolint.checks.program_concurrency`), which
+  run against the call-graph index in
+  :mod:`tools.reprolint.program`.
 """
 
 from tools.reprolint.checks import (  # noqa: F401  (import = registration)
@@ -24,6 +29,7 @@ from tools.reprolint.checks import (  # noqa: F401  (import = registration)
     durability,
     generic,
     hotpath,
+    program_concurrency,
     taxonomy,
     wallclock,
 )

@@ -87,6 +87,54 @@ class LintConfig:
     atomic_write_helpers: frozenset[str] = frozenset(
         {"atomic_write_bytes", "atomic_write_text"}
     )
+    #: Roots the whole-program index (RL201–RL204) parses. Module
+    #: names strip the root: ``src/repro/x.py`` → ``repro.x``.
+    program_roots: tuple[str, ...] = ("src",)
+    #: Class attribute declaring per-attribute sharing contracts that
+    #: RL201 trusts and the runtime sanitizer verifies. Values are
+    #: ``"single-writer:<thread-name|*>"`` or ``"lock:<attr>"`` tokens
+    #: followed by free-text justification.
+    contract_name: str = "_CONCURRENCY_CONTRACT"
+    #: Constructors whose result is a synchronisation object — sharing
+    #: an attribute assigned from one of these is the point, so RL201
+    #: never flags such attributes.
+    sync_factories: frozenset[str] = frozenset(
+        {
+            "threading.Lock",
+            "threading.RLock",
+            "threading.Event",
+            "threading.Condition",
+            "threading.Semaphore",
+            "threading.BoundedSemaphore",
+            "threading.Barrier",
+            "queue.Queue",
+            "queue.SimpleQueue",
+            "queue.LifoQueue",
+            "queue.PriorityQueue",
+        }
+    )
+    #: Constructors that start OS threads (RL201/RL202 anchor points).
+    thread_factories: frozenset[str] = frozenset({"threading.Thread"})
+    #: Call names whose arguments cross a pickle boundary (RL203), in
+    #: addition to pool ``initargs=`` / submit arguments.
+    pickle_sinks: frozenset[str] = frozenset(
+        {"pickle.dumps", "pickle.dump"}
+    )
+    #: Paths (directories or files) whose renames must be preceded by
+    #: an fsync on every static path (RL204).
+    rename_protocol_scopes: tuple[str, ...] = (
+        "src/repro/stream/durable",
+        "src/repro/util/atomicio.py",
+    )
+    #: Packages ``--all-gates`` runs the annotation-floor gate over,
+    #: and the floor itself (mirrors the mypy strict surface).
+    strict_type_paths: tuple[str, ...] = (
+        "src/repro/net",
+        "src/repro/core",
+        "src/repro/obs",
+        "src/repro/errors.py",
+    )
+    type_floor: float = 100.0
 
     def in_src(self, rel: str) -> bool:
         """Whether ``rel`` is library source (policy rules apply)."""
@@ -106,6 +154,20 @@ class LintConfig:
         """Whether RL009 polices this file's writes."""
         return any(
             rel.startswith(d + "/") or rel == d for d in self.durable_dirs
+        )
+
+    def in_rename_scope(self, rel: str) -> bool:
+        """Whether RL204 polices this file's rename ordering."""
+        return any(
+            rel.startswith(d + "/") or rel == d
+            for d in self.rename_protocol_scopes
+        )
+
+    def in_program_scope(self, rel: str) -> bool:
+        """Whether the whole-program index covers this file."""
+        return any(
+            rel.startswith(d + "/") or rel == d
+            for d in self.program_roots
         )
 
 
@@ -133,3 +195,28 @@ class ProjectContext:
     #: (benchmarks/examples/docs) so RL008 does not flag symbols used
     #: only there.
     extra_references: set[str] = field(default_factory=set)
+    #: Lazily built whole-program index (see :meth:`program_index`).
+    _program_index: object | None = field(default=None, repr=False)
+
+    def program_index(self):
+        """The whole-program index, built on first use and shared by
+        every RL2xx checker in the run.
+
+        Parses the program roots directly from disk rather than the
+        scanned set: the concurrency rules need the *whole* program to
+        resolve cross-module call chains even when the invocation only
+        scanned a subset of files.
+        """
+        if self._program_index is None:
+            from tools.reprolint.program import build_index
+
+            self._program_index = build_index(self.root, self.config)
+        return self._program_index
+
+    def scanned_program_files(self) -> bool:
+        """Whether this invocation scanned any program-root file (the
+        RL2xx rules only gate what the run actually covered)."""
+        return any(
+            self.config.in_program_scope(summary.path)
+            for summary in self.summaries
+        )

@@ -44,6 +44,10 @@ class ProjectChecker:
 
     rule: str = ""
     title: str = ""
+    #: True for rules computed from the whole-program index (RL2xx).
+    #: The runner caches their findings under a digest of every
+    #: program file, so an unchanged program skips the index build.
+    program_rule: bool = False
 
     def check_project(self, ctx: "ProjectContext") -> Iterable["Finding"]:
         """Yield findings computed from the merged file summaries."""

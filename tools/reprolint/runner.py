@@ -25,11 +25,19 @@ import json
 import os
 import pathlib
 import re
+import subprocess
 import sys
+import time
 from typing import Any
 
 from tools.reprolint import checks  # noqa: F401  (import = registration)
 from tools.reprolint.baseline import Baseline, write_baseline
+from tools.reprolint.cache import (
+    DEFAULT_CACHE_NAME,
+    ResultCache,
+    file_sha256,
+    program_digest,
+)
 from tools.reprolint.context import FileContext, LintConfig, ProjectContext
 from tools.reprolint.findings import (
     FileSummary,
@@ -206,6 +214,74 @@ def _default_jobs(n_files: int) -> int:
     return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 
+def git_changed_files(root: pathlib.Path) -> set[str]:
+    """Repo-relative paths changed vs HEAD, plus untracked files."""
+    out: set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            args, cwd=root, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise ValueError(
+                f"--changed-only needs git: {proc.stderr.strip() or args}"
+            )
+        out.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    return out
+
+
+def _under_inputs(rel: str, inputs: list[str]) -> bool:
+    for item in inputs:
+        clean = item.rstrip("/")
+        if rel == clean or rel.startswith(clean + "/"):
+            return True
+    return False
+
+
+def _changed_only_inputs(
+    root: pathlib.Path,
+    inputs: list[str],
+    config: LintConfig,
+    project_ctx_index: list[Any],
+) -> list[str]:
+    """Replace the scan set with git-changed files under ``inputs``,
+    expanded by the reverse import cone of changed program modules
+    (a dependent's summaries feed the project rules, so touching a
+    leaf re-audits exactly the files that could be affected)."""
+    changed = git_changed_files(root)
+    scoped = [
+        rel
+        for rel in sorted(changed)
+        if rel.endswith((".py", ".md"))
+        and _under_inputs(rel, inputs)
+        and (root / rel).exists()
+    ]
+    program_rels = [
+        rel
+        for rel in scoped
+        if rel.endswith(".py") and config.in_program_scope(rel)
+    ]
+    if program_rels:
+        from tools.reprolint.program import build_index
+
+        index = build_index(root, config)
+        project_ctx_index.append(index)
+        modules = {
+            index.module_for_rel(rel)
+            for rel in program_rels
+        }
+        cone = index.reverse_import_cone({m for m in modules if m})
+        for module in sorted(cone):
+            rel = index.modules[module].rel
+            if _under_inputs(rel, inputs) and rel not in scoped:
+                scoped.append(rel)
+    return scoped
+
+
 def run(
     root: pathlib.Path,
     inputs: list[str],
@@ -215,23 +291,56 @@ def run(
     use_baseline: bool = True,
     select: frozenset[str] | None = None,
     jobs: int | None = None,
+    cache_path: pathlib.Path | None = None,
+    changed_only: bool = False,
 ) -> tuple[list[Finding], dict[str, Any]]:
     """Run the full analysis; returns (findings, report metadata).
 
     ``findings`` contains every firing, suppressed ones included —
     callers gate on ``Finding.active``. The metadata dict carries the
-    counts and stale-baseline entries the reports render.
-    """
-    config = config or LintConfig()
-    python, markdown = collect_files(root, inputs)
-    jobs = jobs if jobs is not None else _default_jobs(len(python))
+    counts, timing, cache statistics, and stale-baseline entries the
+    reports render.
 
-    work = [
-        (str(path), _rel(path, root), config, select) for path in python
-    ]
+    ``cache_path`` enables the incremental result cache (see
+    :mod:`tools.reprolint.cache`); ``changed_only`` narrows the scan
+    to git-changed files plus their reverse import cone and implies
+    the cache at its default location.
+    """
+    t_start = time.perf_counter()
+    config = config or LintConfig()
+    prebuilt_index: list[Any] = []
+    if changed_only:
+        inputs = _changed_only_inputs(
+            root, inputs, config, prebuilt_index
+        )
+        if cache_path is None:
+            cache_path = root / DEFAULT_CACHE_NAME
+    python, markdown = collect_files(root, inputs)
+    cache = (
+        ResultCache.load(cache_path, config, select)
+        if cache_path is not None
+        else None
+    )
+
     findings: list[Finding] = []
     summaries: list[FileSummary] = []
     lines_of: dict[str, list[str]] = {}
+    cached_rels: set[str] = set()
+    work = []
+    for path in python:
+        rel = _rel(path, root)
+        if cache is not None:
+            hit = cache.lookup(rel, file_sha256(path))
+            if hit is not None:
+                cached_findings, cached_summary = hit
+                findings.extend(cached_findings)
+                if cached_summary is not None:
+                    summaries.append(cached_summary)
+                cached_rels.add(rel)
+                continue
+        work.append((str(path), rel, config, select))
+    jobs = jobs if jobs is not None else _default_jobs(len(work))
+
     if jobs > 1 and len(work) > 1:
         # reprolint: disable=RL001  (the lint's own fan-out, not library code)
         with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -243,30 +352,79 @@ def run(
         lines_of[rel] = lines
         if summary is not None:
             summaries.append(summary)
+        if cache is not None:
+            cache.store(
+                rel,
+                file_sha256(root / rel),
+                file_findings,
+                summary,
+            )
+    t_files = time.perf_counter()
 
-    extra = harvest_references(root, config, set(lines_of))
+    scanned_rels = cached_rels | set(lines_of)
+    extra = harvest_references(root, config, scanned_rels)
     project_ctx = ProjectContext(
         config=config,
         root=root,
         summaries=summaries,
         markdown=markdown,
         extra_references=extra,
+        _program_index=prebuilt_index[0] if prebuilt_index else None,
     )
+    selected = set(select) if select else None
+    plain_checkers = [
+        checker
+        for checker in project_checkers(selected)
+        if not checker.program_rule
+    ]
+    program_checkers = [
+        checker
+        for checker in project_checkers(selected)
+        if checker.program_rule
+    ]
     project_findings: list[Finding] = []
-    for checker in project_checkers(set(select) if select else None):
+    for checker in plain_checkers:
         project_findings.extend(checker.check_project(project_ctx))
+
+    # The whole-program rules are cached under one digest over every
+    # program file: an untouched program serves the previous findings
+    # without rebuilding the call-graph index. The cache is consulted
+    # only when this scan would have run the rules at all (they gate
+    # on program files being in the scanned set).
+    program_findings: list[Finding] = []
+    if program_checkers and project_ctx.scanned_program_files():
+        prog_digest = ""
+        if cache is not None:
+            from tools.reprolint.program import program_files
+
+            prog_digest = program_digest(
+                [
+                    (rel, file_sha256(path))
+                    for rel, path in program_files(root, config)
+                ]
+            )
+            cached_program = cache.program_lookup(prog_digest)
+        else:
+            cached_program = None
+        if cached_program is not None:
+            project_findings.extend(cached_program)
+        else:
+            for checker in program_checkers:
+                program_findings.extend(checker.check_project(project_ctx))
+            if cache is not None:
+                cache.program_store(prog_digest, program_findings)
+            project_findings.extend(program_findings)
+
     # Project findings can also be disabled inline (e.g. a deliberate
     # dead symbol) — apply the pragma of the flagged line.
     for finding in project_findings:
-        lines = lines_of.get(finding.path)
-        if lines is None:
-            path = root / finding.path
-            try:
-                lines = path.read_text().splitlines()
-            except OSError:
-                lines = []
-            lines_of[finding.path] = lines
-        findings.extend(apply_inline([finding], inline_disables(lines)))
+        findings.extend(
+            apply_inline(
+                [finding],
+                inline_disables(_lines_for(root, lines_of, finding.path)),
+            )
+        )
+    t_project = time.perf_counter()
 
     stale: list[dict[str, Any]] = []
     if use_baseline:
@@ -274,6 +432,8 @@ def run(
             root / "tools" / "reprolint_baseline.json"
         )
         baseline = Baseline.load(baseline_path)
+        for finding in findings:
+            _lines_for(root, lines_of, finding.path)
         findings = baseline.apply(findings, lines_of)
         stale = [
             {
@@ -285,14 +445,42 @@ def run(
             for entry in baseline.stale_entries()
         ]
 
+    if cache is not None:
+        cache.write()
+
     findings.sort(key=Finding.sort_key)
     meta: dict[str, Any] = {
         "files_scanned": len(python),
         "markdown_scanned": len(markdown),
         "stale_baseline": stale,
         "lines_of": lines_of,
+        "timing": {
+            "total_seconds": round(time.perf_counter() - t_start, 6),
+            "per_file_seconds": round(t_files - t_start, 6),
+            "project_seconds": round(t_project - t_files, 6),
+            "files_analyzed": len(work),
+            "files_from_cache": len(cached_rels),
+            "changed_only": changed_only,
+        },
+        "cache": cache.stats() if cache is not None else None,
     }
     return findings, meta
+
+
+def _lines_for(
+    root: pathlib.Path, lines_of: dict[str, list[str]], rel: str
+) -> list[str]:
+    """Source lines for a path, read on demand for files the per-file
+    pass did not touch (cache hits, program-index-only files) — inline
+    pragmas and baseline code-matching need the real text."""
+    lines = lines_of.get(rel)
+    if lines is None:
+        try:
+            lines = (root / rel).read_text().splitlines()
+        except OSError:
+            lines = []
+        lines_of[rel] = lines
+    return lines
 
 
 def _statistics(findings: list[Finding]) -> dict[str, dict[str, int]]:
@@ -309,7 +497,7 @@ def _statistics(findings: list[Finding]) -> dict[str, dict[str, int]]:
 def _json_report(
     findings: list[Finding], meta: dict[str, Any]
 ) -> dict[str, Any]:
-    return {
+    report = {
         "tool": "reprolint",
         "version": 1,
         "files_scanned": meta["files_scanned"],
@@ -319,7 +507,12 @@ def _json_report(
         "statistics": _statistics(findings),
         "findings": [f.to_dict() for f in findings],
         "stale_baseline": meta["stale_baseline"],
+        "timing": meta.get("timing"),
+        "cache": meta.get("cache"),
     }
+    if meta.get("gates") is not None:
+        report["gates"] = meta["gates"]
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -364,6 +557,21 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for per-file analysis (default: auto)",
     )
     parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_NAME, metavar="PATH",
+        help="enable the incremental result cache (default path: "
+             f"{DEFAULT_CACHE_NAME} under --root)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="scan only git-changed files plus their reverse import "
+             "cone (implies --cache)",
+    )
+    parser.add_argument(
+        "--all-gates", action="store_true",
+        help="also run the companion gates (mypy, type coverage, "
+             "docstrings, doc links) and print one composite table",
+    )
+    parser.add_argument(
         "--statistics", action="store_true",
         help="print per-rule firing counts after the findings",
     )
@@ -389,6 +597,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.select
         else None
     )
+    cache_path = None
+    if args.cache is not None:
+        cache_path = pathlib.Path(args.cache)
+        if not cache_path.is_absolute():
+            cache_path = root / cache_path
     try:
         findings, meta = run(
             root,
@@ -397,6 +610,8 @@ def main(argv: list[str] | None = None) -> int:
             use_baseline=not args.no_baseline and not args.write_baseline,
             select=select,
             jobs=args.jobs,
+            cache_path=cache_path,
+            changed_only=args.changed_only,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: no such path: {exc}", file=sys.stderr)
@@ -412,6 +627,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"reprolint: wrote {count} entries to {baseline_path}")
         return 0
+
+    lint_exit = 1 if any(f.active for f in findings) else 0
+    if args.all_gates:
+        from tools.reprolint.gates import run_gates
+
+        meta["gates"], gates_exit = run_gates(
+            root, lint_exit, quiet=args.fmt == "json"
+        )
+        lint_exit = max(lint_exit, gates_exit)
 
     report = _json_report(findings, meta)
     if args.json_out:
@@ -436,13 +660,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"warning: stale baseline entry {entry['rule']} "
                 f"{entry['path']}: {entry['code']!r}"
             )
+        timing = meta.get("timing") or {}
+        cache_note = ""
+        if meta.get("cache"):
+            cache_note = (
+                f", cache {meta['cache']['hits']} hit(s) / "
+                f"{meta['cache']['misses']} miss(es)"
+            )
         print(
             f"reprolint: {meta['files_scanned']} python / "
             f"{meta['markdown_scanned']} markdown files, "
             f"{report['active']} finding(s), "
-            f"{report['suppressed']} suppressed"
+            f"{report['suppressed']} suppressed "
+            f"[{timing.get('total_seconds', 0):.2f}s{cache_note}]"
         )
-    return 1 if report["active"] else 0
+    return lint_exit
 
 
 if __name__ == "__main__":
