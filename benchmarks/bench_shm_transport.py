@@ -1,0 +1,147 @@
+"""Shared-memory ring transport: pack/gather rate, end-to-end parity.
+
+Not a paper artefact — harness hygiene for the PR that added
+``src/repro/core/shmring``. The committed ``bench_shm_transport``
+artefact records, on the default world:
+
+* the raw ring pack→gather→release cycle rate vs pickling the same
+  chunk through ``pickle.dumps``/``loads`` (what the pipe transport
+  pays per chunk, excluding the pipe itself),
+* end-to-end 4-worker ``classify_stream`` wall-clock for the pickle
+  and shm transports on a ≥4M-row table, with the bit-equality check
+  the parity suite enforces (identical per-approach class counts).
+"""
+
+import pickle
+import time
+
+import numpy as np
+
+from repro.core.shmring import FlowRing, WorkerRing
+
+from bench_classifier_throughput import STREAM_SCENARIO_ROWS, _tile_flows
+
+
+def bench_ring_roundtrip(benchmark, world):
+    """Pack one 256K-row chunk into a slot, gather it, release."""
+    flows = _tile_flows(world.scenario.flows, 262_144)
+    chunk = flows.select(np.arange(262_144))
+    ring = FlowRing.create(slots=2, capacity=262_144)
+    worker = WorkerRing.attach(ring.spec)
+
+    def cycle() -> None:
+        slot = ring.acquire()
+        generation = ring.write(slot, chunk, 0)
+        gathered = worker.read(slot, generation, len(chunk), 0)
+        assert len(gathered) == len(chunk)
+        del gathered
+        ring.release(slot)
+
+    try:
+        benchmark(cycle)
+        benchmark.extra_info["rows_per_cycle"] = len(chunk)
+    finally:
+        worker.detach()
+        ring.destroy()
+
+
+def bench_pickle_roundtrip(benchmark, world):
+    """The pipe transport's serialisation cost for the same chunk."""
+    flows = _tile_flows(world.scenario.flows, 262_144)
+    chunk = flows.select(np.arange(262_144))
+
+    def cycle() -> None:
+        assert len(pickle.loads(pickle.dumps(chunk))) == len(chunk)
+
+    benchmark(cycle)
+    benchmark.extra_info["rows_per_cycle"] = len(chunk)
+
+
+def bench_shm_vs_pickle_stream(benchmark, world, save_artefact):
+    """End-to-end exact classification: shm vs pickle transport.
+
+    Both runs use the exact matrix engine and 4 workers, so the only
+    variable is how chunks reach the pool. The artefact records both
+    wall-clocks, the raw roundtrip rates, and the parity check.
+    """
+    classifier = world.classifier
+    big = _tile_flows(world.scenario.flows, STREAM_SCENARIO_ROWS)
+    classifier.classify(world.scenario.flows)  # warm
+    pickle_result = classifier.classify_stream(big, n_workers=4)
+    shm_result = classifier.classify_stream(big, n_workers=4, transport="shm")
+
+    pickle_s = min(
+        _timed(classifier.classify_stream, big, n_workers=4)
+        for _ in range(2)
+    )
+    shm_s = min(
+        _timed(classifier.classify_stream, big, n_workers=4, transport="shm")
+        for _ in range(2)
+    )
+    benchmark.pedantic(
+        classifier.classify_stream,
+        args=(big,),
+        kwargs={"n_workers": 4, "transport": "shm"},
+        rounds=1,
+        iterations=1,
+    )
+
+    for name in classifier.approach_names:
+        assert (
+            pickle_result.flow_counts[name] == shm_result.flow_counts[name]
+        ).all(), name
+
+    # Per-chunk serialisation cost, so the artefact is self-contained:
+    # one 256K-row chunk through the ring vs through pickle.
+    chunk = big.select(np.arange(262_144))
+    ring = FlowRing.create(slots=2, capacity=262_144)
+    worker = WorkerRing.attach(ring.spec)
+    try:
+        def ring_cycle() -> None:
+            slot = ring.acquire()
+            generation = ring.write(slot, chunk, 0)
+            gathered = worker.read(slot, generation, len(chunk), 0)
+            del gathered
+            ring.release(slot)
+
+        ring_cycle()  # fault the slot pages in before timing
+        ring_ms = min(_timed(ring_cycle) for _ in range(10)) * 1e3
+        pickle_ms = min(
+            _timed(lambda: pickle.loads(pickle.dumps(chunk)))
+            for _ in range(10)
+        ) * 1e3
+    finally:
+        worker.detach()
+        ring.destroy()
+
+    benchmark.extra_info["rows"] = len(big)
+    benchmark.extra_info["pickle_seconds"] = round(pickle_s, 2)
+    benchmark.extra_info["shm_seconds"] = round(shm_s, 2)
+    save_artefact(
+        "bench_shm_transport",
+        "\n".join(
+            [
+                f"shm ring vs pickle transport ({len(big)} rows, "
+                "exact engine, 4 workers)",
+                f"  transport=pickle x4 {pickle_s:8.2f}s  "
+                f"{len(big) / pickle_s:12.0f} rows/s",
+                f"  transport=shm x4    {shm_s:8.2f}s  "
+                f"{len(big) / shm_s:12.0f} rows/s",
+                "  per-approach class counts identical: yes",
+                f"  per-chunk roundtrip (262144 rows): ring "
+                f"{ring_ms:.2f} ms vs pickle {pickle_ms:.2f} ms "
+                f"({pickle_ms / ring_ms:.1f}x)",
+                "  note: under fork with a whole table the pickle "
+                "transport short-circuits to CoW row ranges, so parity "
+                "— not speed — is the exact-path claim here; the "
+                "wall-clock win is the sketch-triage path's 16-byte "
+                "subset rings (see perf_sketch_shm_stream)",
+            ]
+        ),
+    )
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    t0 = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - t0

@@ -291,20 +291,25 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         chunk_rows=args.chunk_rows,
         policy=args.policy,
+        transport=args.transport,
+        triage=args.triage,
     )
     print(
         f"classified {stream.n_flows} flows in {stream.n_chunks} chunk(s)"
     )
-    header = f"{'approach':<14}" + "".join(
-        f"{cls.name.lower():>10}" for cls in TrafficClass
-    )
-    print(header)
-    for name in stream.approaches:
-        counts = stream.class_counts(name)
-        print(
-            f"{name:<14}"
-            + "".join(f"{counts[cls]:>10}" for cls in TrafficClass)
+    if stream.triage is not None:
+        print(stream.triage.render())
+    else:
+        header = f"{'approach':<14}" + "".join(
+            f"{cls.name.lower():>10}" for cls in TrafficClass
         )
+        print(header)
+        for name in stream.approaches:
+            counts = stream.class_counts(name)
+            print(
+                f"{name:<14}"
+                + "".join(f"{counts[cls]:>10}" for cls in TrafficClass)
+            )
     if stream.failures:
         print(stream.failures.render(), file=sys.stderr)
     if getattr(args, "stats", False):
@@ -544,8 +549,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-rows",
         dest="chunk_rows",
         type=int,
-        default=DEFAULT_CHUNK_ROWS,
-        help="rows per streaming chunk",
+        default=None,
+        help=f"rows per streaming chunk (default: {DEFAULT_CHUNK_ROWS}, "
+        "or a larger constant-memory default with --triage)",
+    )
+    classify.add_argument(
+        "--transport",
+        choices=("pickle", "shm"),
+        default="pickle",
+        help="how chunks reach pool workers: pickled through a pipe, "
+        "or zero-copy through a shared-memory ring",
+    )
+    classify.add_argument(
+        "--triage",
+        choices=("sketch",),
+        default=None,
+        help="constant-memory sketch triage instead of the exact "
+        "matrix engine (approximate class counters + top spoofed /24s)",
     )
     classify.set_defaults(func=_cmd_classify)
 

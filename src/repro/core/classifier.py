@@ -43,6 +43,8 @@ if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
     from multiprocessing.pool import Pool
 
+    from repro.sketch.triage import SketchTriageState, TriageDigest
+
 import numpy as np
 
 from repro.bgp.rib import GlobalRIB
@@ -54,6 +56,7 @@ from repro.core.results import (
     StreamClassificationResult,
     summarize_chunk,
 )
+from repro.core.shmring import FlowRing, RingSpec, WorkerRing, stage_read
 from repro.core.stats import PipelineStats, StageClock
 from repro.cones.base import ValidSpaceMap
 from repro.datasets.bogons import bogon_prefix_set
@@ -66,6 +69,14 @@ from repro.obs.trace import current_tracer, enable_tracing
 #: Default rows per chunk when ``classify_stream`` is handed a whole
 #: :class:`FlowTable` instead of pre-cut chunks.
 DEFAULT_CHUNK_ROWS = 262_144
+
+#: Default rows per chunk on the sketch-triage path. Triage keeps no
+#: per-row state (no label vectors, 16-byte ring rows), so much larger
+#: chunks cost nothing in memory while amortising per-chunk overhead —
+#: chunk iteration, digest fixed costs, pool dispatch — over 4× the
+#: rows, and giving the (src, member) dedupe sort more repetition to
+#: collapse.
+TRIAGE_CHUNK_ROWS = 1_048_576
 
 #: Environment override for the multiprocessing start method used by
 #: ``classify_stream`` (e.g. ``MP_START_METHOD=spawn`` in CI exercises
@@ -87,13 +98,27 @@ _STREAM_CLASSIFIER: "SpoofingClassifier | None" = None
 _STREAM_TABLE: FlowTable | None = None
 _STREAM_INJECTOR: FaultInjector | None = None
 
+#: The worker's attachment to the shared-memory chunk ring
+#: (``transport="shm"``) and the armed sketch-triage state
+#: (``triage="sketch"``) — both follow the same fork/spawn protocol as
+#: the classifier itself (fork inherits, spawn receives via the pool
+#: initializer).
+_STREAM_RING: WorkerRing | None = None
+_STREAM_TRIAGE: "SketchTriageState | None" = None
+
 #: The save/restore registry: every mutable module global a pool
 #: worker reads MUST be listed here — ``_classify_parallel`` snapshots
 #: and restores exactly these names, and reprolint rule RL002 rejects
 #: any worker that reads an unregistered global. Extending the worker
 #: protocol means extending this tuple, which is what keeps fork and
 #: spawn behaviour symmetric by construction.
-_STREAM_GLOBALS = ("_STREAM_CLASSIFIER", "_STREAM_TABLE", "_STREAM_INJECTOR")
+_STREAM_GLOBALS = (
+    "_STREAM_CLASSIFIER",
+    "_STREAM_TABLE",
+    "_STREAM_INJECTOR",
+    "_STREAM_RING",
+    "_STREAM_TRIAGE",
+)
 
 
 @dataclass(frozen=True)
@@ -161,19 +186,29 @@ def _stream_init(
     classifier: "SpoofingClassifier | None",
     injector: FaultInjector | None,
     tracing: bool = False,
+    ring_spec: RingSpec | None = None,
+    triage: "SketchTriageState | None" = None,
 ) -> None:
     """Pool initializer: adopt pickled state (spawn start only).
 
     ``tracing`` re-arms the worker's ambient tracer under spawn, where
     the parent's enabled flag is not inherited the way fork inherits
     it; fork pools pass ``False`` (the flag is already in the globals
-    the child inherited).
+    the child inherited). ``ring_spec`` is the shared-memory transport
+    geometry — attached here under *both* start methods, because a
+    :class:`~repro.core.shmring.WorkerRing` holds an mmap that must be
+    opened in the child, never inherited. ``triage`` arms the sketch
+    path under spawn (fork inherits the parent's global).
     """
-    global _STREAM_CLASSIFIER, _STREAM_INJECTOR
+    global _STREAM_CLASSIFIER, _STREAM_INJECTOR, _STREAM_RING, _STREAM_TRIAGE
     if classifier is not None:
         _STREAM_CLASSIFIER = classifier
     if injector is not None:
         _STREAM_INJECTOR = injector
+    if ring_spec is not None:
+        _STREAM_RING = WorkerRing.attach(ring_spec)
+    if triage is not None:
+        _STREAM_TRIAGE = triage
     if tracing:
         enable_tracing()
 
@@ -183,13 +218,20 @@ def _inject(chunk_index: int, attempt: int) -> None:
         _STREAM_INJECTOR(chunk_index, attempt, True)
 
 
-def _classify_and_summarize(chunk: FlowTable, keep_labels: bool) -> ChunkSummary:
+def _classify_and_summarize(
+    chunk: FlowTable, keep_labels: bool
+) -> "ChunkSummary | TriageDigest":
     """Worker-side classify that captures the chunk's span records.
 
     The captured records travel back to the supervisor inside the
     summary; the worker's ambient tracer is left empty so long-lived
-    pool workers do not accumulate span ledgers across chunks.
+    pool workers do not accumulate span ledgers across chunks. When a
+    triage state is armed the chunk is digested through the sketches
+    instead — the exact matrix engine is never touched.
     """
+    if _STREAM_TRIAGE is not None:
+        assert _STREAM_CLASSIFIER is not None
+        return _STREAM_TRIAGE.digest(chunk, _STREAM_CLASSIFIER._rib)
     tracer = current_tracer()
     if not tracer.enabled:
         result = _STREAM_CLASSIFIER.classify(chunk)
@@ -199,7 +241,9 @@ def _classify_and_summarize(chunk: FlowTable, keep_labels: bool) -> ChunkSummary
     return summarize_chunk(result, keep_labels=keep_labels, spans=spans)
 
 
-def _stream_worker(payload: tuple[FlowTable, bool, int, int]) -> ChunkSummary:
+def _stream_worker(
+    payload: tuple[FlowTable, bool, int, int]
+) -> "ChunkSummary | TriageDigest":
     """Classify one pickled chunk (spawn pools / explicit chunk iterables)."""
     chunk, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None
@@ -209,12 +253,38 @@ def _stream_worker(payload: tuple[FlowTable, bool, int, int]) -> ChunkSummary:
 
 def _stream_worker_range(
     payload: tuple[int, int, bool, int, int]
-) -> ChunkSummary:
+) -> "ChunkSummary | TriageDigest":
     """Classify rows [start, stop) of the fork-inherited table."""
     start, stop, keep_labels, chunk_index, attempt = payload
     assert _STREAM_CLASSIFIER is not None and _STREAM_TABLE is not None
     _inject(chunk_index, attempt)
     chunk = _STREAM_TABLE.select(slice(start, stop))
+    return _classify_and_summarize(chunk, keep_labels)
+
+
+def _stream_worker_slot(
+    payload: tuple[int | None, int, int, FlowTable | None, bool, int, int]
+) -> "ChunkSummary | TriageDigest":
+    """Gather one chunk from the shared-memory ring and classify it.
+
+    ``slot is None`` is the oversize-chunk escape hatch: a chunk too
+    large for a ring slot travels pickled in the payload instead
+    (counter ``shm.fallback_chunks``). The gather target is staged
+    *before* the fault hook runs so a planned ``"slot_corrupt"`` fault
+    damages exactly the slot about to be read.
+    """
+    slot, generation, n_rows, fallback, keep_labels, chunk_index, attempt = (
+        payload
+    )
+    assert _STREAM_CLASSIFIER is not None
+    if slot is None:
+        assert fallback is not None
+        _inject(chunk_index, attempt)
+        return _classify_and_summarize(fallback, keep_labels)
+    assert _STREAM_RING is not None
+    stage_read(_STREAM_RING, slot)
+    _inject(chunk_index, attempt)
+    chunk = _STREAM_RING.read(slot, generation, n_rows, chunk_index)
     return _classify_and_summarize(chunk, keep_labels)
 
 
@@ -227,6 +297,7 @@ class _InFlight:
     attempt: int
     result: object  # multiprocessing AsyncResult
     deadline: float | None
+    slot: int | None = None  # ring slot carrying the chunk (shm transport)
 
 
 class SpoofingClassifier:
@@ -420,14 +491,20 @@ class SpoofingClassifier:
         *,
         n_workers: int | None = None,
         keep_labels: bool = False,
-        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        chunk_rows: int | None = None,
         policy: FailurePolicy | str | None = None,
         fault_injector: FaultInjector | None = None,
+        transport: str = "pickle",
+        triage: str | None = None,
+        triage_members: "np.ndarray | list[int] | None" = None,
     ) -> StreamClassificationResult:
         """Classify a stream of flow chunks with bounded memory.
 
         ``flow_chunks`` is an iterable of :class:`FlowTable` chunks (a
-        single table is chunked into ``chunk_rows`` slices first).
+        single table is chunked into ``chunk_rows`` slices first;
+        ``chunk_rows=None`` picks :data:`DEFAULT_CHUNK_ROWS`, or the
+        larger :data:`TRIAGE_CHUNK_ROWS` on the constant-memory
+        triage path).
         With ``n_workers`` a process pool classifies chunks in
         parallel; per-chunk class counters, member sets, stage stats
         and (when ``keep_labels``) label vectors are merged in chunk
@@ -442,19 +519,82 @@ class SpoofingClassifier:
         in-process fallback. Everything the supervisor did is recorded
         in the result's ``failures``. ``fault_injector`` is the
         deterministic testing seam (:mod:`repro.testing.faults`).
+
+        ``transport="shm"`` replaces the pickle-per-chunk pool payload
+        with a shared-memory ring (:mod:`repro.core.shmring`): the
+        parent packs each chunk into a slot, workers gather zero-copy
+        views, and only a six-integer descriptor crosses the pipe.
+        Results are bit-equal to the pickle transport under both fork
+        and spawn. ``triage="sketch"`` swaps the exact matrix engine
+        for the constant-memory sketch triage
+        (:mod:`repro.sketch`) — the result's exact per-approach
+        counters stay empty and ``result.triage`` carries the
+        :class:`~repro.sketch.triage.SketchTriageResult` instead;
+        ``triage_members`` overrides the member universe the
+        signatures are armed for (defaults to the table's distinct
+        members, falling back to the RIB's observed AS universe for
+        chunk iterables).
         """
+        if transport not in ("pickle", "shm"):
+            raise ValueError(
+                f"unknown transport {transport!r}; expected 'pickle' or 'shm'"
+            )
+        if triage not in (None, "sketch"):
+            raise ValueError(
+                f"unknown triage {triage!r}; expected None or 'sketch'"
+            )
+        if triage is not None and keep_labels:
+            raise ValueError(
+                "triage and keep_labels are mutually exclusive: the sketch "
+                "path never materialises label vectors"
+            )
+        if chunk_rows is None:
+            chunk_rows = (
+                TRIAGE_CHUNK_ROWS if triage is not None else DEFAULT_CHUNK_ROWS
+            )
         policy = FailurePolicy.coerce(policy)
         table = flow_chunks if isinstance(flow_chunks, FlowTable) else None
         merged = StreamClassificationResult(
             self.approach_names, keep_labels=keep_labels
         )
+        triage_state = None
+        if triage == "sketch":
+            # Imported lazily: repro.sketch is import-cycle-free with
+            # repro.core only because the dependency points this way.
+            from repro.sketch.triage import (
+                SketchTriageResult,
+                build_triage_state,
+            )
+
+            if triage_members is not None:
+                members = np.asarray(triage_members, dtype=np.int64)
+            elif table is not None:
+                members = table.members()
+            else:
+                members = np.asarray(
+                    self._rib.indexer.asns(), dtype=np.int64
+                )
+            primary = self.approach_names[0]
+            triage_state = build_triage_state(
+                self._approaches[primary], self._bogons, members
+            )
+            merged.triage = SketchTriageResult(
+                triage_state.params, triage_state.approach_name
+            )
         stream_start = time.perf_counter()
         latency = current_metrics().histogram("stream.chunk_seconds")
 
-        def absorb(summary: ChunkSummary) -> None:
-            if summary.stats is not None:
-                latency.observe(summary.stats.total_seconds)
-            merged.absorb(summary)
+        def absorb(summary: "ChunkSummary | TriageDigest") -> None:
+            if isinstance(summary, ChunkSummary):
+                if summary.stats is not None:
+                    latency.observe(summary.stats.total_seconds)
+                merged.absorb(summary)
+                return
+            assert merged.triage is not None
+            latency.observe(summary.seconds)
+            merged.triage.absorb(summary)
+            merged.n_flows += summary.n_flows
+            merged.n_chunks += 1
 
         if n_workers is None or n_workers <= 1:
             chunks = (
@@ -464,7 +604,8 @@ class SpoofingClassifier:
                 try:
                     absorb(
                         self._inline_summary(
-                            chunk, keep_labels, index, 1, fault_injector
+                            chunk, keep_labels, index, 1, fault_injector,
+                            triage_state,
                         )
                     )
                 except Exception as exc:
@@ -487,6 +628,8 @@ class SpoofingClassifier:
                 policy=policy,
                 injector=fault_injector,
                 failures=merged.failures,
+                transport=transport,
+                triage_state=triage_state,
             ):
                 absorb(summary)
         merged.stats.rows_dropped = merged.failures.rows_dropped
@@ -516,6 +659,14 @@ class SpoofingClassifier:
         registry = current_metrics()
         registry.counter("stream.chunks").inc(merged.n_chunks)
         registry.counter("stream.rows").inc(merged.n_flows)
+        if merged.triage is not None:
+            registry.counter("sketch.chunks").inc(merged.n_chunks)
+            registry.counter("sketch.rows").inc(merged.n_flows)
+            for name, count in merged.triage.class_counts().items():
+                registry.counter(f"sketch.rows.{name}").inc(count)
+            registry.counter("sketch.heavy_hitters").inc(
+                len(merged.triage.spoofed_sources)
+            )
         for approach in merged.approaches:
             counts = merged.flow_counts[approach]
             for cls in TrafficClass:
@@ -537,10 +688,13 @@ class SpoofingClassifier:
         index: int,
         attempt: int,
         injector: FaultInjector | None,
-    ) -> ChunkSummary:
+        triage_state: "SketchTriageState | None" = None,
+    ) -> "ChunkSummary | TriageDigest":
         """Classify one chunk in the current process."""
         if injector is not None:
             injector(index, attempt, False)
+        if triage_state is not None:
+            return triage_state.digest(chunk, self._rib)
         tracer = current_tracer()
         if not tracer.enabled:
             return summarize_chunk(self.classify(chunk), keep_labels=keep_labels)
@@ -557,12 +711,15 @@ class SpoofingClassifier:
         policy: FailurePolicy | None = None,
         injector: FaultInjector | None = None,
         failures: FailureLog | None = None,
-    ) -> Iterator[ChunkSummary]:
+        transport: str = "pickle",
+        triage_state: "SketchTriageState | None" = None,
+    ) -> "Iterator[ChunkSummary | TriageDigest]":
         """Fan chunks out over a process pool, yield summaries in order."""
         # Materialise the finalized RIB before the fork so workers
         # share it copy-on-write instead of each rebuilding it.
         self._rib.lookup_many(np.zeros(1, dtype=np.uint64))
         global _STREAM_CLASSIFIER, _STREAM_TABLE, _STREAM_INJECTOR
+        global _STREAM_TRIAGE
         table = flow_chunks if isinstance(flow_chunks, FlowTable) else None
         method = os.environ.get(MP_START_METHOD_ENV, "").strip() or None
         if method is None:
@@ -571,6 +728,18 @@ class SpoofingClassifier:
         else:
             fork = method == "fork"
         ctx = multiprocessing.get_context(method)
+        window = max(2, 2 * n_workers)
+        ring: FlowRing | None = None
+        if transport == "shm":
+            # Slots strictly exceed the in-flight window so acquire()
+            # is brief backpressure, never a deadlock. Triage digests
+            # read only (src, member), so its ring carries just those
+            # two columns — 16 bytes per row instead of the full table.
+            ring = FlowRing.create(
+                slots=window + 2,
+                capacity=chunk_rows,
+                columns=("src", "member") if triage_state is not None else None,
+            )
         # Save/restore is unconditional and symmetric across start
         # methods: fork workers inherit the globals set here, spawn
         # workers receive the same state through the initializer, and
@@ -583,22 +752,29 @@ class SpoofingClassifier:
             _STREAM_CLASSIFIER = self
             _STREAM_TABLE = table
             _STREAM_INJECTOR = injector
+            _STREAM_TRIAGE = triage_state
 
         def make_initargs() -> tuple:
             # Evaluated at every pool (re)build, not once per stream:
             # a rebuilt spawn pool must pickle the classifier's
             # *current* (possibly delta-patched) state, and the tracer
-            # enabled flag must reflect the tracer as it is now.
+            # enabled flag must reflect the tracer as it is now. The
+            # ring is attached in the initializer under both start
+            # methods (a worker must open its own mapping).
+            ring_spec = ring.spec if ring is not None else None
             if fork:
-                return (None, None, False)
-            return (self, injector, current_tracer().enabled)
+                return (None, None, False, ring_spec, None)
+            return (
+                self, injector, current_tracer().enabled, ring_spec,
+                triage_state,
+            )
 
-        use_ranges = fork and table is not None
+        use_ranges = fork and table is not None and ring is None
         try:
             if policy is None:
                 yield from self._stream_unsupervised(
                     ctx, n_workers, make_initargs(), table, flow_chunks,
-                    chunk_rows, keep_labels, use_ranges,
+                    chunk_rows, keep_labels, use_ranges, ring,
                 )
             else:
                 if failures is None:
@@ -606,10 +782,12 @@ class SpoofingClassifier:
                 yield from self._stream_supervised(
                     ctx, n_workers, make_initargs, table, flow_chunks,
                     chunk_rows, keep_labels, use_ranges, policy,
-                    injector, failures,
+                    injector, failures, ring, triage_state,
                 )
         finally:
             globals().update(previous)
+            if ring is not None:
+                ring.destroy()
 
     def _stream_unsupervised(
         self,
@@ -621,14 +799,19 @@ class SpoofingClassifier:
         chunk_rows: int,
         keep_labels: bool,
         use_ranges: bool,
-    ) -> Iterator[ChunkSummary]:
+        ring: FlowRing | None = None,
+    ) -> "Iterator[ChunkSummary | TriageDigest]":
         """The historical ``pool.imap`` path (no timeouts, no retries)."""
         with ctx.Pool(
             processes=n_workers,
             initializer=_stream_init,
             initargs=initargs,
         ) as pool:
-            if use_ranges:
+            if ring is not None:
+                yield from self._imap_over_ring(
+                    pool, ring, table, flow_chunks, chunk_rows, keep_labels
+                )
+            elif use_ranges:
                 assert table is not None
                 n = len(table)
                 payloads = (
@@ -645,6 +828,52 @@ class SpoofingClassifier:
                 )
                 yield from pool.imap(_stream_worker, chunk_payloads)
 
+    @staticmethod
+    def _imap_over_ring(
+        pool: Pool,
+        ring: FlowRing,
+        table: FlowTable | None,
+        flow_chunks: Iterable[FlowTable] | FlowTable,
+        chunk_rows: int,
+        keep_labels: bool,
+    ) -> "Iterator[ChunkSummary | TriageDigest]":
+        """``pool.imap`` with chunks carried through the shared ring.
+
+        The payload generator runs on the pool's task-feeder thread:
+        it blocks in :meth:`FlowRing.acquire` while every slot is in
+        flight, and the main thread releases a chunk's slot as soon as
+        its summary arrives — the ring's slot count bounds how far the
+        feeder can run ahead, which is exactly the backpressure the
+        pickle path never had. ``pending`` maps completion order back
+        to slots (``None`` marks an oversize chunk that fell back to a
+        pickled payload).
+        """
+        chunks = (
+            table.iter_chunks(chunk_rows)
+            if table is not None
+            else iter(flow_chunks)
+        )
+        pending: deque[int | None] = deque()
+
+        def payloads() -> Iterator[tuple]:
+            for index, chunk in enumerate(chunks):
+                if len(chunk) > ring.capacity:
+                    current_metrics().counter("shm.fallback_chunks").inc()
+                    pending.append(None)
+                    yield (None, 0, 0, chunk, keep_labels, index, 1)
+                    continue
+                slot = ring.acquire()
+                generation = ring.write(slot, chunk, index)
+                pending.append(slot)
+                yield (slot, generation, len(chunk), None, keep_labels,
+                       index, 1)
+
+        for summary in pool.imap(_stream_worker_slot, payloads()):
+            slot = pending.popleft()
+            if slot is not None:
+                ring.release(slot)
+            yield summary
+
     def _stream_supervised(
         self,
         ctx: BaseContext,
@@ -658,7 +887,9 @@ class SpoofingClassifier:
         policy: FailurePolicy,
         injector: FaultInjector | None,
         failures: FailureLog,
-    ) -> Iterator[ChunkSummary]:
+        ring: FlowRing | None = None,
+        triage_state: "SketchTriageState | None" = None,
+    ) -> "Iterator[ChunkSummary | TriageDigest]":
         """Windowed ``apply_async`` scheduler with worker supervision.
 
         Chunks are submitted with a bounded in-flight window and their
@@ -678,6 +909,13 @@ class SpoofingClassifier:
         memory, spawn re-pickles through ``make_initargs`` — before
         any later chunk is submitted. Chunks resubmitted after a
         worker death rerun against the rebuilt pool's (current) state.
+
+        Under the shm transport slot ownership stays strictly here in
+        the parent: a chunk keeps its ring slot across retries (the
+        header is repaired from the authoritative copy, the columns
+        were written once), and the slot is released only when the
+        chunk resolves — success, degraded fallback, or drop — so a
+        reclaimed worker can never strand a slot.
         """
         if use_ranges:
             assert table is not None
@@ -700,8 +938,33 @@ class SpoofingClassifier:
                 initargs=make_initargs(),
             )
 
-        def submit(pool: Pool, index: int, job: Any, attempt: int) -> _InFlight:
-            if use_ranges:
+        def submit(
+            pool: Pool,
+            index: int,
+            job: Any,
+            attempt: int,
+            slot: int | None = None,
+        ) -> _InFlight:
+            if ring is not None and len(job) <= ring.capacity:
+                if slot is None:
+                    slot = ring.acquire(timeout=60.0)
+                    generation = ring.write(slot, job, index)
+                else:
+                    # Retry: columns are already in the slot; repair
+                    # the header (a corrupt fault may have hit it) and
+                    # resend the same descriptor.
+                    ring.refresh_header(slot)
+                    generation = ring.generation(slot)
+                payload: tuple = (
+                    slot, generation, len(job), None, keep_labels, index,
+                    attempt,
+                )
+                result = pool.apply_async(_stream_worker_slot, (payload,))
+            elif ring is not None:
+                current_metrics().counter("shm.fallback_chunks").inc()
+                payload = (None, 0, 0, job, keep_labels, index, attempt)
+                result = pool.apply_async(_stream_worker_slot, (payload,))
+            elif use_ranges:
                 start, stop = job
                 payload = (start, stop, keep_labels, index, attempt)
                 result = pool.apply_async(_stream_worker_range, (payload,))
@@ -713,7 +976,11 @@ class SpoofingClassifier:
                 if policy.chunk_timeout is None
                 else time.monotonic() + policy.chunk_timeout
             )
-            return _InFlight(index, job, attempt, result, deadline)
+            return _InFlight(index, job, attempt, result, deadline, slot)
+
+        def release_slot(entry: _InFlight) -> None:
+            if ring is not None and entry.slot is not None:
+                ring.release(entry.slot)
 
         def inline_chunk(job: Any) -> FlowTable:
             if use_ranges:
@@ -746,7 +1013,10 @@ class SpoofingClassifier:
                 failures.record_retry(failed.index, failed.attempt, reason)
                 return (
                     "resubmitted",
-                    submit(pool, failed.index, failed.job, failed.attempt + 1),
+                    submit(
+                        pool, failed.index, failed.job, failed.attempt + 1,
+                        slot=failed.slot,
+                    ),
                 )
             # Retry budget exhausted (retry) or first failure (degrade):
             # reclassify in the parent process.
@@ -754,10 +1024,12 @@ class SpoofingClassifier:
             next_attempt = failed.attempt + 1
             try:
                 summary = self._inline_summary(
-                    chunk, keep_labels, failed.index, next_attempt, injector
+                    chunk, keep_labels, failed.index, next_attempt, injector,
+                    triage_state,
                 )
             except Exception as inline_exc:
                 if policy.mode == "degrade":
+                    release_slot(failed)
                     failures.record_dropped(
                         failed.index,
                         len(chunk),
@@ -772,6 +1044,7 @@ class SpoofingClassifier:
                     chunk_index=failed.index,
                     attempts=next_attempt,
                 ) from inline_exc
+            release_slot(failed)
             failures.record_degraded(failed.index, failed.attempt, reason)
             return ("summary", summary)
 
@@ -838,7 +1111,10 @@ class SpoofingClassifier:
                     )
                     for entry in collateral:
                         inflight.append(
-                            submit(pool, entry.index, entry.job, entry.attempt)
+                            submit(
+                                pool, entry.index, entry.job, entry.attempt,
+                                slot=entry.slot,
+                            )
                         )
                     if outcome == "resubmitted":
                         inflight.appendleft(value)
@@ -855,7 +1131,7 @@ class SpoofingClassifier:
                     elif outcome == "summary":
                         yield value
                     continue
-                inflight.popleft()
+                release_slot(inflight.popleft())
                 yield summary
         finally:
             pool.terminate()

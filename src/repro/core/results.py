@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.sketch.triage import SketchTriageResult
 
 from repro.bgp.rib import GlobalRIB
 from repro.core.classes import TrafficClass
@@ -353,6 +357,11 @@ class StreamClassificationResult:
         #: Span records merged from every chunk (worker or in-process)
         #: when tracing was enabled — empty otherwise.
         self.spans: list[SpanRecord] = []
+        #: The merged sketch-triage aggregate when the stream ran with
+        #: ``triage="sketch"`` — the exact per-approach counters above
+        #: then stay empty (the matrix engine never ran). ``None`` on
+        #: every exact run.
+        self.triage: "SketchTriageResult | None" = None
         self._keep_labels = keep_labels
         self._label_chunks: dict[str, list[np.ndarray]] = (
             {a: [] for a in self.approaches} if keep_labels else {}

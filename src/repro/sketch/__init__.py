@@ -1,0 +1,30 @@
+"""Constant-memory sketch triage over the spoofing pipeline.
+
+Per-worker mergeable summaries — a count-min sketch keyed by
+``(member, class)`` and a space-saving heavy-hitter table over
+spoofed-source ``/24`` prefixes — plus the armed triage state that
+classifies chunks approximately without touching the exact validity
+matrices. ``classify_stream(..., triage="sketch")`` wires this in;
+see :mod:`repro.sketch.triage` for the error-bound guarantees.
+"""
+
+from repro.sketch.countmin import CountMinSketch, mix64
+from repro.sketch.spacesaving import SpaceSaving
+from repro.sketch.triage import (
+    SketchParams,
+    SketchTriageResult,
+    SketchTriageState,
+    TriageDigest,
+    build_triage_state,
+)
+
+__all__ = [
+    "CountMinSketch",
+    "SketchParams",
+    "SketchTriageResult",
+    "SketchTriageState",
+    "SpaceSaving",
+    "TriageDigest",
+    "build_triage_state",
+    "mix64",
+]

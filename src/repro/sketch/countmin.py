@@ -1,0 +1,152 @@
+"""Count-min sketch over integer keys (vectorised, exactly mergeable).
+
+The classic Cormode–Muthukrishnan summary: a ``depth × width`` table
+of counters, each row indexed by an independent hash of the key. An
+estimate reads the minimum across rows, so it can only *over*-count —
+never under — by at most ``total / width`` per row in expectation
+(``P[err > 2·total/width] ≤ 2^-depth`` with the defaults).
+
+Keys are ``uint64``; hashing is the splitmix64 finalizer salted per
+row, so two sketches built with the same :class:`CountMinSketch`
+parameters and seed index identically — which is what makes
+:meth:`CountMinSketch.merge` *exact*: elementwise addition of the
+tables, associative and commutative to the bit, mirroring how
+``StreamClassificationResult`` folds per-chunk counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CountMinSketch", "mix64"]
+
+
+def mix64(keys: np.ndarray, salt: int) -> np.ndarray:
+    """Salted splitmix64 finalizer over a ``uint64`` key array.
+
+    Deterministic across platforms and processes (pure integer
+    arithmetic, wrapping at 64 bits), so per-worker sketches hash
+    identically and merge exactly.
+    """
+    x = keys.astype(np.uint64, copy=True)
+    x += np.uint64(salt & 0xFFFF_FFFF_FFFF_FFFF)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def _salts(depth: int, seed: int) -> np.ndarray:
+    """One odd 64-bit salt per sketch row, derived from ``seed``."""
+    base = mix64(
+        np.arange(1, depth + 1, dtype=np.uint64),
+        (seed * 0x9E3779B97F4A7C15) & 0xFFFF_FFFF_FFFF_FFFF,
+    )
+    return base | np.uint64(1)
+
+
+class CountMinSketch:
+    """Approximate frequency table: overestimate-only, O(1) memory.
+
+    ``update_many`` / ``estimate_many`` are the bulk interfaces the
+    triage stage uses (one call per chunk with the chunk's unique
+    keys); scalar :meth:`estimate` serves point queries. Two sketches
+    are merge-compatible iff ``depth``, ``width`` and ``seed`` agree.
+    """
+
+    __slots__ = ("depth", "width", "seed", "_table", "_salt")
+
+    def __init__(self, depth: int = 4, width: int = 2048, seed: int = 2017) -> None:
+        if depth <= 0 or width <= 0:
+            raise ValueError("depth and width must be positive")
+        self.depth = int(depth)
+        self.width = int(width)
+        self.seed = int(seed)
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._salt = _salts(self.depth, self.seed)
+
+    def update_many(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Add ``counts[i]`` occurrences of ``keys[i]`` (vectorised)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if keys.size != counts.size:
+            raise ValueError("keys and counts must be the same length")
+        if keys.size == 0:
+            return
+        for row in range(self.depth):
+            idx = mix64(keys, int(self._salt[row])) % np.uint64(self.width)
+            np.add.at(self._table[row], idx.astype(np.int64), counts)
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of one key."""
+        self.update_many(
+            np.array([key], dtype=np.uint64),
+            np.array([count], dtype=np.int64),
+        )
+
+    def estimate_many(self, keys: np.ndarray) -> np.ndarray:
+        """Frequency estimates for an array of keys (``>=`` the truth)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        estimates = np.full(keys.size, np.iinfo(np.int64).max, dtype=np.int64)
+        for row in range(self.depth):
+            idx = mix64(keys, int(self._salt[row])) % np.uint64(self.width)
+            np.minimum(
+                estimates, self._table[row, idx.astype(np.int64)], out=estimates
+            )
+        return estimates
+
+    def estimate(self, key: int) -> int:
+        """Frequency estimate for one key (never below the true count)."""
+        return int(self.estimate_many(np.array([key], dtype=np.uint64))[0])
+
+    @property
+    def total(self) -> int:
+        """Exact total weight folded in (every row sums to it)."""
+        return int(self._table[0].sum())
+
+    def error_bound(self) -> float:
+        """Expected per-row overestimate: ``total / width``."""
+        return self.total / self.width
+
+    def compatible(self, other: "CountMinSketch") -> bool:
+        """Whether ``other`` hashes identically (merge is then exact)."""
+        return (
+            self.depth == other.depth
+            and self.width == other.width
+            and self.seed == other.seed
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Fold another sketch in: elementwise add, exact and symmetric."""
+        if not self.compatible(other):
+            raise ValueError(
+                "cannot merge count-min sketches with different "
+                f"(depth, width, seed): {(self.depth, self.width, self.seed)}"
+                f" vs {(other.depth, other.width, other.seed)}"
+            )
+        self._table += other._table
+
+    def copy(self) -> "CountMinSketch":
+        """An independent deep copy (merge-order experiments in tests)."""
+        clone = CountMinSketch(self.depth, self.width, self.seed)
+        clone._table[:] = self._table
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        """Bit-equality of parameters and counter table."""
+        if not isinstance(other, CountMinSketch):
+            return NotImplemented
+        return self.compatible(other) and bool(
+            np.array_equal(self._table, other._table)
+        )
+
+    def __repr__(self) -> str:
+        """Compact debug form with geometry and folded total."""
+        return (
+            f"CountMinSketch(depth={self.depth}, width={self.width}, "
+            f"total={self.total})"
+        )

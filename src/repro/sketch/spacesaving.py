@@ -1,0 +1,176 @@
+"""Space-saving heavy hitters (Metwally et al.), mergeable summaries.
+
+Tracks at most ``k`` integer keys with per-key ``(count, error)``
+pairs. When a new key arrives and the summary is full, the minimum
+counter is evicted and the newcomer inherits its count (recorded as
+the newcomer's ``error``), which yields the two guarantees the triage
+stage relies on:
+
+* **Overestimate-only** — a tracked key's ``count`` is at least its
+  true frequency (and at most ``true + error``).
+* **Top-K superset** — any key whose true frequency exceeds ``n/k``
+  of the ``n`` items offered is guaranteed to be tracked, so the true
+  heavy hitters are always a subset of :meth:`SpaceSaving.top`.
+
+:meth:`SpaceSaving.merge` implements the mergeable-summaries algebra
+(Agarwal et al.): a key absent from one side contributes that side's
+minimum counter as both count and error, the union is re-truncated to
+the ``k`` largest with a deterministic ``(count desc, key asc)``
+order — so merging per-worker summaries is commutative and preserves
+both guarantees (with the error terms adding).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Bounded top-K frequency summary over integer keys."""
+
+    __slots__ = ("k", "_counts", "_errors", "_offered")
+
+    def __init__(self, k: int = 64) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._counts: dict[int, int] = {}
+        self._errors: dict[int, int] = {}
+        self._offered = 0
+
+    def __len__(self) -> int:
+        """Number of keys currently tracked (≤ k)."""
+        return len(self._counts)
+
+    @property
+    def offered(self) -> int:
+        """Total weight offered to this summary (exact)."""
+        return self._offered
+
+    def min_count(self) -> int:
+        """The smallest tracked counter (0 while the summary is not full).
+
+        This is also the upper bound on the true frequency of any key
+        the summary is *not* tracking.
+        """
+        if len(self._counts) < self.k:
+            return 0
+        return min(self._counts.values())
+
+    def offer(self, key: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        key = int(key)
+        self._offered += count
+        if key in self._counts:
+            self._counts[key] += count
+            return
+        if len(self._counts) < self.k:
+            self._counts[key] = count
+            self._errors[key] = 0
+            return
+        # Evict the minimum (deterministically: smallest count, then
+        # smallest key) and let the newcomer inherit its counter.
+        evict = min(self._counts, key=lambda key_: (self._counts[key_], key_))
+        floor = self._counts.pop(evict)
+        self._errors.pop(evict)
+        self._counts[key] = floor + count
+        self._errors[key] = floor
+
+    def offer_many(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Record many ``(key, count)`` pairs (one chunk's unique keys).
+
+        Pairs are folded largest-first so a burst of new keys within
+        one chunk evicts in a deterministic, weight-respecting order.
+        """
+        keys = np.asarray(keys)
+        counts = np.asarray(counts)
+        if keys.size != counts.size:
+            raise ValueError("keys and counts must be the same length")
+        order = np.lexsort((keys, -counts))
+        for position in order:
+            self.offer(int(keys[position]), int(counts[position]))
+
+    def estimate(self, key: int) -> int:
+        """Upper-bound frequency estimate for ``key`` (≥ the truth)."""
+        return self._counts.get(int(key), self.min_count())
+
+    def error(self, key: int) -> int:
+        """Maximum overestimate of a tracked key (its inherited floor)."""
+        return self._errors.get(int(key), self.min_count())
+
+    def items(self) -> list[tuple[int, int, int]]:
+        """Tracked ``(key, count, error)`` triples, largest first.
+
+        Deterministic order: count descending, key ascending — the
+        same order truncation and :meth:`top` use.
+        """
+        return sorted(
+            (
+                (key, count, self._errors[key])
+                for key, count in self._counts.items()
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    def top(self, n: int) -> list[tuple[int, int, int]]:
+        """The ``n`` largest tracked keys as ``(key, count, error)``."""
+        return self.items()[:n]
+
+    def keys(self) -> Iterable[int]:
+        """The tracked keys (unordered)."""
+        return self._counts.keys()
+
+    def merge(self, other: "SpaceSaving") -> None:
+        """Fold another summary in (mergeable-summaries algebra).
+
+        Commutative by construction; the heavy-hitter superset
+        guarantee holds over the combined stream with the error bounds
+        of both sides added.
+        """
+        if self.k != other.k:
+            raise ValueError(
+                f"cannot merge space-saving summaries with k={self.k} "
+                f"and k={other.k}"
+            )
+        floor_self = self.min_count()
+        floor_other = other.min_count()
+        merged_counts: dict[int, int] = {}
+        merged_errors: dict[int, int] = {}
+        for key in set(self._counts) | set(other._counts):
+            in_self = key in self._counts
+            in_other = key in other._counts
+            merged_counts[key] = (
+                (self._counts[key] if in_self else floor_self)
+                + (other._counts[key] if in_other else floor_other)
+            )
+            merged_errors[key] = (
+                (self._errors[key] if in_self else floor_self)
+                + (other._errors[key] if in_other else floor_other)
+            )
+        keep = sorted(
+            merged_counts, key=lambda key_: (-merged_counts[key_], key_)
+        )[: self.k]
+        self._counts = {key: merged_counts[key] for key in keep}
+        self._errors = {key: merged_errors[key] for key in keep}
+        self._offered += other._offered
+
+    def copy(self) -> "SpaceSaving":
+        """An independent deep copy (merge-order experiments in tests)."""
+        clone = SpaceSaving(self.k)
+        clone._counts = dict(self._counts)
+        clone._errors = dict(self._errors)
+        clone._offered = self._offered
+        return clone
+
+    def __repr__(self) -> str:
+        """Compact debug form with capacity and fill."""
+        return (
+            f"SpaceSaving(k={self.k}, tracked={len(self)}, "
+            f"offered={self._offered})"
+        )

@@ -1,0 +1,406 @@
+"""Sketch triage: constant-memory approximate classification.
+
+The exact pipeline answers "which flows are spoofed, exactly, per
+approach" — six label vectors, per-class member sets, packed validity
+matrices. Operators monitoring an IXP mostly need a cheaper question
+answered continuously: *how much traffic falls into each class, and
+which source prefixes dominate the spoofed share?* This module
+answers that question without touching the exact matrix engine:
+
+* The **Bogon** and **Unrouted** stages are cheap and AS-agnostic, so
+  triage runs them exactly (same prefix set, same LPM) — those two
+  counters carry no approximation at all.
+* The **Invalid** stage is approximated by a per-member *signature*:
+  a Bloom-style bit array of ``signature_bits`` positions, armed once
+  from the primary approach's packed validity row (each valid column
+  hashes to one bit). A routed flow is triage-valid iff its column's
+  bit is set in its member's signature. False positives are one-sided
+  the *optimistic* way: a spoofed flow may slip through as valid with
+  probability at most ``v / signature_bits`` (``v`` = the member's
+  valid-column count), but a legitimate flow is **never** counted
+  invalid — triage's invalid counter is a guaranteed lower bound on
+  the exact engine's.
+* Per ``(member, class)`` traffic is folded into a
+  :class:`~repro.sketch.countmin.CountMinSketch` (overestimate-only),
+  and spoofed-source ``/24`` prefixes into a
+  :class:`~repro.sketch.spacesaving.SpaceSaving` heavy-hitter summary
+  (top-K superset guarantee) — both O(1) memory regardless of stream
+  length.
+
+Every worker digests its chunks into :class:`TriageDigest` values
+whose aggregation — :meth:`SketchTriageResult.absorb` per chunk,
+:meth:`SketchTriageResult.merge` across workers — is one-pass and
+(for the count-min table and the exact class totals) associative and
+commutative to the bit, mirroring the ``StreamClassificationResult``
+merge algebra the exact path uses.
+
+This package deliberately imports nothing from :mod:`repro.core` at
+module level (the classifier imports *us*); the traffic-class codes
+are mirrored as module constants and asserted against
+``TrafficClass`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.rib import GlobalRIB
+from repro.cones.base import ValidSpaceMap
+from repro.net.prefixset import PrefixSet
+from repro.sketch.countmin import CountMinSketch, mix64
+from repro.sketch.spacesaving import SpaceSaving
+
+__all__ = [
+    "SketchParams",
+    "SketchTriageResult",
+    "SketchTriageState",
+    "TriageDigest",
+    "build_triage_state",
+]
+
+#: Traffic-class codes, mirroring :class:`repro.core.classes.TrafficClass`
+#: (asserted equal in the test suite; duplicated here to keep this
+#: package import-cycle-free with ``repro.core``).
+CLASS_VALID = 0
+CLASS_BOGON = 1
+CLASS_UNROUTED = 2
+CLASS_INVALID = 3
+
+#: Number of traffic classes (class-total vectors have this length).
+N_CLASSES = 4
+
+_CLASS_NAMES = ("valid", "bogon", "unrouted", "invalid")
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Geometry of the triage sketches (merge-compatibility contract).
+
+    Two triage states/results merge iff their params are equal; the
+    defaults bound the whole summary under ~200 KiB regardless of
+    stream length.
+    """
+
+    #: Count-min rows (failure probability halves per row).
+    depth: int = 4
+    #: Count-min columns (expected overestimate ``total/width``).
+    width: int = 4096
+    #: Heavy-hitter capacity (superset guarantee at ``n/top_k``).
+    top_k: int = 64
+    #: Bits per member validity signature (power of two; one-sided
+    #: invalid-undercount probability ≤ valid columns / bits).
+    signature_bits: int = 65536
+    #: Hash seed shared by every sketch in the run.
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.signature_bits & (self.signature_bits - 1):
+            raise ValueError("signature_bits must be a power of two")
+        if min(self.depth, self.width, self.top_k, self.signature_bits) <= 0:
+            raise ValueError("all sketch dimensions must be positive")
+
+
+@dataclass(slots=True)
+class TriageDigest:
+    """One chunk's triage summary (picklable, constant-size-ish).
+
+    ``member_class_keys`` / ``member_class_counts`` are the chunk's
+    unique ``(member << 2) | class`` keys with their flow counts;
+    ``spoofed_keys`` / ``spoofed_counts`` the unique spoofed-source
+    ``/24`` prefixes. Both are pre-aggregated so absorbing a digest
+    costs O(unique keys), not O(rows).
+    """
+
+    n_flows: int
+    class_totals: np.ndarray
+    member_class_keys: np.ndarray
+    member_class_counts: np.ndarray
+    spoofed_keys: np.ndarray
+    spoofed_counts: np.ndarray
+    seconds: float = 0.0
+
+
+class SketchTriageState:
+    """The armed, picklable triage classifier (ships to pool workers).
+
+    Built once in the parent by :func:`build_triage_state`: bogon
+    prefix set, sorted member universe, and one packed signature row
+    per member. Workers call :meth:`digest` per chunk; nothing here
+    mutates after arming, so fork inherits it copy-on-write and spawn
+    pickles it once through the pool initializer.
+    """
+
+    def __init__(
+        self,
+        params: SketchParams,
+        approach_name: str,
+        column_kind: str,
+        bogons: PrefixSet,
+        member_asns: np.ndarray,
+        signatures: np.ndarray,
+    ) -> None:
+        self.params = params
+        self.approach_name = approach_name
+        self.column_kind = column_kind
+        self._bogons = bogons
+        self._member_asns = member_asns
+        self._signatures = signatures
+
+    @property
+    def n_members(self) -> int:
+        """Members with an armed signature row."""
+        return int(self._member_asns.size)
+
+    def digest(self, chunk: "FlowTableLike", rib: GlobalRIB) -> TriageDigest:
+        """Triage one chunk: exact bogon/unrouted, signature invalid.
+
+        Vectorised end to end; returns the chunk's mergeable digest.
+        ``rib`` is the classifier's RIB (the same LPM the exact path
+        uses, so routedness is exact).
+
+        A flow's triage class is a pure function of its ``(src,
+        member)`` pair, and inter-domain traffic repeats pairs heavily
+        (the paper's spoofed sources concentrate in few ``/24``s), so
+        the chunk is first collapsed to its unique pairs — one 64-bit
+        sort — and the LPM and signature probes run once per *pair*
+        instead of once per row. Every aggregate is then a
+        count-weighted fold over the pairs, bit-identical to the
+        row-at-a-time computation. The packing needs ``src`` and
+        ``member`` to fit 32 bits (IPv4 address, 4-byte ASN); anything
+        wider falls back to per-row arrays with unit counts.
+        """
+        began = time.perf_counter()
+        src = np.asarray(chunk.src, dtype=np.uint64)
+        member = np.asarray(chunk.member, dtype=np.int64)
+        n = src.size
+        packable = n > 0 and (
+            int(src.max()) < 2**32
+            and int(member.min()) >= 0
+            and int(member.max()) < 2**32
+        )
+        if packable:
+            pair = (src << np.uint64(32)) | member.astype(np.uint64)
+            pairs, pair_counts = np.unique(pair, return_counts=True)
+            src_u = pairs >> np.uint64(32)
+            mem_u = (pairs & np.uint64(0xFFFF_FFFF)).astype(np.int64)
+            counts = pair_counts.astype(np.int64)
+        else:
+            src_u = src
+            mem_u = member
+            counts = np.ones(n, dtype=np.int64)
+
+        bogon_mask = self._bogons.contains_many(src_u)
+        prefix_ids, origin_indices = rib.lookup_many(src_u)
+        unrouted_mask = ~bogon_mask & (prefix_ids < 0)
+        classes = np.zeros(src_u.size, dtype=np.uint8)
+        classes[bogon_mask] = CLASS_BOGON
+        classes[unrouted_mask] = CLASS_UNROUTED
+
+        routed_idx = np.flatnonzero(~bogon_mask & ~unrouted_mask)
+        if routed_idx.size and self._member_asns.size == 0:
+            classes[routed_idx] = CLASS_INVALID
+        elif routed_idx.size:
+            columns = (
+                prefix_ids if self.column_kind == "prefix" else origin_indices
+            )[routed_idx].astype(np.int64, copy=False)
+            members = mem_u[routed_idx]
+            rows = np.searchsorted(self._member_asns, members)
+            rows_safe = np.minimum(rows, self._member_asns.size - 1)
+            known = self._member_asns[rows_safe] == members
+            bits = np.uint64(self.params.signature_bits - 1)
+            positions = mix64(
+                columns.astype(np.uint64), self.params.seed
+            ) & bits
+            bytes_ = self._signatures[
+                rows_safe, (positions >> np.uint64(3)).astype(np.int64)
+            ]
+            set_ = (
+                bytes_ >> (positions & np.uint64(7)).astype(np.uint8)
+            ) & 1
+            valid = known & (set_ == 1)
+            classes[routed_idx[~valid]] = CLASS_INVALID
+
+        class_totals = np.bincount(
+            classes, weights=counts, minlength=N_CLASSES
+        ).astype(np.int64)
+        keys = (mem_u.astype(np.uint64) << np.uint64(2)) | classes
+        unique_keys, key_inverse = np.unique(keys, return_inverse=True)
+        key_counts = np.bincount(key_inverse, weights=counts).astype(np.int64)
+        invalid_mask = classes == CLASS_INVALID
+        spoofed = src_u[invalid_mask] >> np.uint64(8)
+        spoofed_keys, spoofed_inverse = np.unique(spoofed, return_inverse=True)
+        spoofed_counts = np.bincount(
+            spoofed_inverse, weights=counts[invalid_mask]
+        ).astype(np.int64)
+        return TriageDigest(
+            n_flows=int(n),
+            class_totals=class_totals,
+            member_class_keys=unique_keys,
+            member_class_counts=key_counts,
+            spoofed_keys=spoofed_keys,
+            spoofed_counts=spoofed_counts,
+            seconds=time.perf_counter() - began,
+        )
+
+
+class FlowTableLike:
+    """Structural stand-in for :class:`repro.ixp.flows.FlowTable`.
+
+    Triage only reads two columns; typing against this tiny surface
+    keeps the package free of any ``repro.core`` / ``repro.ixp``
+    import coupling beyond what it truly needs.
+    """
+
+    src: np.ndarray
+    member: np.ndarray
+
+
+class SketchTriageResult:
+    """Merged triage output of a streamed run (the one-pass aggregate).
+
+    Mirrors ``StreamClassificationResult``'s merge algebra over the
+    sketch domain: per-chunk :meth:`absorb`, cross-worker
+    :meth:`merge`; ``class_totals``, ``n_flows`` and the count-min
+    table combine exactly (associative + commutative), the
+    heavy-hitter summary combines under the mergeable-summaries
+    guarantees.
+    """
+
+    def __init__(self, params: SketchParams, approach_name: str) -> None:
+        self.params = params
+        self.approach_name = approach_name
+        self.n_flows = 0
+        self.n_chunks = 0
+        #: Per-class flow totals. Bogon/unrouted are exact; the
+        #: invalid/valid split is the signature approximation
+        #: (invalid is a lower bound, valid an upper bound).
+        self.class_totals = np.zeros(N_CLASSES, dtype=np.int64)
+        self.member_class = CountMinSketch(
+            depth=params.depth, width=params.width, seed=params.seed
+        )
+        self.spoofed_sources = SpaceSaving(params.top_k)
+
+    def absorb(self, digest: TriageDigest) -> None:
+        """Fold one chunk digest in (the per-chunk merge step)."""
+        self.n_flows += digest.n_flows
+        self.n_chunks += 1
+        self.class_totals += digest.class_totals
+        self.member_class.update_many(
+            digest.member_class_keys, digest.member_class_counts
+        )
+        self.spoofed_sources.offer_many(
+            digest.spoofed_keys, digest.spoofed_counts
+        )
+
+    def merge(self, other: "SketchTriageResult") -> None:
+        """Fold another worker's result in (the cross-worker step)."""
+        if self.params != other.params:
+            raise ValueError("cannot merge triage results with different params")
+        self.n_flows += other.n_flows
+        self.n_chunks += other.n_chunks
+        self.class_totals += other.class_totals
+        self.member_class.merge(other.member_class)
+        self.spoofed_sources.merge(other.spoofed_sources)
+
+    def class_counts(self) -> dict[str, int]:
+        """Class-name → approximate flow count (bogon/unrouted exact)."""
+        return {
+            name: int(self.class_totals[code])
+            for code, name in enumerate(_CLASS_NAMES)
+        }
+
+    def estimate(self, member_asn: int, traffic_class: int) -> int:
+        """Approximate flows of one ``(member, class)`` pair (``>=`` truth)."""
+        key = (int(member_asn) << 2) | int(traffic_class)
+        return self.member_class.estimate(key)
+
+    def top_spoofed(self, n: int = 10) -> list[tuple[int, int, int]]:
+        """The top spoofed-source ``/24`` prefixes.
+
+        Returns ``(prefix24, estimated flows, max overestimate)``
+        triples, largest first; ``prefix24 << 8`` recovers the network
+        address of the ``/24``.
+        """
+        return self.spoofed_sources.top(n)
+
+    def render(self, top: int = 10) -> str:
+        """Plain-text triage report (what ``repro classify --triage`` prints)."""
+        lines = [
+            f"sketch triage over {self.n_flows} flows "
+            f"({self.n_chunks} chunks, approach {self.approach_name}):"
+        ]
+        for name, count in self.class_counts().items():
+            share = count / self.n_flows if self.n_flows else 0.0
+            exactness = "exact" if name in ("bogon", "unrouted") else "approx"
+            lines.append(f"  {name:>9}  {count:>12}  {share:7.2%}  ({exactness})")
+        hitters = self.top_spoofed(top)
+        if hitters:
+            lines.append(f"  top {len(hitters)} spoofed-source /24s:")
+            for prefix24, count, error in hitters:
+                address = int(prefix24) << 8
+                dotted = ".".join(
+                    str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+                )
+                lines.append(
+                    f"    {dotted}/24  ~{count} flows (±{error})"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        """Compact debug form."""
+        return (
+            f"SketchTriageResult({self.n_flows} flows, "
+            f"{self.n_chunks} chunks, approach={self.approach_name!r})"
+        )
+
+
+def build_triage_state(
+    approach: ValidSpaceMap,
+    bogons: PrefixSet,
+    member_asns: "np.ndarray | list[int]",
+    params: SketchParams | None = None,
+) -> SketchTriageState:
+    """Arm a triage state from one approach's validity rows.
+
+    ``member_asns`` is the member universe to build signatures for
+    (typically the distinct ingress members of the table about to be
+    streamed); members unknown to the approach keep an all-zero
+    signature, so — exactly like the matrix engine — every routed flow
+    they inject triages invalid.
+    """
+    params = params or SketchParams()
+    members = np.unique(np.asarray(member_asns, dtype=np.int64))
+    sig_bytes = params.signature_bits // 8
+    signatures = np.zeros((members.size, sig_bytes), dtype=np.uint8)
+    n_columns = approach.row_bytes * 8
+    for row, asn in enumerate(members.tolist()):
+        packed = approach.packed_row(int(asn))
+        if packed is None:
+            continue
+        columns = np.flatnonzero(
+            np.unpackbits(packed, bitorder="little")[:n_columns]
+        )
+        if not columns.size:
+            continue
+        positions = mix64(columns.astype(np.uint64), params.seed) & np.uint64(
+            params.signature_bits - 1
+        )
+        np.bitwise_or.at(
+            signatures[row],
+            (positions >> np.uint64(3)).astype(np.int64),
+            (
+                np.uint8(1)
+                << (positions & np.uint64(7)).astype(np.uint8)
+            ),
+        )
+    return SketchTriageState(
+        params=params,
+        approach_name=approach.name,
+        column_kind=approach.column_kind,
+        bogons=bogons,
+        member_asns=members,
+        signatures=signatures,
+    )

@@ -1,0 +1,178 @@
+"""The one audited door to POSIX shared memory (reprolint RL010).
+
+Every shared-memory segment the library maps — the streaming
+classifier's chunk ring, anything a future subsystem adds — is
+created, attached, and unlinked through this module. Centralising the
+lifecycle buys three things a scattered ``SharedMemory(...)`` call
+cannot:
+
+* **Leak auditing.** Segments created here are recorded until they are
+  unlinked; :func:`leaked_segments` names anything released without an
+  unlink, and :func:`cleanup_leaked` reclaims it. A test (or an
+  operator) can always answer "did this run leave debris in
+  ``/dev/shm``?" without scanning the whole host.
+* **Tracker hygiene.** CPython's ``resource_tracker`` registers every
+  attach (before 3.13), and pool workers — fork *and* spawn — share
+  the parent's tracker process, so a worker that *unregistered* its
+  attachment would silently erase the owner's registration and make
+  the owner's eventual unlink crash the tracker loop with a
+  ``KeyError``. Attaches made here therefore never touch the tracker:
+  ``track=False`` where supported (3.13+), and on older versions the
+  attach-side ``register`` is left in place — it is an idempotent
+  set-add in the shared tracker, withdrawn exactly once by the owner's
+  unlink. Ownership stays explicit: whoever called
+  :func:`create_segment` unlinks.
+* **Fault injection.** :func:`inject_unlink_leak` makes the next
+  release(s) skip their unlink — the deterministic way to simulate an
+  owner dying between close and unlink — so the audit surface itself
+  is testable.
+
+Observability: counters ``shm.segments_created`` /
+``shm.segments_unlinked`` / ``shm.segments_leaked`` and the gauge
+``shm.bytes_mapped`` record the segment lifecycle in the ambient
+metrics registry.
+
+reprolint rule RL010 rejects ``SharedMemory`` construction anywhere in
+``src/`` outside this file, so the audit cannot be bypassed silently.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+from repro.obs.metrics import current_metrics
+
+__all__ = [
+    "attach_segment",
+    "cleanup_leaked",
+    "create_segment",
+    "inject_unlink_leak",
+    "leaked_segments",
+    "live_segments",
+    "release_segment",
+]
+
+#: Segments created by this process and not yet unlinked: name → size.
+_LIVE: dict[str, int] = {}
+
+#: Segments whose owner released them while an injected leak was armed
+#: (closed but never unlinked — real ``/dev/shm`` debris).
+_LEAKED: set[str] = set()
+
+#: Countdown of injected leaks: while positive, ``release_segment``
+#: with ``unlink=True`` skips the unlink and records a leak instead.
+_INJECT_LEAKS = 0
+
+
+def create_segment(size: int, *, purpose: str = "") -> shared_memory.SharedMemory:
+    """Create (and own) a new shared-memory segment of ``size`` bytes.
+
+    The creating process is the segment's owner: it must eventually
+    call :func:`release_segment` with ``unlink=True`` (the default for
+    owners). ``purpose`` is a short tag for debugging; it appears in
+    leak reports.
+    """
+    if size <= 0:
+        raise ValueError("segment size must be positive")
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    _LIVE[segment.name] = segment.size
+    registry = current_metrics()
+    registry.counter("shm.segments_created").inc()
+    registry.gauge("shm.bytes_mapped").set(float(sum(_LIVE.values())))
+    return segment
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment by name (non-owning).
+
+    Attachers only ever :func:`release_segment` with ``unlink=False``
+    and never touch the resource tracker (see the module docs on
+    tracker hygiene: pool workers share the owner's tracker, where the
+    pre-3.13 attach-side ``register`` is a harmless idempotent
+    re-registration but an ``unregister`` would corrupt ownership).
+    """
+    try:
+        segment = shared_memory.SharedMemory(
+            name=name, create=False, track=False
+        )
+    except TypeError:  # Python < 3.13: no track= keyword
+        segment = shared_memory.SharedMemory(name=name, create=False)
+    return segment
+
+
+def release_segment(
+    segment: shared_memory.SharedMemory, *, unlink: bool
+) -> None:
+    """Close a segment mapping; owners pass ``unlink=True`` to destroy it.
+
+    With an injected leak armed (:func:`inject_unlink_leak`) an
+    owner's unlink is silently skipped and the segment recorded as
+    leaked — the deterministic stand-in for a process dying between
+    close and unlink.
+    """
+    global _INJECT_LEAKS
+    segment.close()
+    if not unlink:
+        return
+    name = segment.name
+    if _INJECT_LEAKS > 0:
+        _INJECT_LEAKS -= 1
+        _LEAKED.add(name)
+        current_metrics().counter("shm.segments_leaked").inc()
+        return
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    _LIVE.pop(name, None)
+    registry = current_metrics()
+    registry.counter("shm.segments_unlinked").inc()
+    registry.gauge("shm.bytes_mapped").set(float(sum(_LIVE.values())))
+
+
+def live_segments() -> dict[str, int]:
+    """Segments created by this process and not yet unlinked (name → bytes)."""
+    return dict(_LIVE)
+
+
+def leaked_segments() -> list[str]:
+    """Names of segments released without an unlink (audit surface).
+
+    Covers both injected leaks and any segment still listed as live
+    whose backing object has no remaining mapping in this process —
+    i.e. everything :func:`cleanup_leaked` would reclaim.
+    """
+    return sorted(_LEAKED)
+
+
+def cleanup_leaked() -> list[str]:
+    """Unlink every leaked segment; returns the names reclaimed."""
+    reclaimed: list[str] = []
+    for name in sorted(_LEAKED):
+        try:
+            segment = attach_segment(name)
+        except FileNotFoundError:
+            _LEAKED.discard(name)
+            _LIVE.pop(name, None)
+            continue
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced away
+            pass
+        reclaimed.append(name)
+        _LEAKED.discard(name)
+        _LIVE.pop(name, None)
+    if reclaimed:
+        registry = current_metrics()
+        registry.counter("shm.segments_unlinked").inc(len(reclaimed))
+        registry.gauge("shm.bytes_mapped").set(float(sum(_LIVE.values())))
+    return reclaimed
+
+
+def inject_unlink_leak(count: int = 1) -> None:
+    """Arm ``count`` injected leaks (testing seam; see module docs)."""
+    global _INJECT_LEAKS
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    _INJECT_LEAKS = count

@@ -557,6 +557,78 @@ def test_rl009_quiet_outside_durable_dirs(tmp_path):
     assert active(findings) == []
 
 
+# ---------------------------------------------------------------- RL010
+
+
+SHM_FIXTURE = """\
+    from multiprocessing import shared_memory
+
+    def grab():
+        return shared_memory.SharedMemory(create=True, size=64)
+    """
+
+
+def test_rl010_fires_on_raw_shared_memory_in_src(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/util/fast.py": SHM_FIXTURE},
+        select={"RL010"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL010"
+    assert finding.path == "src/repro/util/fast.py"
+    assert finding.line == 4
+    assert "shmseg" in finding.message
+
+
+def test_rl010_fires_on_direct_name_import(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/ring.py": """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                return SharedMemory(name=name, create=False)
+            """,
+        },
+        select={"RL010"},
+    )
+    (finding,) = active(findings)
+    assert finding.rule == "RL010"
+
+
+def test_rl010_quiet_in_audited_helper_and_outside_src(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/shmseg.py": SHM_FIXTURE,
+            "tools/probe.py": SHM_FIXTURE,
+        },
+        inputs=("src", "tools"),
+        select={"RL010"},
+    )
+    assert active(findings) == []
+
+
+def test_rl010_inline_disable_records_suppression(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/util/fast.py": """\
+            from multiprocessing import shared_memory
+
+            def grab():
+                return shared_memory.SharedMemory(create=True, size=64)  # reprolint: disable=RL010
+            """,
+        },
+        select={"RL010"},
+    )
+    (finding,) = findings
+    assert finding.suppressed == "inline"
+    assert not finding.active
+
+
 # ---------------------------------------------------------------- RL101
 
 
@@ -826,6 +898,7 @@ def test_rule_inventory_is_complete():
         "RL007",
         "RL008",
         "RL009",
+        "RL010",
         "RL101",
         "RL102",
         "RL201",

@@ -1,0 +1,344 @@
+"""Property-based guarantees of the sketch triage layer.
+
+The sketches earn their place in the pipeline through three provable
+properties the exact engine can rely on: count-min estimates never
+undercount and merge bit-exactly in any order; space-saving tracks a
+superset of the true heavy hitters at the paper's zipf-like source
+skew; and the triage digest algebra is grouping-invariant, mirroring
+``StreamClassificationResult``. These tests pin each guarantee with
+hypothesis-generated adversarial inputs, plus the class-code mirror
+that keeps ``repro.sketch`` import-cycle-free with ``repro.core``.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.messages import RouteObservation
+from repro.bgp.rib import GlobalRIB
+from repro.cones.naive import NaiveValidSpace
+from repro.core import TrafficClass
+from repro.net.addr import addr_to_int
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+from repro.sketch import (
+    CountMinSketch,
+    SketchParams,
+    SketchTriageResult,
+    SpaceSaving,
+    build_triage_state,
+)
+from repro.sketch import triage as triage_mod
+from repro.sketch.triage import FlowTableLike
+
+#: Key universe for the hypothesis strategies — wide enough to force
+#: collisions in a width-64 sketch, small enough to enumerate truth.
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**48), min_size=0, max_size=300
+)
+
+
+def _filled(keys: list[int], **geometry) -> CountMinSketch:
+    sketch = CountMinSketch(**geometry)
+    arr = np.asarray(keys, dtype=np.uint64)
+    unique, counts = np.unique(arr, return_counts=True)
+    sketch.update_many(unique, counts.astype(np.int64))
+    return sketch
+
+
+class TestCountMin:
+    @given(keys=keys_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_never_underestimates(self, keys):
+        sketch = _filled(keys, depth=3, width=64, seed=11)
+        truth = Counter(keys)
+        assert sketch.total == len(keys)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    @given(a=keys_strategy, b=keys_strategy, c=keys_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative_and_commutative_to_the_bit(self, a, b, c):
+        geometry = dict(depth=4, width=32, seed=7)
+        sk_a = _filled(a, **geometry)
+        sk_b = _filled(b, **geometry)
+        sk_c = _filled(c, **geometry)
+
+        ab = sk_a.copy()
+        ab.merge(sk_b)
+        ba = sk_b.copy()
+        ba.merge(sk_a)
+        assert ab == ba  # commutative, bit for bit
+
+        left = ab.copy()
+        left.merge(sk_c)  # (a + b) + c
+        bc = sk_b.copy()
+        bc.merge(sk_c)
+        right = sk_a.copy()
+        right.merge(bc)  # a + (b + c)
+        assert left == right  # associative, bit for bit
+
+        # And the merged sketch equals folding the concatenated stream.
+        whole = _filled(a + b + c, **geometry)
+        assert left == whole
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cross_process_determinism_contract(self, keys):
+        # Two sketches built independently with equal geometry index
+        # identically — the property the per-worker merge rests on.
+        one = _filled(keys, depth=3, width=64, seed=11)
+        two = _filled(keys, depth=3, width=64, seed=11)
+        assert one == two
+
+    def test_overestimate_tracks_width_bound_at_paper_skew(self):
+        # Seeded zipf stream (the paper's source-prefix skew shape):
+        # the mean overestimate must stay within a few multiples of
+        # the analytic per-row expectation total/width.
+        rng = np.random.default_rng(2017)
+        keys = rng.zipf(1.3, 20_000).astype(np.uint64)
+        sketch = _filled(keys.tolist(), depth=4, width=1024, seed=3)
+        truth = Counter(keys.tolist())
+        unique = np.fromiter(truth, dtype=np.uint64)
+        estimates = sketch.estimate_many(unique)
+        exact = np.array([truth[int(k)] for k in unique], dtype=np.int64)
+        over = estimates - exact
+        assert (over >= 0).all()
+        assert over.mean() <= 4 * sketch.error_bound()
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=4, width=64).merge(
+                CountMinSketch(depth=4, width=128)
+            )
+
+
+class TestSpaceSaving:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_heavy_hitter_superset_at_paper_skew(self, seed):
+        # Any key whose true frequency exceeds n/k of the n offered
+        # items is guaranteed tracked (Metwally); estimates bound the
+        # truth from above, counts from both sides via the error term.
+        rng = np.random.default_rng(seed)
+        keys = rng.zipf(1.3, 1500).astype(np.int64)
+        summary = SpaceSaving(k=32)
+        for key in keys.tolist():
+            summary.offer(key)
+        truth = Counter(keys.tolist())
+        threshold = summary.offered / summary.k
+        tracked = set(summary.keys())
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in tracked, (key, count, threshold)
+            assert summary.estimate(key) >= count
+        for key, count, error in summary.items():
+            assert count - error <= truth[key] <= count
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_offer_many_preserves_guarantees(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.zipf(1.3, 1500).astype(np.int64)
+        unique, counts = np.unique(keys, return_counts=True)
+        summary = SpaceSaving(k=32)
+        summary.offer_many(unique, counts)
+        truth = Counter(keys.tolist())
+        threshold = summary.offered / summary.k
+        tracked = set(summary.keys())
+        assert summary.offered == keys.size
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in tracked
+            assert summary.estimate(key) >= count
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_commutative_and_superset_over_union(self, seed):
+        # Per-worker summaries merged in either order are identical,
+        # and the n/k superset guarantee holds over the *combined*
+        # stream (the mergeable-summaries property).
+        rng = np.random.default_rng(seed)
+        keys = rng.zipf(1.3, 2000).astype(np.int64)
+        half = keys.size // 2
+        one, two = SpaceSaving(k=32), SpaceSaving(k=32)
+        for key in keys[:half].tolist():
+            one.offer(key)
+        for key in keys[half:].tolist():
+            two.offer(key)
+
+        forward = one.copy()
+        forward.merge(two)
+        backward = two.copy()
+        backward.merge(one)
+        assert forward.items() == backward.items()
+        assert forward.offered == backward.offered == keys.size
+
+        truth = Counter(keys.tolist())
+        threshold = forward.offered / forward.k
+        tracked = set(forward.keys())
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in tracked, (key, count, threshold)
+            assert forward.estimate(key) >= count
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_three_way_merge_guarantee_order_invariant(self, seed):
+        # Truncation makes three-way merges order-sensitive in their
+        # exact contents, but the superset + overestimate guarantees
+        # must survive *every* association order.
+        rng = np.random.default_rng(seed)
+        keys = rng.zipf(1.3, 2100).astype(np.int64)
+        thirds = np.array_split(keys, 3)
+        truth = Counter(keys.tolist())
+
+        def merged(order):
+            parts = []
+            for part in order:
+                summary = SpaceSaving(k=32)
+                for key in part.tolist():
+                    summary.offer(key)
+                parts.append(summary)
+            base = parts[0]
+            base.merge(parts[1])
+            base.merge(parts[2])
+            return base
+
+        for order in ((0, 1, 2), (2, 0, 1), (1, 2, 0)):
+            summary = merged([thirds[i] for i in order])
+            assert summary.offered == keys.size
+            threshold = summary.offered / summary.k
+            tracked = set(summary.keys())
+            for key, count in truth.items():
+                if count > threshold:
+                    assert key in tracked, (order, key, count)
+                assert summary.estimate(key) >= count
+
+    def test_merge_rejects_mismatched_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(k=8).merge(SpaceSaving(k=16))
+
+
+class TestClassCodeMirror:
+    def test_sketch_constants_mirror_traffic_class(self):
+        # repro.sketch duplicates the class codes to stay import-cycle
+        # free with repro.core; this is the assertion the module
+        # docstring promises keeps the mirror honest.
+        assert triage_mod.CLASS_VALID == int(TrafficClass.VALID)
+        assert triage_mod.CLASS_BOGON == int(TrafficClass.BOGON)
+        assert triage_mod.CLASS_UNROUTED == int(TrafficClass.UNROUTED)
+        assert triage_mod.CLASS_INVALID == int(TrafficClass.INVALID)
+        assert triage_mod.N_CLASSES == len(TrafficClass)
+        assert triage_mod._CLASS_NAMES == tuple(
+            cls.name.lower() for cls in TrafficClass
+        )
+
+
+def _toy_state():
+    rib = GlobalRIB()
+    rib.add(
+        RouteObservation(
+            Prefix.parse("60.0.0.0/16"), (20, 1, 10, 100), "rrc00"
+        )
+    )
+    rib.add(
+        RouteObservation(
+            Prefix.parse("20.0.0.0/16"), (10, 1, 20, 200), "rrc00"
+        )
+    )
+    bogons = PrefixSet([Prefix.parse("10.0.0.0/8")])
+    state = build_triage_state(
+        NaiveValidSpace(rib),
+        bogons,
+        member_asns=[10, 100, 200],
+        params=SketchParams(width=512, top_k=16),
+    )
+    return rib, state
+
+
+class _Chunk(FlowTableLike):
+    """Minimal concrete :class:`FlowTableLike` for digest tests."""
+
+    def __init__(self, src: np.ndarray, member: np.ndarray) -> None:
+        self.src = src
+        self.member = member
+
+
+class TestDigestAlgebra:
+    #: Source addresses spanning all four classes under the toy RIB.
+    SOURCES = (
+        "60.0.5.5",  # routed, valid for member 100
+        "20.0.0.9",  # routed, valid for member 200
+        "9.9.9.9",  # unrouted
+        "10.1.2.3",  # bogon
+        "20.0.1.1",  # routed, invalid for member 100
+    )
+
+    def _random_chunk(self, rng, n):
+        pick = rng.integers(0, len(self.SOURCES), n)
+        members = np.array([100, 200, 10])[rng.integers(0, 3, n)]
+        src = np.array(
+            [addr_to_int(self.SOURCES[i]) for i in pick], dtype=np.uint64
+        )
+        return _Chunk(src, members.astype(np.int64))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        split=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_absorb_then_merge_grouping_invariant(self, seed, split):
+        # Chunk digests folded worker-by-worker then merged must equal
+        # one result absorbing every digest — the algebra that makes
+        # the parallel triage path deterministic.
+        rib, state = _toy_state()
+        rng = np.random.default_rng(seed)
+        chunks = [self._random_chunk(rng, 80) for _ in range(6)]
+        digests = [state.digest(chunk, rib) for chunk in chunks]
+        split = split % (len(digests) + 1)
+
+        serial = SketchTriageResult(state.params, state.approach_name)
+        for digest in digests:
+            serial.absorb(digest)
+
+        left = SketchTriageResult(state.params, state.approach_name)
+        right = SketchTriageResult(state.params, state.approach_name)
+        for digest in digests[:split]:
+            left.absorb(digest)
+        for digest in digests[split:]:
+            right.absorb(digest)
+        left.merge(right)
+
+        assert left.n_flows == serial.n_flows
+        assert left.n_chunks == serial.n_chunks
+        assert (left.class_totals == serial.class_totals).all()
+        assert left.member_class == serial.member_class  # bit-equal
+        assert (
+            left.spoofed_sources.items() == serial.spoofed_sources.items()
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_digest_class_totals_consistent(self, seed):
+        rib, state = _toy_state()
+        rng = np.random.default_rng(seed)
+        chunk = self._random_chunk(rng, 120)
+        digest = state.digest(chunk, rib)
+        assert digest.n_flows == 120
+        assert digest.class_totals.sum() == 120
+        assert digest.member_class_counts.sum() == 120
+        # Spoofed-source /24 counts cover exactly the invalid rows.
+        assert (
+            digest.spoofed_counts.sum()
+            == digest.class_totals[triage_mod.CLASS_INVALID]
+        )
+
+    def test_merge_rejects_mismatched_params(self):
+        result = SketchTriageResult(SketchParams(), "naive")
+        other = SketchTriageResult(SketchParams(width=8192), "naive")
+        with pytest.raises(ValueError):
+            result.merge(other)

@@ -29,7 +29,12 @@ def _default_doc_packages() -> tuple[str, ...]:
         "src/repro/io",
         "src/repro/cones",
         "src/repro/obs",
+        "src/repro/sketch",
     )
+
+
+def _default_shm_allowlist() -> frozenset[str]:
+    return frozenset({"src/repro/util/shmseg.py"})
 
 
 def _default_reference_roots() -> tuple[str, ...]:
@@ -48,6 +53,12 @@ class LintConfig:
     #: supervised path in ``core/classifier.py``.
     pool_allowlist: frozenset[str] = field(
         default_factory=_default_pool_allowlist
+    )
+    #: Files allowed to construct ``SharedMemory`` segments (RL010) —
+    #: the one audited lifecycle helper in ``util/shmseg.py``, whose
+    #: leak accounting every other module must go through.
+    shm_allowlist: frozenset[str] = field(
+        default_factory=_default_shm_allowlist
     )
     #: Directories whose numpy code is hot-path (RL004).
     hot_path_dirs: tuple[str, ...] = field(default_factory=_default_hot_paths)
