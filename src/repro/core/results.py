@@ -15,6 +15,7 @@ from repro.core.classes import TrafficClass
 from repro.core.stats import PipelineStats
 from repro.ixp.flows import FlowTable
 from repro.obs.trace import SpanRecord
+from repro.util.indexing import int_bincount
 
 #: Number of traffic classes (label vectors hold values 0..N-1).
 N_CLASSES = len(TrafficClass)
@@ -288,8 +289,8 @@ def summarize_chunk(
 ) -> ChunkSummary:
     """Collapse a :class:`ClassificationResult` into mergeable counters."""
     flows = result.flows
-    packets = flows.packets.astype(np.float64)
-    nbytes = flows.bytes.astype(np.float64)
+    packets = flows.packets
+    nbytes = flows.bytes
     flow_counts: dict[str, np.ndarray] = {}
     packet_counts: dict[str, np.ndarray] = {}
     byte_counts: dict[str, np.ndarray] = {}
@@ -298,12 +299,12 @@ def summarize_chunk(
         flow_counts[approach] = np.bincount(labels, minlength=N_CLASSES).astype(
             np.int64
         )
-        packet_counts[approach] = np.bincount(
-            labels, weights=packets, minlength=N_CLASSES
-        ).astype(np.int64)
-        byte_counts[approach] = np.bincount(
-            labels, weights=nbytes, minlength=N_CLASSES
-        ).astype(np.int64)
+        packet_counts[approach] = int_bincount(
+            labels, packets, minlength=N_CLASSES
+        )
+        byte_counts[approach] = int_bincount(
+            labels, nbytes, minlength=N_CLASSES
+        )
         class_members[approach] = tuple(
             frozenset(np.unique(flows.member[labels == c]).tolist())
             for c in range(N_CLASSES)

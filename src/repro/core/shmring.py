@@ -201,10 +201,17 @@ class FlowRing:
         segment = create_segment(
             slots * probe.slot_bytes, purpose="flow-ring"
         )
-        spec = RingSpec(
-            name=segment.name, slots=slots, capacity=capacity, columns=names
-        )
-        return cls(segment, spec)
+        try:
+            spec = RingSpec(
+                name=segment.name, slots=slots, capacity=capacity, columns=names
+            )
+            return cls(segment, spec)
+        except BaseException:
+            # _SlotViews construction can fail after the segment is
+            # registered live; without this the mapping (and the
+            # /dev/shm file) would outlive the constructor (RL301).
+            release_segment(segment, unlink=True)
+            raise
 
     @property
     def spec(self) -> RingSpec:
@@ -305,7 +312,16 @@ class WorkerRing:
     @classmethod
     def attach(cls, spec: RingSpec) -> "WorkerRing":
         """Map the ring named by ``spec`` (pool initializer path)."""
-        return cls(attach_segment(spec.name), spec)
+        segment = attach_segment(spec.name)
+        try:
+            return cls(segment, spec)
+        except BaseException:
+            # A bad spec (geometry mismatch) raises inside _SlotViews;
+            # close the worker-side mapping rather than leak it until
+            # process exit (RL301). Never unlink — the parent owns the
+            # segment.
+            release_segment(segment, unlink=False)
+            raise
 
     def detach(self) -> None:
         """Drop all views and close the mapping (never unlinks).

@@ -121,8 +121,10 @@ class PrefixSet:
         idx = np.searchsorted(self._starts, addrs, side="right") - 1
         valid = idx >= 0
         result = np.zeros(addrs.shape, dtype=bool)
-        safe_idx = np.where(valid, idx, 0)
-        result[valid] = addrs[valid] < self._ends[safe_idx][valid]
+        # idx[valid] is non-negative by construction, so gather the
+        # ends once for just the valid rows instead of a full-size
+        # gather followed by a second masked copy (RL304).
+        result[valid] = addrs[valid] < self._ends[idx[valid]]
         return result
 
     def contains_prefix(self, prefix: Prefix) -> bool:

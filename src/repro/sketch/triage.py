@@ -52,6 +52,7 @@ from repro.cones.base import ValidSpaceMap
 from repro.net.prefixset import PrefixSet
 from repro.sketch.countmin import CountMinSketch, mix64
 from repro.sketch.spacesaving import SpaceSaving
+from repro.util.indexing import int_bincount
 
 __all__ = [
     "SketchParams",
@@ -223,18 +224,14 @@ class SketchTriageState:
             valid = known & (set_ == 1)
             classes[routed_idx[~valid]] = CLASS_INVALID
 
-        class_totals = np.bincount(
-            classes, weights=counts, minlength=N_CLASSES
-        ).astype(np.int64)
+        class_totals = int_bincount(classes, counts, minlength=N_CLASSES)
         keys = (mem_u.astype(np.uint64) << np.uint64(2)) | classes
         unique_keys, key_inverse = np.unique(keys, return_inverse=True)
-        key_counts = np.bincount(key_inverse, weights=counts).astype(np.int64)
+        key_counts = int_bincount(key_inverse, counts)
         invalid_mask = classes == CLASS_INVALID
         spoofed = src_u[invalid_mask] >> np.uint64(8)
         spoofed_keys, spoofed_inverse = np.unique(spoofed, return_inverse=True)
-        spoofed_counts = np.bincount(
-            spoofed_inverse, weights=counts[invalid_mask]
-        ).astype(np.int64)
+        spoofed_counts = int_bincount(spoofed_inverse, counts[invalid_mask])
         return TriageDigest(
             n_flows=int(n),
             class_totals=class_totals,

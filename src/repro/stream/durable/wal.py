@@ -189,9 +189,25 @@ class WalWriter:
             kind, parts, length, crc = _encode_parts(seq, event)
             record_size = _HEADER.size + length
             handle = self._current_handle(record_size)
-            _write_all(
-                handle, [_HEADER.pack(seq, kind, length, crc), *parts]
-            )
+            start = os.fstat(handle.fileno()).st_size
+            try:
+                _write_all(
+                    handle, [_HEADER.pack(seq, kind, length, crc), *parts]
+                )
+            except BaseException:
+                # A partial write (ENOSPC, interruption) leaves torn
+                # bytes at the tail, and the append-mode handle would
+                # resume *after* them — stranding the damage
+                # mid-segment, where replay rightly refuses to skip
+                # it. Cut the file back to the pre-append size so the
+                # log stays record-aligned for the next append; if
+                # even the truncate fails the original error still
+                # propagates and the segment is no worse than before.
+                try:
+                    handle.truncate(start)
+                except OSError:
+                    pass
+                raise
             self._segment_size += record_size
             self._last_seq = seq
             self._unsynced += 1

@@ -24,7 +24,16 @@ edge the static model cannot see) still gets caught in CI:
   trusts): an attribute written by a thread the contract does not
   name, or shared without any declaration, is a violation.
 
-All three are opt-in (the ``REPRO_SANITIZE=1`` pytest fixture in
+* :class:`ProtocolSanitizer` asserts the RL3xx resource protocols —
+  shm segment create/attach/release pairing (no double release, no
+  leak at disarm), checkpoint-never-outruns-the-log ordering against
+  every live :class:`~repro.stream.durable.wal.WalWriter`, and
+  no submit to a drained pool — at runtime. It mirrors the machines
+  declared in ``tools/reprolint/protocols.py`` *by name* (``src``
+  must not import ``tools``); ``tests/test_sanitizer.py`` keeps the
+  two tables aligned.
+
+All four are opt-in (the ``REPRO_SANITIZE=1`` pytest fixture in
 ``tests/conftest.py``) and report through
 :meth:`ConcurrencySanitizer.violations` so a failing run can attach
 the lock graph and access trace as artifacts.
@@ -37,6 +46,7 @@ import os
 import pathlib
 import sys
 import threading
+import weakref
 from typing import Any, Callable
 
 from repro.errors import ReproError
@@ -45,6 +55,7 @@ __all__ = [
     "ConcurrencySanitizer",
     "FsyncProtocolSanitizer",
     "LockOrderSanitizer",
+    "ProtocolSanitizer",
     "SanitizerError",
     "ThreadAccessTracer",
 ]
@@ -479,31 +490,262 @@ class ThreadAccessTracer:
         return {"objects": objects, "violations": list(self.violations)}
 
 
+#: Pool methods that count as "submit" for the supervised-pool
+#: protocol (mirrors reprolint's POOL_SUBMIT_METHODS by value).
+_POOL_SUBMIT_METHODS = (
+    "apply",
+    "apply_async",
+    "imap",
+    "imap_unordered",
+    "map",
+    "map_async",
+    "starmap",
+    "starmap_async",
+)
+
+
+class ProtocolSanitizer:
+    """Assert the RL3xx resource protocols against what executes.
+
+    Runtime mirror of the machines in ``tools/reprolint/protocols.py``
+    (matched by :attr:`PROTOCOL_NAMES`; ``src`` must not import
+    ``tools``):
+
+    * **shm-segment** — wraps the :mod:`repro.util.shmseg` lifecycle
+      helpers (in the module *and* every from-importer): a segment
+      released twice is a violation; a segment still held when the
+      sanitizer disarms is a leak.
+    * **wal-commit** — wraps
+      :meth:`~repro.stream.durable.checkpoint.CheckpointStore.save`:
+      a checkpoint claiming ``last_seq`` that any live
+      :class:`~repro.stream.durable.wal.WalWriter` has appended but
+      not yet fsynced means the checkpoint outran the log.
+    * **supervised-pool** — wraps the ``multiprocessing.pool.Pool``
+      submit surface: a submit to a pool that is no longer running
+      (terminated/closed) is a violation, recorded *before* the
+      stdlib's own late error.
+    """
+
+    #: Protocol machines this monitor mirrors, by the names declared
+    #: in ``tools/reprolint/protocols.py`` (parity-tested).
+    PROTOCOL_NAMES = ("shm-segment", "wal-commit", "supervised-pool")
+
+    def __init__(self) -> None:
+        self.violations: list[dict[str, Any]] = []
+        self._guard = threading.Lock()
+        #: id(segment) → lifecycle record for segments seen alive.
+        self._segments: dict[int, dict[str, Any]] = {}
+        self._writers: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        #: (owner, attribute, original) undone in reverse at uninstall.
+        self._patches: list[tuple[Any, str, Any]] = []
+
+    # -- patching ------------------------------------------------------
+
+    def _patch(self, owner: Any, name: str, replacement: Any) -> None:
+        self._patches.append((owner, name, getattr(owner, name)))
+        setattr(owner, name, replacement)
+
+    def install(self) -> None:
+        """Wrap the shm helpers, WalWriter/CheckpointStore, and the
+        pool submit surface (idempotent)."""
+        if self._patches:
+            return
+        import multiprocessing.pool as mp_pool
+
+        import repro.util as util_pkg
+        from repro.core import shmring
+        from repro.stream.durable import checkpoint as checkpoint_mod
+        from repro.stream.durable import wal as wal_mod
+        from repro.util import shmseg
+
+        sanitizer = self
+        real_create = shmseg.create_segment
+        real_attach = shmseg.attach_segment
+        real_release = shmseg.release_segment
+
+        def create_segment(size: int, *, purpose: str = "") -> Any:
+            segment = real_create(size, purpose=purpose)
+            sanitizer._acquired(segment, "create", purpose)
+            return segment
+
+        def attach_segment(name: str) -> Any:
+            segment = real_attach(name)
+            sanitizer._acquired(segment, "attach", "")
+            return segment
+
+        def release_segment(segment: Any, *, unlink: bool) -> None:
+            try:
+                real_release(segment, unlink=unlink)
+            finally:
+                # Even a failing release consumed the segment — the
+                # caller cannot release harder than calling release.
+                sanitizer._released(segment)
+
+        # Patch the defining module and every module-level from-import
+        # (from-imports bind the function object, so patching shmseg
+        # alone would miss them).
+        for owner in (shmseg, util_pkg, shmring):
+            self._patch(owner, "create_segment", create_segment)
+            self._patch(owner, "attach_segment", attach_segment)
+            self._patch(owner, "release_segment", release_segment)
+
+        real_writer_init = wal_mod.WalWriter.__init__
+
+        def writer_init(writer: Any, *args: Any, **kwargs: Any) -> None:
+            real_writer_init(writer, *args, **kwargs)
+            sanitizer._writers.add(writer)
+
+        self._patch(wal_mod.WalWriter, "__init__", writer_init)
+
+        real_save = checkpoint_mod.CheckpointStore.save
+
+        def save(store: Any, state: Any, **kwargs: Any) -> Any:
+            sanitizer._check_save(kwargs.get("last_seq"))
+            return real_save(store, state, **kwargs)
+
+        self._patch(checkpoint_mod.CheckpointStore, "save", save)
+
+        for method in _POOL_SUBMIT_METHODS:
+            if not hasattr(mp_pool.Pool, method):
+                continue
+
+            real = getattr(mp_pool.Pool, method)
+
+            def submit(
+                pool: Any,
+                *args: Any,
+                _real: Any = real,
+                _method: str = method,
+                **kwargs: Any,
+            ) -> Any:
+                if pool._state != mp_pool.RUN:
+                    sanitizer._violate(
+                        "supervised-pool",
+                        kind="submit-to-drained-pool",
+                        method=_method,
+                        pool_state=str(pool._state),
+                    )
+                return _real(pool, *args, **kwargs)
+
+            self._patch(mp_pool.Pool, method, submit)
+
+    def uninstall(self) -> None:
+        """Restore every patched binding and flag leaked segments."""
+        for owner, name, original in reversed(self._patches):
+            setattr(owner, name, original)
+        self._patches.clear()
+        with self._guard:
+            for record in self._segments.values():
+                if record["state"] == "held":
+                    self._violate_locked(
+                        "shm-segment",
+                        kind="segment-leaked",
+                        segment=record["name"],
+                        acquired=record["acquired"],
+                        purpose=record["purpose"],
+                    )
+            self._segments.clear()
+
+    # -- the shm machine ----------------------------------------------
+
+    def _acquired(self, segment: Any, how: str, purpose: str) -> None:
+        with self._guard:
+            self._segments[id(segment)] = {
+                "name": segment.name,
+                "acquired": how,
+                "purpose": purpose,
+                "state": "held",
+            }
+
+    def _released(self, segment: Any) -> None:
+        with self._guard:
+            record = self._segments.get(id(segment))
+            if record is None:
+                return  # acquired before the sanitizer armed
+            if record["state"] == "released":
+                self._violate_locked(
+                    "shm-segment",
+                    kind="segment-double-release",
+                    segment=record["name"],
+                )
+            record["state"] = "released"
+
+    # -- the wal-commit machine ---------------------------------------
+
+    def _check_save(self, last_seq: Any) -> None:
+        if not isinstance(last_seq, int) or last_seq <= 0:
+            return
+        for writer in list(self._writers):
+            with writer._lock:
+                appended = writer._last_seq
+                synced = appended - writer._unsynced
+            # Only a writer that actually holds the record can veto:
+            # an unrelated (or behind) log is not this checkpoint's.
+            if appended >= last_seq > synced:
+                self._violate(
+                    "wal-commit",
+                    kind="checkpoint-outran-log",
+                    checkpoint_last_seq=last_seq,
+                    wal_synced_seq=synced,
+                    wal_last_seq=appended,
+                )
+
+    # -- reporting -----------------------------------------------------
+
+    def _violate(self, protocol: str, **details: Any) -> None:
+        with self._guard:
+            self._violate_locked(protocol, **details)
+
+    def _violate_locked(self, protocol: str, **details: Any) -> None:
+        self.violations.append(
+            {
+                "protocol": protocol,
+                "thread": threading.current_thread().name,
+                **details,
+            }
+        )
+
+    def protocol_json(self) -> dict[str, Any]:
+        """Protocol states and violations, for the CI artifact."""
+        with self._guard:
+            return {
+                "protocols": list(self.PROTOCOL_NAMES),
+                "segments": [
+                    dict(record) for record in self._segments.values()
+                ],
+                "violations": list(self.violations),
+            }
+
+
 class ConcurrencySanitizer:
-    """The three monitors behind one install/uninstall/report façade."""
+    """The four monitors behind one install/uninstall/report façade."""
 
     def __init__(self) -> None:
         self.fsync = FsyncProtocolSanitizer()
         self.locks = LockOrderSanitizer()
         self.tracer = ThreadAccessTracer()
+        self.protocols = ProtocolSanitizer()
 
     def install(self) -> None:
-        """Arm the syscall and lock-factory interpositions."""
+        """Arm the syscall, lock-factory and protocol interpositions."""
         self.fsync.install()
         self.locks.install()
+        self.protocols.install()
 
     def uninstall(self) -> None:
         """Restore every patched binding."""
+        self.protocols.uninstall()
         self.locks.uninstall()
         self.fsync.uninstall()
 
     def violations(self) -> list[dict[str, Any]]:
-        """All violations across the three monitors (checks contracts)."""
+        """All violations across the monitors (checks contracts)."""
         self.tracer.assert_contracts()
         return (
             list(self.fsync.violations)
             + list(self.locks.violations)
             + list(self.tracer.violations)
+            + list(self.protocols.violations)
         )
 
     def write_artifacts(self, directory: "str | pathlib.Path") -> None:
@@ -518,6 +760,9 @@ class ConcurrencySanitizer:
         )
         (directory / "fsync_violations.json").write_text(
             json.dumps(list(self.fsync.violations), indent=2) + "\n"
+        )
+        (directory / "protocol_violations.json").write_text(
+            json.dumps(self.protocols.protocol_json(), indent=2) + "\n"
         )
 
     def check(self) -> None:

@@ -12,6 +12,25 @@ from collections.abc import Iterable
 import numpy as np
 
 
+def int_bincount(
+    indices: np.ndarray, weights: np.ndarray, minlength: int = 0
+) -> np.ndarray:
+    """Exact count-weighted bincount with an int64 accumulator.
+
+    ``np.bincount(..., weights=...)`` accumulates into a float64
+    temporary — an extra full-size allocation, and silent loss of
+    exactness past 2**53 (RL304 flags the round-trip). Folding the
+    integer weights with ``np.add.at`` is bit-exact and measurably
+    faster (no float conversion, no ``astype`` copy back).
+    """
+    length = int(minlength)
+    if indices.size:
+        length = max(length, int(indices.max()) + 1)
+    out = np.zeros(length, dtype=np.int64)
+    np.add.at(out, indices.astype(np.intp, copy=False), weights)
+    return out
+
+
 class AsnIndexer:
     """Bidirectional dense-index mapping for a fixed set of ASNs."""
 

@@ -13,7 +13,7 @@ from repro.topology.model import ASNode, ASTopology, BusinessType, Relationship
 
 
 @pytest.fixture(autouse=True)
-def _concurrency_sanitizer(monkeypatch):
+def _concurrency_sanitizer(request, monkeypatch):
     """Opt-in runtime concurrency sanitizer (``REPRO_SANITIZE=1``).
 
     Arms the fsync-protocol and lock-order interpositions for every
@@ -24,6 +24,12 @@ def _concurrency_sanitizer(monkeypatch):
     violation. See ``docs/CONCURRENCY.md``.
     """
     if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    if request.node.get_closest_marker("sanitizer_self_test"):
+        # The sanitizer's own unit tests arm private monitor instances
+        # and violate them on purpose; a session-level sanitizer would
+        # double-report those staged violations as real ones.
         yield
         return
     from repro.stream.durable.daemon import DurableWatch

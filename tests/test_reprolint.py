@@ -905,6 +905,11 @@ def test_rule_inventory_is_complete():
         "RL202",
         "RL203",
         "RL204",
+        "RL301",
+        "RL302",
+        "RL303",
+        "RL304",
+        "RL305",
     }
 
 
@@ -1281,6 +1286,494 @@ def test_rl204_quiet_outside_durable_scope(tmp_path):
         select=["RL204"],
     )
     assert active(findings) == []
+
+
+# --------------------------------------------- RL3xx: dataflow rules
+
+
+SHM_LEAK = """\
+    from repro.util.shmseg import create_segment, release_segment
+
+    def build(spec, views):
+        segment = create_segment(spec)
+        payload = views(spec)
+        release_segment(segment)
+        return payload
+    """
+
+SHM_DOUBLE_RELEASE = """\
+    from repro.util.shmseg import create_segment, release_segment
+
+    def build(spec):
+        segment = create_segment(spec)
+        release_segment(segment)
+        release_segment(segment)
+    """
+
+COMMIT_NO_FSYNC = """\
+    import os
+
+    def commit(tmp, path):
+        os.replace(tmp, path)
+    """
+
+POOL_STALE = """\
+    from pools import make_pool
+
+    def drive(worker, chunks):
+        pool = make_pool(4)
+        pool.imap(worker, chunks)
+    """
+
+DTYPE_ROUNDTRIP = """\
+    import numpy as np
+
+    def totals(labels, counts):
+        acc = np.bincount(labels, weights=counts)
+        return acc.astype(np.int64)
+    """
+
+SHAPE_MISMATCH = """\
+    import numpy as np
+
+    def stitch():
+        a = np.zeros((4, 3))
+        b = np.zeros((5, 2))
+        return np.concatenate([a, b], axis=0)
+    """
+
+#: rule → (fixture files, the line that hosts the finding) — shared by
+#: the fires, pragma and baseline round-trip tests below.
+RL3XX_FIRES = {
+    "RL301": ({"src/app.py": SHM_LEAK}, "segment = create_segment(spec)"),
+    "RL302": (
+        {"src/repro/stream/durable/writer.py": COMMIT_NO_FSYNC},
+        "os.replace(tmp, path)",
+    ),
+    "RL303": ({"src/app.py": POOL_STALE}, "pool.imap(worker, chunks)"),
+    "RL304": (
+        {"src/repro/core/kernel.py": DTYPE_ROUNDTRIP},
+        "return acc.astype(np.int64)",
+    ),
+    "RL305": (
+        {"src/repro/core/kernel.py": SHAPE_MISMATCH},
+        "return np.concatenate([a, b], axis=0)",
+    ),
+}
+
+
+def test_rl301_fires_on_leak_along_exception_path(tmp_path):
+    findings, _ = lint(tmp_path, {"src/app.py": SHM_LEAK}, select=["RL301"])
+    assert [f.rule for f in active(findings)] == ["RL301"]
+    assert "leak on an exception path" in active(findings)[0].message
+
+
+def test_rl301_fires_on_double_release(tmp_path):
+    findings, _ = lint(
+        tmp_path, {"src/app.py": SHM_DOUBLE_RELEASE}, select=["RL301"]
+    )
+    assert [f.rule for f in active(findings)] == ["RL301"]
+    assert "released twice" in active(findings)[0].message
+
+
+def test_rl301_fires_on_use_after_release(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            from repro.util.shmseg import create_segment, release_segment
+
+            def build(spec):
+                segment = create_segment(spec)
+                release_segment(segment)
+                return segment.name
+            """
+        },
+        select=["RL301"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL301"]
+    assert "used after release" in active(findings)[0].message
+
+
+def test_rl301_quiet_with_exception_path_release(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            from repro.util.shmseg import create_segment, release_segment
+
+            def build(spec, views):
+                segment = create_segment(spec)
+                try:
+                    payload = views(spec)
+                except BaseException:
+                    release_segment(segment)
+                    raise
+                release_segment(segment)
+                return payload
+            """
+        },
+        select=["RL301"],
+    )
+    assert active(findings) == []
+
+
+def test_rl301_quiet_when_helper_releases_interprocedurally(tmp_path):
+    """``cleanup(segment)`` counts as a release because the program
+    index proves cleanup() releases its first parameter."""
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/helpers.py": """\
+            from repro.util.shmseg import release_segment
+
+            def cleanup(segment, unlink=True):
+                release_segment(segment, unlink=unlink)
+            """,
+            "src/app.py": """\
+            from helpers import cleanup
+            from repro.util.shmseg import create_segment
+
+            def build(spec, views):
+                segment = create_segment(spec)
+                try:
+                    payload = views(spec)
+                except BaseException:
+                    cleanup(segment)
+                    raise
+                cleanup(segment)
+                return payload
+            """,
+        },
+        select=["RL301"],
+    )
+    assert active(findings) == []
+
+
+def test_rl302_fires_on_partially_synced_branch(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/writer.py": """\
+            import os
+
+            def commit(tmp, path, fd, fast):
+                if fast:
+                    pass
+                else:
+                    os.fsync(fd)
+                os.replace(tmp, path)
+            """
+        },
+        select=["RL302"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL302"]
+    assert "rename reachable without" in active(findings)[0].message
+
+
+def test_rl302_fires_on_checkpoint_outrunning_log(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/writer.py": """\
+            def persist(wal, store, event):
+                wal.append(event)
+                store.save(event)
+            """
+        },
+        select=["RL302"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL302"]
+    assert "checkpoint" in active(findings)[0].message
+
+
+def test_rl302_quiet_when_all_paths_sync_or_are_exempt(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/stream/durable/writer.py": """\
+            import os
+
+            def commit(tmp, path, fd, durable):
+                if durable:
+                    os.fsync(fd)
+                    os.replace(tmp, path)
+                    return
+                os.replace(tmp, path)
+
+            def persist(wal, store, event):
+                wal.append(event)
+                wal.sync()
+                store.save(event)
+            """
+        },
+        select=["RL302"],
+    )
+    assert active(findings) == []
+
+
+def test_rl303_fires_on_submit_to_drained_pool(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            from pools import make_pool
+
+            def drive(worker, chunks):
+                pool = make_pool(4)
+                armed_version = 1
+                pool.imap(worker, chunks)
+                pool.terminate()
+                pool.join()
+                pool.imap(worker, chunks)
+            """
+        },
+        select=["RL303"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL303"]
+    assert "drained pool" in active(findings)[0].message
+
+
+def test_rl303_fires_on_submit_before_version_rearm(tmp_path):
+    findings, _ = lint(tmp_path, {"src/app.py": POOL_STALE}, select=["RL303"])
+    assert [f.rule for f in active(findings)] == ["RL303"]
+    assert "version" in active(findings)[0].message
+
+
+def test_rl303_quiet_with_version_rearm(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/app.py": """\
+            from pools import make_pool
+
+            def drive(worker, chunks):
+                pool = make_pool(4)
+                armed_version = 1
+                pool.imap(worker, chunks)
+                pool.terminate()
+                pool.join()
+
+            def staged(worker, chunks, version):
+                armed_version = version
+                pool = make_pool(4)
+                pool.imap(worker, chunks)
+                pool.terminate()
+                pool.join()
+            """
+        },
+        select=["RL303"],
+    )
+    assert active(findings) == []
+
+
+def test_rl304_fires_on_float64_roundtrip_of_integer_data(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {"src/repro/core/kernel.py": DTYPE_ROUNDTRIP},
+        select=["RL304"],
+    )
+    assert [f.rule for f in active(findings)] == ["RL304"]
+    assert "float64 temporary" in active(findings)[0].message
+
+
+def test_rl304_fires_on_float32_mix_and_chained_mask_gather(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/kernel.py": """\
+            import numpy as np
+
+            def mix(n):
+                small = np.zeros(4, dtype=np.float32)
+                big = np.zeros(4)
+                return small * big
+
+            def gather(ends, idx):
+                valid = idx >= 0
+                return ends[idx][valid]
+            """
+        },
+        select=["RL304"],
+    )
+    messages = sorted(f.message for f in active(findings))
+    assert len(messages) == 2
+    assert "chained fancy indexing" in messages[0]
+    assert "float32 operand silently upcast" in messages[1]
+
+
+def test_rl304_quiet_when_repaired_and_outside_scope(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/kernel.py": """\
+            import numpy as np
+
+            def totals(labels, counts):
+                acc = np.zeros(8, dtype=np.int64)
+                np.add.at(acc, labels, counts)
+                return acc
+
+            def gather(ends, idx):
+                valid = idx >= 0
+                return ends[idx[valid]]
+            """,
+            # Same defect outside the dtype scope: not policed.
+            "src/app.py": DTYPE_ROUNDTRIP,
+        },
+        select=["RL304"],
+    )
+    assert active(findings) == []
+
+
+def test_rl305_fires_on_concat_and_matmul_mismatch(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/kernel.py": """\
+            import numpy as np
+
+            def stitch():
+                a = np.zeros((4, 3))
+                b = np.zeros((5, 2))
+                return np.concatenate([a, b], axis=0)
+
+            def project():
+                m = np.zeros((4, 3))
+                v = np.zeros((5, 2))
+                return m @ v
+            """
+        },
+        select=["RL305"],
+    )
+    messages = sorted(f.message for f in active(findings))
+    assert len(messages) == 2
+    assert "matmul inner dimensions disagree: 3 vs 5" in messages[0]
+    assert "operands disagree on dimension 1: 3 vs 2" in messages[1]
+
+
+def test_rl305_quiet_on_compatible_and_symbolic_shapes(tmp_path):
+    findings, _ = lint(
+        tmp_path,
+        {
+            "src/repro/core/kernel.py": """\
+            import numpy as np
+
+            def stitch(n):
+                a = np.zeros((n, 3))
+                b = np.zeros((n, 3))
+                return np.concatenate([a, b], axis=0)
+
+            def project():
+                m = np.zeros((4, 3))
+                v = np.zeros((3, 2))
+                return m @ v
+            """
+        },
+        select=["RL305"],
+    )
+    assert active(findings) == []
+
+
+@pytest.mark.parametrize("rule", sorted(RL3XX_FIRES))
+def test_rl3xx_inline_disable_records_suppression(tmp_path, rule):
+    files, bad_line = RL3XX_FIRES[rule]
+    patched = {
+        rel: text.replace(
+            bad_line, f"{bad_line}  # reprolint: disable={rule}"
+        )
+        for rel, text in files.items()
+    }
+    findings, _ = lint(tmp_path, patched, select=[rule])
+    assert active(findings) == []
+    assert [f.rule for f in findings if f.suppressed] == [rule]
+
+
+@pytest.mark.parametrize("rule", sorted(RL3XX_FIRES))
+def test_rl3xx_baseline_round_trip(tmp_path, rule):
+    files, _bad_line = RL3XX_FIRES[rule]
+    findings, meta = lint(tmp_path, files, select=[rule])
+    assert len(active(findings)) == 1
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings, meta["lines_of"])
+    findings, meta = lint(
+        tmp_path,
+        files,
+        select=[rule],
+        use_baseline=True,
+        baseline_path=baseline_path,
+    )
+    assert active(findings) == []
+    assert [f.rule for f in findings if f.suppressed == "baseline"] == [rule]
+    assert meta["stale_baseline"] == []
+
+
+def test_protocol_digest_changes_the_cache_key(tmp_path, monkeypatch):
+    """Editing a protocol machine must invalidate cached findings the
+    same way editing LintConfig does."""
+    from tools.reprolint import cache as cache_mod
+
+    cache_path = tmp_path / "cache.json"
+    source = tmp_path / "src" / "app.py"
+    source.parent.mkdir(parents=True)
+    source.write_text(textwrap.dedent(SHM_DOUBLE_RELEASE))
+
+    run(
+        tmp_path, ["src"], select=frozenset({"RL301"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    _, meta = run(
+        tmp_path, ["src"], select=frozenset({"RL301"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    assert meta["cache"]["hits"] >= 1
+
+    monkeypatch.setattr(
+        cache_mod, "protocols_digest", lambda: "edited-protocol-table"
+    )
+    _, meta = run(
+        tmp_path, ["src"], select=frozenset({"RL301"}),
+        use_baseline=False, baseline_path=None, jobs=1,
+        cache_path=cache_path,
+    )
+    assert meta["cache"]["hits"] == 0
+
+
+def test_stale_baseline_fails_run_and_prune_recovers(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "util"
+    src.mkdir(parents=True)
+    (src / "defaults.py").write_text("def f(items=[]):\n    return items\n")
+    baseline = tmp_path / "baseline.json"
+    args = [
+        "src", "--root", str(tmp_path), "--select", "RL007",
+        "--jobs", "1", "--baseline", str(baseline),
+    ]
+    assert reprolint_main([*args, "--write-baseline"]) == 0
+    assert reprolint_main(args) == 0
+
+    # Fixing the defect leaves the entry stale: the run must fail
+    # until the baseline is pruned back to reality.
+    (src / "defaults.py").write_text("def f(items=None):\n    return items\n")
+    assert reprolint_main(args) == 1
+    out = capsys.readouterr().out
+    assert "stale baseline entry" in out
+    assert "--prune-baseline" in out
+
+    assert reprolint_main([*args, "--prune-baseline"]) == 0
+    assert json.loads(baseline.read_text())["entries"] == []
+    assert reprolint_main(args) == 0
+
+
+def test_prune_baseline_rejects_conflicting_flags(tmp_path):
+    with pytest.raises(SystemExit):
+        reprolint_main(
+            [
+                "src", "--root", str(tmp_path),
+                "--prune-baseline", "--no-baseline",
+            ]
+        )
 
 
 # --------------------------------------------- incremental mode

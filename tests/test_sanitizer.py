@@ -19,10 +19,21 @@ from repro.testing.sanitizer import (
     ConcurrencySanitizer,
     FsyncProtocolSanitizer,
     LockOrderSanitizer,
+    ProtocolSanitizer,
     SanitizerError,
     ThreadAccessTracer,
 )
 from repro.util.atomicio import atomic_write_bytes
+
+#: These tests arm private monitor instances and violate them on
+#: purpose — the session-level sanitizer must not double-report that.
+pytestmark = pytest.mark.sanitizer_self_test
+
+
+def wal_events(seed=5, n_ticks=40):
+    from repro.testing.recovery import synthetic_events
+
+    return list(synthetic_events(seed, n_ticks))
 
 
 @pytest.fixture()
@@ -239,6 +250,134 @@ class TestThreadAccessTracer:
         self._bump_from_thread(counter, name="second")
         tracer.assert_contracts()
         assert len(tracer.violations) == 1
+
+
+@pytest.fixture()
+def protocol_sanitizer():
+    sanitizer = ProtocolSanitizer()
+    sanitizer.install()
+    yield sanitizer
+    sanitizer.uninstall()
+
+
+class TestProtocolSanitizer:
+    """Runtime mirror of the RL3xx protocol machines."""
+
+    def test_segment_leak_is_caught(self, tmp_path):
+        from repro.util import shmseg
+
+        sanitizer = ProtocolSanitizer()
+        sanitizer.install()
+        segment = shmseg.create_segment(64, purpose="leak-me")
+        sanitizer.uninstall()
+        assert any(
+            v["protocol"] == "shm-segment" and v["kind"] == "segment-leaked"
+            for v in sanitizer.violations
+        )
+        shmseg.release_segment(segment, unlink=True)
+
+    def test_segment_double_release_is_caught(self, protocol_sanitizer):
+        from repro.util import shmseg
+
+        segment = shmseg.create_segment(64, purpose="double")
+        shmseg.release_segment(segment, unlink=True)
+        try:
+            shmseg.release_segment(segment, unlink=False)
+        except Exception:
+            pass  # the double close may legitimately raise
+        assert any(
+            v["kind"] == "segment-double-release"
+            for v in protocol_sanitizer.violations
+        )
+
+    def test_paired_segment_lifecycle_passes(self, tmp_path):
+        from repro.util import shmseg
+
+        sanitizer = ProtocolSanitizer()
+        sanitizer.install()
+        owner = shmseg.create_segment(64, purpose="ok")
+        attacher = shmseg.attach_segment(owner.name)
+        shmseg.release_segment(attacher, unlink=False)
+        shmseg.release_segment(owner, unlink=True)
+        sanitizer.uninstall()
+        assert sanitizer.violations == []
+
+    def test_checkpoint_outrunning_log_is_caught(
+        self, tmp_path, protocol_sanitizer
+    ):
+        from repro.stream import CheckpointStore, WalWriter
+        from repro.testing.recovery import synthetic_state
+
+        with WalWriter(tmp_path / "wal", sync_every=10_000) as wal:
+            for event in wal_events()[:5]:
+                wal.append(event)
+            # five appends, zero syncs: the checkpoint claims a seq
+            # the log has not made durable yet.
+            store = CheckpointStore(tmp_path / "ckpt")
+            store.save(
+                synthetic_state(),
+                last_seq=5,
+                last_window=1,
+                last_timestamp=1,
+            )
+        assert any(
+            v["protocol"] == "wal-commit"
+            and v["kind"] == "checkpoint-outran-log"
+            for v in protocol_sanitizer.violations
+        )
+
+    def test_synced_checkpoint_passes(self, tmp_path, protocol_sanitizer):
+        from repro.stream import CheckpointStore, WalWriter
+        from repro.testing.recovery import synthetic_state
+
+        with WalWriter(tmp_path / "wal", sync_every=10_000) as wal:
+            for event in wal_events()[:5]:
+                wal.append(event)
+            wal.sync()
+            store = CheckpointStore(tmp_path / "ckpt")
+            store.save(
+                synthetic_state(),
+                last_seq=5,
+                last_window=1,
+                last_timestamp=1,
+            )
+        assert protocol_sanitizer.violations == []
+
+    def test_submit_to_drained_pool_is_caught(self, protocol_sanitizer):
+        import multiprocessing
+
+        pool = multiprocessing.get_context("spawn").Pool(1)
+        pool.terminate()
+        pool.join()
+        with pytest.raises(ValueError):
+            pool.apply_async(int, ("1",))
+        assert any(
+            v["protocol"] == "supervised-pool"
+            and v["kind"] == "submit-to-drained-pool"
+            for v in protocol_sanitizer.violations
+        )
+
+    def test_live_pool_submit_passes(self, protocol_sanitizer):
+        import multiprocessing
+
+        with multiprocessing.get_context("spawn").Pool(1) as pool:
+            assert pool.apply(int, ("7",)) == 7
+        assert protocol_sanitizer.violations == []
+
+    def test_mirrors_every_declared_protocol(self):
+        """The runtime table must cover exactly the machines reprolint
+        declares — adding a ProtocolSpec without a runtime mirror (or
+        vice versa) is a drift this test pins."""
+        import sys
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        try:
+            from tools.reprolint.protocols import PROTOCOLS
+        finally:
+            sys.path.pop(0)
+        assert tuple(spec.name for spec in PROTOCOLS) == (
+            ProtocolSanitizer.PROTOCOL_NAMES
+        )
 
 
 class TestFacade:

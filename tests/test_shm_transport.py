@@ -150,6 +150,33 @@ class TestFlowRing:
         finally:
             ring.destroy()
 
+    def test_detach_closes_mapping_but_parent_survives(self, dev_shm_clean):
+        # detach() must drop every zero-copy view and close only the
+        # worker-side mapping: the parent keeps writing, and a fresh
+        # attachment over the same spec reads the new data.
+        table = random_table(16)
+        ring = FlowRing.create(slots=1, capacity=32)
+        try:
+            worker = WorkerRing.attach(ring.spec)
+            slot = ring.acquire(timeout=1.0)
+            generation = ring.write(slot, table, chunk_index=0)
+            chunk = worker.read(slot, generation, len(table), 0)
+            assert (chunk.src == table.src).all()
+            del chunk
+            worker.detach()
+
+            ring.release(slot)
+            other = random_table(16, seed=11)
+            slot = ring.acquire(timeout=1.0)
+            generation = ring.write(slot, other, chunk_index=1)
+            rejoined = WorkerRing.attach(ring.spec)
+            chunk = rejoined.read(slot, generation, len(other), 1)
+            assert (chunk.src == other.src).all()
+            del chunk
+            rejoined.detach()
+        finally:
+            ring.destroy()
+
     def test_generation_mismatch_raises_transport_error(self, dev_shm_clean):
         table = random_table(10)
         ring = FlowRing.create(slots=1, capacity=16)
@@ -311,6 +338,43 @@ class TestShmFaults:
         assert stream.failures
         assert stream.complete
         assert_parity(classifier, clean, stream)
+
+    def test_oversize_fallback_survives_worker_death_under_spawn(
+        self, toy, dev_shm_clean, monkeypatch
+    ):
+        # The pickle-fallback lane and the supervisor's dead-worker
+        # reclaim must compose: chunk 1 exceeds the ring capacity and
+        # rides pickle, the worker dies mid-way through that very
+        # chunk, and the retry still lands bit-equal results — under
+        # the spawn start method, where nothing is inherited.
+        monkeypatch.setenv("MP_START_METHOD", "spawn")
+        _rib, classifier = toy
+        table = random_table(400)
+        rows = np.arange(400)
+        chunks = [
+            table.select(rows[:100]),
+            table.select(rows[100:350]),  # 250 rows > capacity 128
+            table.select(rows[350:]),
+        ]
+        clean = classifier.classify_stream(iter(chunks), n_workers=2)
+        current_metrics().clear()
+        plan = FaultPlan((FaultSpec("die", 1),))
+        policy = FailurePolicy(
+            mode="retry", max_retries=1, chunk_timeout=2.0,
+            backoff_base=0.01,
+        )
+        stream = classifier.classify_stream(
+            iter(chunks), n_workers=2, chunk_rows=128, transport="shm",
+            policy=policy, fault_injector=plan,
+        )
+        assert (
+            current_metrics().counter("shm.fallback_chunks").value >= 1
+        )
+        assert stream.failures
+        assert stream.complete
+        for name in classifier.approach_names:
+            assert stream.class_counts(name) == clean.class_counts(name)
+        assert stream.n_flows == 400
 
     def test_degrade_drops_chunk_and_releases_slot(self, toy, dev_shm_clean):
         _rib, classifier = toy

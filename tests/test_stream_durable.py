@@ -158,6 +158,34 @@ class TestWal:
         seqs = [seq for seq, _ in replay_wal(tmp_path)]
         assert seqs == list(range(1, 9 + len(events[10:]) + 1))
 
+    def test_failed_append_leaves_log_record_aligned(
+        self, tmp_path, monkeypatch
+    ):
+        """A partial write mid-append (ENOSPC, interruption) must not
+        strand torn bytes mid-segment: the writer truncates back to
+        the pre-append size so later appends and replay stay clean."""
+        from repro.stream.durable import wal as wal_mod
+
+        events = wal_events()
+        with WalWriter(tmp_path) as wal:
+            for event in events[:5]:
+                wal.append(event)
+            real_write_all = wal_mod._write_all
+
+            def torn_write_all(handle, parts):
+                real_write_all(handle, parts[:1])  # header lands…
+                raise OSError(28, "No space left on device")
+
+            monkeypatch.setattr(wal_mod, "_write_all", torn_write_all)
+            with pytest.raises(OSError):
+                wal.append(events[5])
+            monkeypatch.setattr(wal_mod, "_write_all", real_write_all)
+            # the writer is still usable and the log record-aligned
+            for event in events[5:]:
+                wal.append(event)
+        seqs = [seq for seq, _ in replay_wal(tmp_path)]
+        assert seqs == list(range(1, len(events) + 1))
+
     def test_mid_log_corruption_raises(self, tmp_path):
         with WalWriter(tmp_path, segment_bytes=512) as wal:
             for event in wal_events():

@@ -111,6 +111,44 @@ class Baseline:
         return [entry for bucket in self._pool.values() for entry in bucket]
 
 
+def prune_baseline(
+    path: pathlib.Path, stale: list[dict[str, str]]
+) -> int:
+    """Drop the given stale entries from the baseline file; returns count.
+
+    ``stale`` is the run metadata's ``stale_baseline`` list. Matching is
+    count-based on ``(rule, path, code)`` — two identical entries with
+    one stale report lose exactly one copy — so a baseline that
+    deliberately carries duplicates for repeated lines stays correct.
+    """
+    baseline = Baseline.load(path)
+    budget: dict[tuple[str, str, str], int] = {}
+    for item in stale:
+        key = (item["rule"], item["path"], item["code"])
+        budget[key] = budget.get(key, 0) + 1
+    kept = []
+    for entry in baseline.entries:
+        if budget.get(entry.key(), 0) > 0:
+            budget[entry.key()] -= 1
+            continue
+        kept.append(entry)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "line": entry.line,
+                "code": entry.code,
+                "justification": entry.justification,
+            }
+            for entry in kept
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return len(baseline.entries) - len(kept)
+
+
 def write_baseline(
     path: pathlib.Path,
     findings: list[Finding],

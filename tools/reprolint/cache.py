@@ -28,6 +28,7 @@ from typing import Any
 
 from tools.reprolint.context import LintConfig
 from tools.reprolint.findings import FileSummary, Finding
+from tools.reprolint.protocols import protocols_digest
 
 CACHE_VERSION = 1
 
@@ -47,6 +48,7 @@ def config_digest(
         payload[field.name] = value
     payload["__select__"] = sorted(select) if select is not None else None
     payload["__cache_version__"] = CACHE_VERSION
+    payload["__protocols__"] = protocols_digest()
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -20,11 +20,18 @@ Project rules (run once over the merged summaries):
   safety, RL204 fsync-before-rename — the whole-program concurrency
   rules (:mod:`tools.reprolint.checks.program_concurrency`), which
   run against the call-graph index in
-  :mod:`tools.reprolint.program`.
+  :mod:`tools.reprolint.program`;
+* RL301 shm segment lifecycle, RL302 commit ordering, RL303
+  supervised pool lifecycle, RL304 hot-path dtype flow, RL305 static
+  shape compatibility — the flow-sensitive dataflow rules
+  (:mod:`tools.reprolint.checks.dataflow_rules`), which interpret the
+  protocol machines in :mod:`tools.reprolint.protocols` over per-
+  function CFGs (:mod:`tools.reprolint.dataflow`).
 """
 
 from tools.reprolint.checks import (  # noqa: F401  (import = registration)
     concurrency,
+    dataflow_rules,
     docs,
     durability,
     generic,

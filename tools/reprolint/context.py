@@ -137,6 +137,22 @@ class LintConfig:
         "src/repro/stream/durable",
         "src/repro/util/atomicio.py",
     )
+    #: Directories whose numpy code the dtype/shape abstract
+    #: interpretation (RL304/RL305) covers — the hot paths plus the
+    #: sketch kernels.
+    dtype_scope_dirs: tuple[str, ...] = (
+        "src/repro/core",
+        "src/repro/net",
+        "src/repro/cones",
+        "src/repro/sketch",
+    )
+    #: Factory helpers whose result is a supervised pool (RL303) —
+    #: pools built by these names carry the version-aware re-arm
+    #: obligation.
+    pool_factories: frozenset[str] = frozenset({"make_pool"})
+    #: Local variable names that hold the armed state version (RL303):
+    #: assigning one re-arms every stale pool in scope.
+    pool_version_vars: frozenset[str] = frozenset({"armed_version"})
     #: Packages ``--all-gates`` runs the annotation-floor gate over,
     #: and the floor itself (mirrors the mypy strict surface).
     strict_type_paths: tuple[str, ...] = (
@@ -172,6 +188,13 @@ class LintConfig:
         return any(
             rel.startswith(d + "/") or rel == d
             for d in self.rename_protocol_scopes
+        )
+
+    def in_dtype_scope(self, rel: str) -> bool:
+        """Whether RL304/RL305 interpret this file's numpy code."""
+        return any(
+            rel.startswith(d + "/") or rel == d
+            for d in self.dtype_scope_dirs
         )
 
     def in_program_scope(self, rel: str) -> bool:

@@ -1,0 +1,223 @@
+"""Declarative resource-protocol state machines for the RL3xx rules.
+
+Policy-as-data, like :class:`~tools.reprolint.context.LintConfig`: each
+:class:`ProtocolSpec` names the states a resource moves through, the
+call patterns that fire events, the legal transitions, and which
+(state, event) pairs or exit states are violations. The dataflow rules
+in :mod:`tools.reprolint.checks.dataflow_rules` interpret these
+machines statically over the CFG (:mod:`tools.reprolint.dataflow`);
+the runtime :class:`~repro.testing.sanitizer.ProtocolSanitizer`
+asserts the same machines dynamically under ``REPRO_SANITIZE=1``
+(``tests/test_sanitizer.py`` keeps the two in sync by name).
+
+``protocols_digest()`` folds the full spec table into the result-cache
+config digest, so editing a protocol invalidates cached findings the
+same way editing ``LintConfig`` does.
+
+Call patterns match a resolved dotted call name (via
+:func:`tools.reprolint.checks._astutil.resolve_call_name`) either
+exactly or by final component, so ``from repro.util.shmseg import
+create_segment`` and ``shmseg.create_segment(...)`` both fire the same
+event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+__all__ = [
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "SHM_SEGMENT",
+    "WAL_COMMIT",
+    "SUPERVISED_POOL",
+    "protocols_digest",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolSpec:
+    """One resource protocol: states, events, transitions, violations.
+
+    Everything is tuples-of-tuples so the spec is hashable, comparable
+    and digestable; rules unpack the pair lists into dicts at load
+    time.
+    """
+
+    #: Stable protocol name (shared with the runtime sanitizer).
+    name: str
+    #: The RL3xx rule that enforces this protocol statically.
+    rule: str
+    #: One-line contract statement, quoted in findings and docs.
+    description: str
+    #: Every state a tracked resource can be in.
+    states: tuple[str, ...]
+    #: ``(event, (call patterns...), subject)`` — the call shapes that
+    #: fire each event. ``subject`` says where the tracked resource is
+    #: in the call: ``"result"`` (assignment target acquires),
+    #: ``"arg0"`` (first positional argument) or ``"receiver"`` (the
+    #: ``x`` of ``x.method()``).
+    events: tuple[tuple[str, tuple[str, ...], str], ...] = ()
+    #: ``(event, state)`` — state a fresh resource enters when an
+    #: acquire event's result is bound to a local name.
+    initial: tuple[tuple[str, str], ...] = ()
+    #: ``(state, event, next_state)`` — legal moves; ``"*"`` matches
+    #: any current state.
+    transitions: tuple[tuple[str, str, str], ...] = ()
+    #: ``(state, event, message)`` — firing ``event`` while in
+    #: ``state`` is a violation.
+    event_errors: tuple[tuple[str, str, str], ...] = ()
+    #: ``(state, message)`` — a resource still in ``state`` when the
+    #: function can exit on an exception edge is a violation.
+    exc_exit_errors: tuple[tuple[str, str], ...] = ()
+    #: Free-form extra options ``(key, (values...))`` for obligation-
+    #: style protocols (mode parameters, receiver hints, sink names).
+    options: tuple[tuple[str, tuple[str, ...]], ...] = ()
+
+    def option(self, key: str) -> tuple[str, ...]:
+        """The values stored under ``key`` (empty when absent)."""
+        for name, values in self.options:
+            if name == key:
+                return values
+        return ()
+
+
+#: RL301 — shared-memory segment lifecycle. A segment acquired from
+#: the audited helpers must be released (or escape into an owner
+#: object) on *every* path, including the exception edges between
+#: acquire and escape; releasing twice or using after release is a
+#: violation.
+SHM_SEGMENT = ProtocolSpec(
+    name="shm-segment",
+    rule="RL301",
+    description=(
+        "shm segment lifecycle: create/attach, then release (or hand "
+        "to an owner) on every path — exception paths included"
+    ),
+    states=("held", "released"),
+    events=(
+        ("acquire", ("create_segment", "attach_segment"), "result"),
+        ("release", ("release_segment",), "arg0"),
+    ),
+    initial=(("acquire", "held"),),
+    transitions=(
+        ("held", "release", "released"),
+    ),
+    event_errors=(
+        (
+            "released",
+            "release",
+            "segment released twice on one path — release_segment() "
+            "already unregistered it",
+        ),
+    ),
+    exc_exit_errors=(
+        (
+            "held",
+            "shm segment can leak on an exception path — wrap the "
+            "construction in try/except and release_segment() before "
+            "re-raising",
+        ),
+    ),
+    options=(
+        (
+            "use_error",
+            (
+                "segment used after release_segment() on this path",
+            ),
+        ),
+    ),
+)
+
+#: RL302 — WAL/checkpoint commit ordering. A rename in the durable
+#: rename scope must be dominated by an fsync (directly, or via a
+#: helper with fsync effect) on every non-exempt path; a checkpoint
+#: ``save`` must be dominated by a WAL ``sync``. Paths on the false
+#: side of a configured durability-mode parameter (``durable=False``
+#: advisory writes) are exempt by declaration.
+WAL_COMMIT = ProtocolSpec(
+    name="wal-commit",
+    rule="RL302",
+    description=(
+        "commit ordering: fsync before rename on every durable path; "
+        "wal.sync() before checkpoint save (the checkpoint must never "
+        "outrun the log)"
+    ),
+    states=("dirty", "synced"),
+    options=(
+        ("sync_calls", ("os.fsync", "fsync")),
+        ("sync_methods", ("sync", "_sync_locked")),
+        ("dirty_methods", ("append",)),
+        ("dirty_receivers", ("wal",)),
+        ("rename_sinks", ("os.replace", "os.rename")),
+        ("save_methods", ("save",)),
+        (
+            "save_receivers",
+            ("store", "checkpoints", "checkpoint_store", "ckpt"),
+        ),
+        ("mode_params", ("durable",)),
+    ),
+)
+
+#: RL303 — supervised pool lifecycle. Pools built by the configured
+#: factory helpers are armed against a state version: a rebuilt pool
+#: must see a version re-arm before the next submit, a terminated
+#: pool must never be submitted to again.
+SUPERVISED_POOL = ProtocolSpec(
+    name="supervised-pool",
+    rule="RL303",
+    description=(
+        "supervised pool lifecycle: arm against a state version, "
+        "drain (terminate+join) before rebuild, version-aware re-arm "
+        "before reuse, no submit to a drained pool"
+    ),
+    states=("armed", "armed_stale", "drained"),
+    events=(
+        ("arm", (), "result"),  # factory names come from LintConfig
+        ("drain", ("terminate", "close"), "receiver"),
+        ("join", ("join",), "receiver"),
+    ),
+    initial=(("arm", "armed_stale"),),
+    transitions=(
+        ("*", "drain", "drained"),
+        ("drained", "join", "drained"),
+    ),
+    event_errors=(
+        (
+            "drained",
+            "submit",
+            "submit to a drained pool — terminate()/join() already "
+            "reclaimed its workers; rebuild via the factory first",
+        ),
+        (
+            "armed_stale",
+            "submit",
+            "rebuilt pool used before the armed version was refreshed "
+            "— re-read the state version right after the factory so "
+            "resubmitted chunks run against the state the pool "
+            "actually snapshot",
+        ),
+    ),
+)
+
+#: Every shipped protocol, in rule order.
+PROTOCOLS: tuple[ProtocolSpec, ...] = (
+    SHM_SEGMENT,
+    WAL_COMMIT,
+    SUPERVISED_POOL,
+)
+
+
+def protocols_digest(
+    protocols: tuple[ProtocolSpec, ...] | None = None,
+) -> str:
+    """Stable digest over the protocol table (cache invalidation)."""
+    table = PROTOCOLS if protocols is None else protocols
+    blob = json.dumps(
+        [dataclasses.asdict(spec) for spec in table],
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -31,7 +31,11 @@ import time
 from typing import Any
 
 from tools.reprolint import checks  # noqa: F401  (import = registration)
-from tools.reprolint.baseline import Baseline, write_baseline
+from tools.reprolint.baseline import (
+    Baseline,
+    prune_baseline,
+    write_baseline,
+)
 from tools.reprolint.cache import (
     DEFAULT_CACHE_NAME,
     ResultCache,
@@ -435,6 +439,11 @@ def run(
         for finding in findings:
             _lines_for(root, lines_of, finding.path)
         findings = baseline.apply(findings, lines_of)
+        # An entry only counts as stale when its file was actually
+        # analyzed this run (or deleted outright) — a --changed-only
+        # subset scan must not condemn entries for files it never
+        # looked at.
+        checked_rels = scanned_rels | {_rel(path, root) for path in markdown}
         stale = [
             {
                 "rule": entry.rule,
@@ -443,6 +452,7 @@ def run(
                 "justification": entry.justification,
             }
             for entry in baseline.stale_entries()
+            if entry.path in checked_rels or not (root / entry.path).exists()
         ]
 
     if cache is not None:
@@ -549,6 +559,11 @@ def main(argv: list[str] | None = None) -> int:
         help="accept every active finding into the baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries nothing matched in this run "
+             "(only entries whose files were scanned) and exit 0",
+    )
+    parser.add_argument(
         "--select", metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
     )
@@ -580,6 +595,12 @@ def main(argv: list[str] | None = None) -> int:
         help="list registered rules and exit",
     )
     args = parser.parse_args(argv)
+
+    if args.prune_baseline and (args.no_baseline or args.write_baseline):
+        parser.error(
+            "--prune-baseline needs the baseline applied; it cannot be "
+            "combined with --no-baseline or --write-baseline"
+        )
 
     if args.list_rules:
         for rule, title in all_rules():
@@ -628,7 +649,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"reprolint: wrote {count} entries to {baseline_path}")
         return 0
 
+    if args.prune_baseline:
+        count = prune_baseline(baseline_path, meta["stale_baseline"])
+        print(
+            f"reprolint: pruned {count} stale entr"
+            f"{'y' if count == 1 else 'ies'} from {baseline_path}"
+        )
+        return 0
+
     lint_exit = 1 if any(f.active for f in findings) else 0
+    if meta["stale_baseline"]:
+        # A stale entry means the finding it excused is gone: the
+        # baseline no longer reflects reality, and leaving it around
+        # would silently excuse a future regression on the same line.
+        lint_exit = max(lint_exit, 1)
     if args.all_gates:
         from tools.reprolint.gates import run_gates
 
@@ -657,8 +691,9 @@ def main(argv: list[str] | None = None) -> int:
                 )
         for entry in report["stale_baseline"]:
             print(
-                f"warning: stale baseline entry {entry['rule']} "
-                f"{entry['path']}: {entry['code']!r}"
+                f"error: stale baseline entry {entry['rule']} "
+                f"{entry['path']}: {entry['code']!r} "
+                "(fixed code no longer needs it; run --prune-baseline)"
             )
         timing = meta.get("timing") or {}
         cache_note = ""
